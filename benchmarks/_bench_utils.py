@@ -1,0 +1,33 @@
+"""Helpers shared by the experiment benchmarks.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_N``        -- Polybench problem size (default 96)
+* ``REPRO_BENCH_ACCESSES`` -- Use-Case-2 trace length (default 100000)
+
+Each benchmark writes its printed table into ``benchmarks/results/``
+so EXPERIMENTS.md can quote the measured rows.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_n() -> int:
+    """Polybench problem size for the figure sweeps."""
+    return int(os.environ.get("REPRO_BENCH_N", "96"))
+
+
+def bench_accesses() -> int:
+    """Trace length for the Use-Case-2 suite."""
+    return int(os.environ.get("REPRO_BENCH_ACCESSES", "100000"))
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist one experiment's printed table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

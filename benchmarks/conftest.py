@@ -1,0 +1,22 @@
+"""Fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and
+prints the rows it produces, so ``pytest benchmarks/ --benchmark-only``
+doubles as the experiment log.  See ``_bench_utils`` for scale knobs.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from _bench_utils import RESULTS_DIR  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """The directory benchmark tables are persisted into."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

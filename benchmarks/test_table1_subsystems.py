@@ -1,0 +1,231 @@
+"""Table 1, rows 3/5/6/7/8/9: measured wins of the component models.
+
+Each row of Table 1 names an optimization and the semantics XMem feeds
+it.  Use Cases 1 and 2 (rows 1-2) get full-system figures; this bench
+quantifies the remaining rows on their dedicated subsystem models,
+semantics-aware policy vs. the blind baseline each paper row argues
+against.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from _bench_utils import save_result
+from repro.core import DataProperty, DataType, PatternType, RWChar, XMemLib
+from repro.core.attributes import make_attributes
+from repro.hybrid import (
+    HybridCandidate,
+    HybridMemorySystem,
+    first_touch_placement,
+    layout_addresses,
+    plan_hybrid_placement,
+)
+from repro.mem.approx import ApproxConfig, ApproximateMemory
+from repro.mem.compression import SemanticCompressionEngine
+from repro.mem.dram_cache import DramCache, SemanticDramCachePolicy
+from repro.mem.nuca import (
+    NucaCandidate,
+    NucaMachine,
+    hashed_placement,
+    mean_latency,
+    plan_nuca_placement,
+)
+from repro.sim import format_table
+from repro.xos.numa import (
+    NumaCandidate,
+    NumaMachine,
+    NumaTrafficModel,
+    first_touch_numa,
+    plan_numa_placement,
+)
+
+MB = 1 << 20
+
+
+def row_compression():
+    """Row 3: semantic vs. blind compression ratios on typed data."""
+    rng = np.random.default_rng(5)
+    pools = {
+        "sparse_f64": (np.where(rng.random(16384) < 0.05,
+                                rng.random(16384), 0.0)
+                       .astype("<f8").tobytes(),
+                       dict(data_type=DataType.FLOAT64,
+                            properties=(DataProperty.SPARSE,))),
+        "pointers": ((0x7F80_0000_0000
+                      + rng.integers(0, 65536, 8192) * 8)
+                     .astype("<u8").tobytes(),
+                     dict(data_type=DataType.INT64,
+                          properties=(DataProperty.POINTER,))),
+        "floats": (rng.normal(3.0, 0.05, 16384).astype("<f8").tobytes(),
+                   dict(data_type=DataType.FLOAT64,)),
+    }
+    from repro.core.pat import translate_for_compression
+    out = []
+    for name, (data, attrs_kw) in pools.items():
+        prims = translate_for_compression(make_attributes(name,
+                                                          **attrs_kw))
+        informed = SemanticCompressionEngine(lambda p: prims)
+        blind = SemanticCompressionEngine(lambda p: None)
+        informed.compress_region(0, data)
+        blind.compress_region(0, data)
+        out.append([name, blind.stats.ratio, informed.stats.ratio])
+    return out
+
+
+def row_dram_cache():
+    """Row 5: thrash avoidance via working-set/reuse semantics."""
+    def run(semantic):
+        lib = XMemLib()
+        dc = DramCache(256 * 1024)
+        if semantic:
+            SemanticDramCachePolicy(dc, lib.process.atom_for_paddr)
+        hot = lib.create_atom("hot", pattern=PatternType.REGULAR,
+                              stride_bytes=64, reuse=255)
+        lib.atom_map(hot, 0, 128 * 1024)
+        lib.atom_activate(hot)
+        stream = lib.create_atom("stream", pattern=PatternType.REGULAR,
+                                 stride_bytes=64, reuse=0)
+        lib.atom_map(stream, 1 << 24, 8 * MB)
+        lib.atom_activate(stream)
+        total = 0.0
+        n = 0
+        for _rep in range(3):
+            for i in range(0, 128 * 1024, 64):
+                total += dc.access(i)
+                n += 1
+            for i in range(0, 8 * MB, 64):
+                total += dc.access((1 << 24) + i)
+                n += 1
+        return total / n
+    return run(False), run(True)
+
+
+def row_approx():
+    """Row 6: fast path gated on APPROXIMABLE annotations."""
+    lib = XMemLib()
+    lossy = lib.create_atom("pixels",
+                            properties=(DataProperty.APPROXIMABLE,))
+    lib.atom_map(lossy, 0, 4 * MB)
+    lib.atom_activate(lossy)
+    exact = lib.create_atom("weights")
+    lib.atom_map(exact, 1 << 24, 4 * MB)
+    lib.atom_activate(exact)
+    mem = ApproximateMemory(lib.process.atom_for_paddr,
+                            ApproxConfig(error_rate=1e-3), seed=1)
+    rng = random.Random(2)
+    total = 0.0
+    for _ in range(20000):
+        base = 0 if rng.random() < 0.7 else (1 << 24)
+        total += mem.access(base + rng.randrange(4 * MB // 64) * 64)
+    return (total / 20000, mem.stats.approx_share,
+            mem.stats.injected_errors)
+
+
+def row_numa():
+    machine = NumaMachine(nodes=2)
+    cands = [
+        NumaCandidate(0, make_attributes("part0"), (900.0, 10.0)),
+        NumaCandidate(1, make_attributes("part1"), (10.0, 900.0)),
+        NumaCandidate(2, make_attributes("model", rw=RWChar.READ_ONLY),
+                      (400.0, 400.0)),
+    ]
+    model = NumaTrafficModel(machine)
+    return (model.mean_latency(cands, first_touch_numa(cands, machine)),
+            model.mean_latency(cands, plan_numa_placement(cands,
+                                                          machine)))
+
+
+def row_hybrid():
+    cands = [
+        HybridCandidate(0, make_attributes("cold_ro",
+                                           rw=RWChar.READ_ONLY,
+                                           access_intensity=10),
+                        4 * MB),
+        HybridCandidate(1, make_attributes("hot_rw",
+                                           rw=RWChar.WRITE_HEAVY,
+                                           access_intensity=240),
+                        4 * MB),
+    ]
+    rng = random.Random(7)
+    accesses = [(1 if rng.random() < 0.9 else 0,
+                 rng.randrange(4 * MB // 64) * 64,
+                 rng.random() < 0.5)
+                for _ in range(4000)]
+
+    def run(policy):
+        system = HybridMemorySystem(fast_bytes=4 * MB,
+                                    slow_bytes=32 * MB)
+        bases = layout_addresses(cands, policy(cands, 4 * MB), 4 * MB)
+        now = 0.0
+        for atom, off, wr in accesses:
+            system.access(bases[atom] + off, now, wr and atom == 1)
+            now += 25.0
+        return system.avg_read_latency
+
+    return run(first_touch_placement), run(plan_hybrid_placement)
+
+
+def row_nuca():
+    machine = NucaMachine(slices=8)
+    cands = [
+        NucaCandidate(i, make_attributes(f"pool{i}"), 512 * 1024,
+                      tuple(1000.0 if c == (i * 3) % 8 else 10.0
+                            for c in range(8)))
+        for i in range(8)
+    ]
+    return (mean_latency(cands, hashed_placement(cands, machine),
+                         machine),
+            mean_latency(cands, plan_nuca_placement(cands, machine),
+                         machine))
+
+
+def test_table1_subsystems(benchmark, results_dir):
+    def run_all():
+        return {
+            "compression": row_compression(),
+            "dram_cache": row_dram_cache(),
+            "approx": row_approx(),
+            "numa": row_numa(),
+            "hybrid": row_hybrid(),
+            "nuca": row_nuca(),
+        }
+
+    res = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, blind, informed in res["compression"]:
+        rows.append([f"compression/{name}", f"{blind:.2f}x ratio",
+                     f"{informed:.2f}x ratio"])
+    blind, informed = res["dram_cache"]
+    rows.append(["dram cache", f"{blind:.1f} cyc/access",
+                 f"{informed:.1f} cyc/access"])
+    lat, share, errors = res["approx"]
+    rows.append(["approx memory", "140.0 cyc/access (all reliable)",
+                 f"{lat:.1f} cyc/access ({share:.0%} approx, "
+                 f"{errors} tolerated errors)"])
+    blind, informed = res["numa"]
+    rows.append(["numa", f"{blind:.1f} cyc", f"{informed:.1f} cyc"])
+    blind, informed = res["hybrid"]
+    rows.append(["hybrid DRAM+NVM", f"{blind:.1f} cyc read",
+                 f"{informed:.1f} cyc read"])
+    blind, informed = res["nuca"]
+    rows.append(["nuca", f"{blind:.1f} cyc", f"{informed:.1f} cyc"])
+
+    table = format_table(["row", "blind baseline", "with semantics"],
+                         rows,
+                         title="Table 1 rows 3/5/6/7/8/9 -- measured")
+    print("\n" + table)
+    save_result("table1_subsystems", table)
+
+    # Semantics must win every row.
+    for name, blind, informed in res["compression"]:
+        assert informed >= blind
+    assert res["dram_cache"][1] < res["dram_cache"][0]
+    assert res["approx"][0] < 140.0
+    assert res["numa"][1] < res["numa"][0]
+    assert res["hybrid"][1] < res["hybrid"][0]
+    assert res["nuca"][1] < res["nuca"][0]

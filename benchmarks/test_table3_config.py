@@ -1,0 +1,67 @@
+"""Table 3: the simulated machine configuration.
+
+Asserts the full-size configuration matches the paper's machine row by
+row, and benchmarks raw simulator throughput on that configuration so
+regressions in the substrate show up here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import save_result
+from repro.cpu.trace import MemAccess
+from repro.sim import build_baseline, format_table, table3_config
+
+
+def test_table3_matches_paper(benchmark, results_dir):
+    cfg = benchmark.pedantic(table3_config, rounds=1, iterations=1)
+    l1, l2, l3 = cfg.levels
+    rows = [
+        ["CPU", "3.6 GHz, 4-wide, windowed OOO model",
+         f"{cfg.cpu.ghz} GHz, {cfg.cpu.issue_width}-wide, "
+         f"window {cfg.cpu.window}"],
+        ["L1", "32KB, 8 ways, 4 cycles, LRU",
+         f"{l1.size_bytes // 1024}KB, {l1.ways} ways, {l1.latency} cyc, "
+         f"{l1.policy}"],
+        ["L2", "128KB, 8 ways, 8 cycles, DRRIP",
+         f"{l2.size_bytes // 1024}KB, {l2.ways} ways, {l2.latency} cyc, "
+         f"{l2.policy}"],
+        ["L3", "1MB/core, 16 ways, 27 cycles, DRRIP",
+         f"{l3.size_bytes // 1024}KB, {l3.ways} ways, {l3.latency} cyc, "
+         f"{l3.policy}"],
+        ["Prefetcher", "multi-stride, 16 streams, at L3",
+         f"{cfg.prefetcher.streams} streams, degree "
+         f"{cfg.prefetcher.degree}"],
+        ["DRAM", "DDR3-1066, 2ch, 1 rank/ch, 8 banks/rank, FR-FCFS, "
+         "open row",
+         f"{cfg.dram_geometry.channels}ch, "
+         f"{cfg.dram_geometry.ranks_per_channel} rank/ch, "
+         f"{cfg.dram_geometry.banks_per_rank} banks/rank, open row"],
+    ]
+    table = format_table(["layer", "paper", "this reproduction"], rows,
+                         title="Table 3 -- simulation configuration")
+    print("\n" + table)
+    save_result("table3_config", table)
+
+    assert (l1.size_bytes, l1.ways, l1.latency, l1.policy) == \
+        (32 * 1024, 8, 4, "lru")
+    assert (l2.size_bytes, l2.ways, l2.latency, l2.policy) == \
+        (128 * 1024, 8, 8, "drrip")
+    assert (l3.size_bytes, l3.ways, l3.latency, l3.policy) == \
+        (1024 * 1024, 16, 27, "drrip")
+    assert cfg.prefetcher.streams == 16
+    assert cfg.dram_geometry.channels == 2
+    assert cfg.dram_geometry.banks_per_rank == 8
+
+
+def test_table3_simulator_throughput(benchmark):
+    """Events/second through the full-size Table 3 machine."""
+    handle = build_baseline(table3_config())
+    trace = [MemAccess((i * 64) % (1 << 22), bool(i & 3 == 0), work=2)
+             for i in range(20_000)]
+
+    def run():
+        return handle.engine.run(trace).mem_accesses
+
+    assert benchmark(run) == 20_000

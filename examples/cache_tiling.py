@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Use Case 1 demo: performance portability of a tiled kernel (Section 5).
+
+A gemm binary tuned for a large cache runs on a machine whose LLC is
+half the assumed size -- the working set thrashes.  The same binary with
+XMem atoms lets the cache pin part of the tile and prefetch the rest,
+recovering much of the loss.
+
+Run:  python examples/cache_tiling.py
+"""
+
+from repro.sim import build_baseline, build_xmem, format_table, scaled_config
+from repro.workloads.polybench import KERNELS
+
+N = 128          # problem size (scaled)
+TILES = (16, 64, 128)
+
+
+def main() -> None:
+    cfg = scaled_config(16)   # 64 KB LLC slice
+    kernel = KERNELS["gemm"]
+    print(f"gemm, N={N}, LLC={cfg.llc_bytes // 1024} KB "
+          f"(tile of {TILES[-1]} has a {TILES[-1]**2 * 8 // 1024} KB "
+          f"working set -> thrashes)\n")
+
+    rows = []
+    for tile in TILES:
+        baseline = build_baseline(cfg)
+        b = baseline.run(kernel.build_trace(N, tile))
+
+        xmem = build_xmem(cfg)
+        x = xmem.run(kernel.build_trace(N, tile, lib=xmem.xmemlib))
+
+        rows.append([
+            tile,
+            f"{tile * tile * 8 // 1024} KB",
+            f"{b.cycles / 1e6:.2f}M",
+            f"{x.cycles / 1e6:.2f}M",
+            f"{b.cycles / x.cycles:.2f}x",
+            f"{baseline.llc.stats.miss_rate:.1%}",
+            f"{xmem.llc.stats.miss_rate:.1%}",
+        ])
+        if xmem.controller is not None:
+            pinned = xmem.controller.pinned_bytes() // 1024
+            print(f"tile {tile:3d}: controller pinned {pinned} KB "
+                  f"of the active tile "
+                  f"({xmem.controller.stats.refreshes} refreshes)")
+
+    print()
+    print(format_table(
+        ["tile", "tile WS", "baseline", "xmem", "speedup",
+         "base LLC miss", "xmem LLC miss"],
+        rows,
+        title="gemm execution time vs. tile size (cycles)",
+    ))
+    print("\nThe largest tile thrashes the baseline; XMem pins 75% of "
+          "the LLC for the tile and prefetches the remainder.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Table 1 extension demo: semantics-driven memory compression.
+
+The paper's Table 1 lists cache/memory compression as a beneficiary of
+XMem: with data type and data properties exposed per atom, a
+compression engine can pick a different algorithm for each pool of data
+(sparse encodings for sparse data, FP-specific compression for floats,
+delta encoding for pointers) instead of one global heuristic.
+
+This example builds a small compression engine on top of the
+CompressionPrimitives PAT and measures achieved ratios on synthetic
+data, with and without semantics.
+
+Run:  python examples/compression_semantics.py
+"""
+
+import numpy as np
+
+from repro import DataProperty, DataType, PatternType, XMemLib
+from repro.core.pat import CompressionPrimitives
+from repro.sim import format_table
+
+
+def compress_generic(raw: bytes) -> int:
+    """A semantics-blind hardware baseline (zero-line detection).
+
+    Models a typical type-agnostic cache-line compressor: a 64 B line
+    whose bytes are all identical stores as 8 B; anything else stays
+    uncompressed.  Without knowing what the data *is*, the engine
+    cannot pick a better algorithm.
+    """
+    out = 0
+    for i in range(0, len(raw), 64):
+        line = raw[i:i + 64]
+        out += 8 if len(set(line)) == 1 else len(line)
+    return out
+
+
+def compress_with_semantics(raw: bytes,
+                            prims: CompressionPrimitives) -> int:
+    """Pick the algorithm the atom's semantics suggest."""
+    if prims.sparse:
+        # Sparse encoding: store only the non-zero elements + bitmap.
+        width = max(prims.data_type.size_bytes, 1)
+        elems = len(raw) // width
+        nonzero = sum(
+            1 for i in range(elems)
+            if any(raw[i * width:(i + 1) * width])
+        )
+        return nonzero * width + elems // 8
+    if prims.pointer:
+        # Delta-base encoding: pointers cluster near a few bases.
+        width = 8
+        elems = len(raw) // width
+        return elems * 2 + width  # 2-byte deltas + one base
+    if prims.data_type in (DataType.FLOAT32, DataType.FLOAT64):
+        # FP-specific: exponents repeat; keep mantissa bytes.
+        return int(len(raw) * 0.55)
+    return compress_generic(raw)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # Three pools of semantically different data.
+    sparse_matrix = np.zeros(8192, dtype=np.float64)
+    sparse_matrix[rng.integers(0, 8192, 400)] = rng.random(400)
+    pointers = (0x7F00_0000_0000 +
+                rng.integers(0, 4096, 4096) * 8).astype(np.uint64)
+    floats = rng.normal(1.0, 0.01, 8192).astype(np.float64)
+
+    xmem = XMemLib()
+    atoms = {
+        "sparse_matrix": (xmem.create_atom(
+            "sparse_matrix", data_type=DataType.FLOAT64,
+            properties=(DataProperty.SPARSE,),
+            pattern=PatternType.IRREGULAR), sparse_matrix.tobytes()),
+        "pointer_array": (xmem.create_atom(
+            "pointer_array", data_type=DataType.INT64,
+            properties=(DataProperty.POINTER,),
+            pattern=PatternType.NON_DET), pointers.tobytes()),
+        "dense_floats": (xmem.create_atom(
+            "dense_floats", data_type=DataType.FLOAT64,
+            pattern=PatternType.REGULAR, stride_bytes=8),
+            floats.tobytes()),
+    }
+    xmem.process.retranslate()
+    pat = xmem.process.pats["compression"]
+
+    rows = []
+    for name, (atom_id, raw) in atoms.items():
+        prims = pat.lookup(atom_id)
+        blind = compress_generic(raw)
+        informed = compress_with_semantics(raw, prims)
+        rows.append([
+            name,
+            f"{len(raw) // 1024} KB",
+            f"{len(raw) / blind:.2f}x",
+            f"{len(raw) / informed:.2f}x",
+        ])
+
+    print(format_table(
+        ["data pool", "size", "blind ratio", "semantic ratio"],
+        rows,
+        title="Compression with vs. without atom semantics (Table 1)",
+    ))
+    print("\nEach pool gets the algorithm its atom's data-value "
+          "properties suggest -- no profiling, no global heuristic.")
+
+
+if __name__ == "__main__":
+    main()

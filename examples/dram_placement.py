@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Use Case 2 demo: OS page placement in DRAM (Section 6).
+
+Runs three workload models -- a multi-stream CFD code (lbm), a mixed
+stream+gather kernel (spmv), and a pointer-chasing graph code (mcf) --
+on the three systems of Figure 7:
+
+* Baseline: randomized virtual-to-physical mapping;
+* XMem:     atom-aware placement (isolate high-RBL streams in
+            dedicated banks, spread the rest);
+* Ideal:    a perfect row buffer (upper bound).
+
+Run:  python examples/dram_placement.py
+"""
+
+import dataclasses
+
+from repro.sim import format_table
+from repro.sim.usecase2 import run_figure7
+from repro.workloads.suite import BY_NAME
+
+WORKLOADS = ("lbm", "spmv", "mcf")
+ACCESSES = 60_000   # trimmed for a quick demo
+
+
+def main() -> None:
+    rows = []
+    for name in WORKLOADS:
+        workload = dataclasses.replace(BY_NAME[name], accesses=ACCESSES)
+        results = run_figure7(workload, pick_mapping=False)
+        base = results["baseline"]
+        xmem = results["xmem"]
+        ideal = results["ideal"]
+        rows.append([
+            name,
+            f"{base.cycles / xmem.cycles:.3f}x",
+            f"{base.cycles / ideal.cycles:.3f}x",
+            f"{base.record.dram_row_hit_rate:.2f}",
+            f"{xmem.record.dram_row_hit_rate:.2f}",
+            f"{xmem.record.dram_read_latency / base.record.dram_read_latency - 1:+.1%}",
+        ])
+        print(f"--- {name}: {BY_NAME[name].description}")
+        print(xmem.placement_report, "\n")
+
+    print(format_table(
+        ["workload", "xmem speedup", "ideal speedup",
+         "base RBL", "xmem RBL", "read-latency change"],
+        rows,
+        title="Figure 7/8 shape on three representative workloads",
+    ))
+    print("\nStreaming-heavy lbm gains; random-dominated mcf does not -- "
+          "matching the paper's Section 6.4 observations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Profiling path demo: infer atoms from an unannotated program.
+
+Section 3.5.1 allows atoms to come from "program annotation, static
+compiler analysis, or dynamic profiling".  Here a program gives us no
+annotations at all:
+
+1. the profiler watches its access stream and classifies each data
+   region (pattern + stride, read/write character, relative intensity
+   and reuse);
+2. the inferred atoms are created/mapped/activated automatically;
+3. a semantics-driven DRAM cache immediately benefits: the inferred
+   zero-reuse stream bypasses the cache, protecting the hot table.
+
+Run:  python examples/profile_and_optimize.py
+"""
+
+import random
+
+from repro import XMemLib
+from repro.core.profiler import AccessProfiler
+from repro.core.ranges import AddressRange
+from repro.mem.dram_cache import DramCache, SemanticDramCachePolicy
+
+HOT = AddressRange(0x0, 256 * 1024)                       # hot table
+STREAM = AddressRange.from_size(0x4000_0000, 16 << 20)    # cold scan
+
+
+def program_trace():
+    """An unannotated program: hot-table lookups + a cold scan."""
+    rng = random.Random(42)
+    hot_lines = HOT.size // 64
+    cursor = 0
+    for _ in range(60_000):
+        if rng.random() < 0.6:
+            yield HOT.start + rng.randrange(hot_lines) * 64, False
+        else:
+            yield STREAM.start + cursor, False
+            cursor = (cursor + 64) % STREAM.size
+
+
+def main() -> None:
+    # -- 1. Profile the raw access stream.
+    profiler = AccessProfiler(
+        regions=[("table", HOT), ("scan", STREAM)]
+    )
+    accesses = list(program_trace())
+    for addr, is_write in accesses:
+        profiler.observe(addr, is_write)
+
+    print("inferred attributes:")
+    for name, attrs in profiler.infer_attributes().items():
+        print(f"  {attrs.describe()}")
+
+    # -- 2. Auto-instrument a fresh XMem process.
+    lib = XMemLib()
+    atom_ids = profiler.instrument(lib)
+    print(f"\ncreated atoms: {atom_ids}")
+
+    # -- 3. Replay through a DRAM cache, with and without semantics.
+    def replay(semantic: bool) -> float:
+        cache = DramCache(256 * 1024)
+        if semantic:
+            SemanticDramCachePolicy(cache, lib.process.atom_for_paddr)
+        total = sum(cache.access(addr) for addr, _ in accesses)
+        label = "semantic" if semantic else "blind   "
+        print(f"  {label}: {total / len(accesses):6.1f} cycles/access "
+              f"(hit rate {cache.stats.hit_rate:.1%}, "
+              f"{cache.stats.bypassed_fills} fills bypassed)")
+        return total
+
+    print("\nDRAM-cache replay:")
+    blind = replay(semantic=False)
+    informed = replay(semantic=True)
+    print(f"\nspeedup from inferred semantics: {blind / informed:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro: a full-system reproduction of XMem (Expressive Memory, ISCA 2018).
+
+The package is organized as the paper's system stack:
+
+* :mod:`repro.core` -- the XMem contribution: the Atom abstraction,
+  XMemLib, and the AAM/AST/GAT/PAT/AMU machinery.
+* :mod:`repro.mem` -- cache-hierarchy substrate (caches, replacement
+  policies, prefetchers, MSHRs).
+* :mod:`repro.dram` -- DRAM substrate (banks, row buffers, FR-FCFS,
+  address-mapping schemes).
+* :mod:`repro.xos` -- OS substrate (page tables, allocators, the
+  program loader, and the Use-Case-2 page-placement policy).
+* :mod:`repro.cpu` -- trace events and the window-limited timing engine.
+* :mod:`repro.policies` -- the two evaluated use cases (Section 5 cache
+  management, Section 6 DRAM placement).
+* :mod:`repro.workloads` -- Polybench kernels with PLUTO-style tiling
+  and the 27-workload suite for Use Case 2.
+* :mod:`repro.sim` -- full-system composition and experiment runners.
+
+Quickstart::
+
+    from repro import XMemLib, PatternType
+
+    xmem = XMemLib()
+    tile = xmem.create_atom("tile", pattern=PatternType.REGULAR,
+                            stride_bytes=8, reuse=255)
+    xmem.atom_map(tile, start=0x10000, size=64 * 1024)
+    xmem.atom_activate(tile)
+
+See ``examples/quickstart.py`` for the end-to-end version with a
+simulated memory hierarchy attached.
+"""
+
+from repro.core import (
+    AddressRange,
+    Atom,
+    AtomAttributes,
+    DataProperty,
+    DataType,
+    PatternType,
+    RWChar,
+    XMemError,
+    XMemLib,
+    XMemProcess,
+    make_attributes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressRange",
+    "Atom",
+    "AtomAttributes",
+    "DataProperty",
+    "DataType",
+    "PatternType",
+    "RWChar",
+    "XMemError",
+    "XMemLib",
+    "XMemProcess",
+    "make_attributes",
+    "__version__",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro usecase1 --kernel gemm --n 96 --tile 96
+    python -m repro usecase2 --workload lbm --accesses 60000
+    python -m repro overheads
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.core.overheads import (
+    context_switch_overhead_fraction,
+    hardware_area_fraction,
+    storage_overheads,
+)
+from repro.sim import (
+    build_baseline,
+    build_xmem,
+    format_table,
+    scaled_config,
+)
+from repro.sim.usecase2 import run_figure7
+from repro.workloads.polybench import FIGURE4_KERNELS, KERNELS
+from repro.workloads.suite import BY_NAME, SUITE
+
+
+def cmd_list(_args) -> int:
+    """List the available kernels and workloads."""
+    print("Use Case 1 kernels (Polybench):")
+    for name in FIGURE4_KERNELS:
+        print(f"  {name:<10} {KERNELS[name].description}")
+    print("\nUse Case 2 workloads (SPEC/Rodinia/Parboil models):")
+    for w in SUITE:
+        print(f"  {w.name:<14} {w.description}")
+    return 0
+
+
+def cmd_usecase1(args) -> int:
+    """Run one kernel at one tile size on Baseline and XMem."""
+    if args.kernel not in KERNELS:
+        print(f"unknown kernel {args.kernel!r}; see `repro list`",
+              file=sys.stderr)
+        return 2
+    kernel = KERNELS[args.kernel]
+    tile = args.tile or args.n
+    cfg = scaled_config(args.scale)
+
+    baseline = build_baseline(cfg)
+    b = baseline.run(kernel.build_trace(args.n, tile))
+    xmem = build_xmem(cfg)
+    x = xmem.run(kernel.build_trace(args.n, tile, lib=xmem.xmemlib))
+
+    print(format_table(
+        ["system", "cycles", "IPC", "LLC miss", "DRAM reads"],
+        [
+            ["baseline", f"{b.cycles:.0f}", b.ipc,
+             f"{baseline.llc.stats.miss_rate:.2%}",
+             baseline.dram.stats.reads],
+            ["xmem", f"{x.cycles:.0f}", x.ipc,
+             f"{xmem.llc.stats.miss_rate:.2%}",
+             xmem.dram.stats.reads],
+        ],
+        title=(f"{args.kernel} N={args.n} tile={tile} "
+               f"LLC={cfg.llc_bytes // 1024}KB"),
+    ))
+    print(f"\nXMem speedup: {b.cycles / x.cycles:.3f}x")
+    return 0
+
+
+def cmd_usecase2(args) -> int:
+    """Run one workload on Baseline / XMem / Ideal."""
+    if args.workload not in BY_NAME:
+        print(f"unknown workload {args.workload!r}; see `repro list`",
+              file=sys.stderr)
+        return 2
+    workload = BY_NAME[args.workload]
+    if args.accesses:
+        workload = dataclasses.replace(workload, accesses=args.accesses)
+    results = run_figure7(workload, pick_mapping=args.pick_mapping)
+    base = results["baseline"]
+    rows = []
+    for system in ("baseline", "xmem", "ideal"):
+        r = results[system]
+        rows.append([
+            system, f"{r.cycles:.0f}",
+            f"{base.cycles / r.cycles:.3f}x",
+            f"{r.record.dram_row_hit_rate:.2f}",
+            f"{r.record.dram_read_latency:.1f}",
+        ])
+    print(format_table(
+        ["system", "cycles", "speedup", "RBL", "read latency"],
+        rows, title=f"{workload.name}: {workload.description}",
+    ))
+    if results["xmem"].placement_report:
+        print("\nplacement decision:")
+        print(results["xmem"].placement_report)
+    return 0
+
+
+def cmd_overheads(_args) -> int:
+    """Print the Section 4.4 overhead summary for an 8 GB machine."""
+    ov = storage_overheads(8 << 30)
+    print(format_table(
+        ["overhead", "value"],
+        [
+            ["AAM", f"{ov.aam_bytes >> 20} MB ({ov.aam_fraction:.2%} "
+             f"of physical memory)"],
+            ["AST", f"{ov.ast_bytes} B"],
+            ["GAT", f"{ov.gat_bytes} B"],
+            ["hardware area", f"{hardware_area_fraction():.4%} of a "
+             f"Xeon E5-2698 die"],
+            ["context switch", f"{context_switch_overhead_fraction():.1%}"
+             " of a typical switch"],
+        ],
+        title="Section 4.4 overheads (8 GB system, 256 atoms)",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XMem (ISCA 2018) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list kernels and workloads")
+
+    uc1 = sub.add_parser("usecase1", help="cache management (Section 5)")
+    uc1.add_argument("--kernel", default="gemm")
+    uc1.add_argument("--n", type=int, default=96)
+    uc1.add_argument("--tile", type=int, default=None)
+    uc1.add_argument("--scale", type=int, default=32,
+                     help="cache scale-down factor (default 32)")
+
+    uc2 = sub.add_parser("usecase2", help="DRAM placement (Section 6)")
+    uc2.add_argument("--workload", default="lbm")
+    uc2.add_argument("--accesses", type=int, default=60_000)
+    uc2.add_argument("--pick-mapping", action="store_true",
+                     help="probe mappings for the strongest baseline")
+
+    sub.add_parser("overheads", help="Section 4.4 overhead summary")
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "usecase1": cmd_usecase1,
+    "usecase2": cmd_usecase2,
+    "overheads": cmd_overheads,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""XMem core: the Atom abstraction and the end-to-end XMem system.
+
+This package is the paper's primary contribution: the atom
+(:mod:`repro.core.atom`), its attributes (:mod:`repro.core.attributes`),
+the application library (:mod:`repro.core.xmemlib`), and the hardware/OS
+machinery -- AAM, AST, GAT, PATs, Attribute Translator, and the AMU with
+its lookaside buffer.
+"""
+
+from repro.core.aam import AAMConfig, AtomAddressMap
+from repro.core.amu import AtomLookasideBuffer, AtomManagementUnit
+from repro.core.ast_table import AtomStatusTable
+from repro.core.atom import Atom, AtomState, MAX_ATOMS_PER_PROCESS
+from repro.core.attributes import (
+    AccessPattern,
+    AccessProperties,
+    AtomAttributes,
+    DataLocality,
+    DataProperty,
+    DataType,
+    DataValueProperties,
+    PatternType,
+    RWChar,
+    make_attributes,
+)
+from repro.core.errors import (
+    AddressRangeError,
+    AllocationError,
+    AtomCapacityError,
+    AtomError,
+    ConfigurationError,
+    ImmutableAttributeError,
+    InvalidAttributeError,
+    MappingError,
+    TranslationError,
+    UnknownAtomError,
+    XMemError,
+)
+from repro.core.gat import GlobalAttributeTable
+from repro.core.profiler import AccessProfiler, RegionProfile
+from repro.core.pat import (
+    AttributeTranslator,
+    CachePrimitives,
+    CompressionPrimitives,
+    DramPrimitives,
+    PrefetcherPrimitives,
+    PrivateAttributeTable,
+    make_standard_pats,
+)
+from repro.core.ranges import AddressRange, RangeSet
+from repro.core.segment import AtomSegment, load_segment, summarize
+from repro.core.xmemlib import XMemLib, XMemProcess
+
+__all__ = [
+    "AAMConfig",
+    "AccessProfiler",
+    "RegionProfile",
+    "AccessPattern",
+    "AccessProperties",
+    "AddressRange",
+    "AddressRangeError",
+    "AllocationError",
+    "Atom",
+    "AtomAddressMap",
+    "AtomAttributes",
+    "AtomCapacityError",
+    "AtomError",
+    "AtomLookasideBuffer",
+    "AtomManagementUnit",
+    "AtomSegment",
+    "AtomState",
+    "AtomStatusTable",
+    "AttributeTranslator",
+    "CachePrimitives",
+    "CompressionPrimitives",
+    "ConfigurationError",
+    "DataLocality",
+    "DataProperty",
+    "DataType",
+    "DataValueProperties",
+    "DramPrimitives",
+    "GlobalAttributeTable",
+    "ImmutableAttributeError",
+    "InvalidAttributeError",
+    "MAX_ATOMS_PER_PROCESS",
+    "MappingError",
+    "PatternType",
+    "PrefetcherPrimitives",
+    "PrivateAttributeTable",
+    "RWChar",
+    "RangeSet",
+    "TranslationError",
+    "UnknownAtomError",
+    "XMemError",
+    "XMemLib",
+    "XMemProcess",
+    "load_segment",
+    "make_attributes",
+    "make_standard_pats",
+    "summarize",
+]

@@ -1,0 +1,228 @@
+"""Atom Management Unit (AMU) and Atom Lookaside Buffer (ALB).
+
+Section 4.2, component (4).  The AMU is the hardware unit that
+
+* interprets the XMem ISA instructions, updating the Atom Address Map
+  (ATOM_MAP/ATOM_UNMAP) and Atom Status Table (ATOM_ACTIVATE/
+  ATOM_DEACTIVATE);
+* serves ``ATOM_LOOKUP`` requests from other hardware components,
+  returning the *active* atom (if any) for a physical address.
+
+To avoid a memory access per lookup, the AMU fronts the AAM with an
+**atom lookaside buffer (ALB)** -- an LRU cache whose tags are physical
+page indexes and whose data are the atom IDs of every chunk in the
+page, exactly like a TLB fronts the page table.  The paper finds a
+256-entry ALB covers 98.9% of lookups; the bench
+``benchmarks/test_sec42_alb_hitrate.py`` reproduces that experiment.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.core.aam import AAMConfig, AtomAddressMap
+from repro.core.ast_table import AtomStatusTable
+from repro.core.errors import TranslationError
+from repro.core.isa import (
+    AtomInstruction,
+    AtomMapInstruction,
+    AtomOpcode,
+    AtomStatusInstruction,
+)
+from repro.core.ranges import AddressRange
+
+#: Paper configuration: 256-entry ALB.
+DEFAULT_ALB_ENTRIES = 256
+
+#: Translate one VA range to a sequence of PA ranges (the MMU's job).
+TranslateFn = Callable[[AddressRange], Tuple[AddressRange, ...]]
+
+
+@dataclass
+class ALBStats:
+    """Hit/miss counters for the atom lookaside buffer."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ATOM_LOOKUP requests served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without touching the AAM."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class AtomLookasideBuffer:
+    """LRU page-granular cache of AAM entries."""
+
+    def __init__(self, entries: int = DEFAULT_ALB_ENTRIES) -> None:
+        self.entries = entries
+        self._lines: "OrderedDict[int, Tuple[Optional[int], ...]]" = (
+            OrderedDict()
+        )
+        self.stats = ALBStats()
+
+    def lookup(self, page_index: int
+               ) -> Optional[Tuple[Optional[int], ...]]:
+        """Cached chunk->atom data for a page, or None on ALB miss."""
+        data = self._lines.get(page_index)
+        if data is None:
+            self.stats.misses += 1
+            return None
+        self._lines.move_to_end(page_index)
+        self.stats.hits += 1
+        return data
+
+    def fill(self, page_index: int,
+             data: Tuple[Optional[int], ...]) -> None:
+        """Install a page's AAM data, evicting LRU if full."""
+        if page_index in self._lines:
+            self._lines.move_to_end(page_index)
+        self._lines[page_index] = data
+        while len(self._lines) > self.entries:
+            self._lines.popitem(last=False)
+
+    def invalidate_page(self, page_index: int) -> None:
+        """Drop one page (called when the AAM entry changes)."""
+        self._lines.pop(page_index, None)
+
+    def flush(self) -> None:
+        """Drop everything (context switch, Section 4.4)."""
+        self._lines.clear()
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+
+@dataclass
+class AMUStats:
+    """Operation counters for the Atom Management Unit."""
+
+    map_instructions: int = 0
+    unmap_instructions: int = 0
+    activate_instructions: int = 0
+    deactivate_instructions: int = 0
+    lookups: int = 0
+    chunks_written: int = 0
+
+    @property
+    def xmem_instructions(self) -> int:
+        """Total XMem ISA instructions executed (Section 4.4 overhead)."""
+        return (self.map_instructions + self.unmap_instructions
+                + self.activate_instructions + self.deactivate_instructions)
+
+
+class AtomManagementUnit:
+    """The hardware home of the AAM + AST, with an ALB front.
+
+    ``translate`` is the MMU hook: given a VA range it returns the PA
+    ranges backing it.  The identity translation is the default so the
+    AMU is usable standalone in unit tests.
+    """
+
+    def __init__(
+        self,
+        aam_config: Optional[AAMConfig] = None,
+        max_atoms: int = 256,
+        alb_entries: int = DEFAULT_ALB_ENTRIES,
+        translate: Optional[TranslateFn] = None,
+    ) -> None:
+        self.aam = AtomAddressMap(aam_config)
+        self.ast = AtomStatusTable(max_atoms)
+        self.alb = AtomLookasideBuffer(alb_entries)
+        self.translate: TranslateFn = translate or (lambda rng: (rng,))
+        self.stats = AMUStats()
+
+    # -- Instruction interpretation -------------------------------------
+
+    def execute(self, instr: AtomInstruction) -> None:
+        """Interpret one XMem ISA instruction."""
+        if isinstance(instr, AtomMapInstruction):
+            if instr.opcode is AtomOpcode.ATOM_MAP:
+                self._do_map(instr)
+            elif instr.opcode is AtomOpcode.ATOM_UNMAP:
+                self._do_unmap(instr)
+            else:  # pragma: no cover - constructor prevents this
+                raise ValueError(f"bad opcode {instr.opcode}")
+        elif isinstance(instr, AtomStatusInstruction):
+            if instr.opcode is AtomOpcode.ATOM_ACTIVATE:
+                self.ast.activate(instr.atom_id)
+                self.stats.activate_instructions += 1
+            elif instr.opcode is AtomOpcode.ATOM_DEACTIVATE:
+                self.ast.deactivate(instr.atom_id)
+                self.stats.deactivate_instructions += 1
+            else:  # pragma: no cover
+                raise ValueError(f"bad opcode {instr.opcode}")
+        else:
+            raise TypeError(f"not an XMem instruction: {instr!r}")
+
+    def _pa_ranges(self, instr: AtomMapInstruction):
+        for va_range in instr.va_ranges:
+            try:
+                yield from self.translate(va_range)
+            except TranslationError:
+                # Hint-only semantics: an unmapped VA range contributes no
+                # AAM entries but never faults the program.
+                continue
+
+    def _do_map(self, instr: AtomMapInstruction) -> None:
+        self.stats.map_instructions += 1
+        for pa_range in self._pa_ranges(instr):
+            self.stats.chunks_written += self.aam.map_range(
+                pa_range, instr.atom_id
+            )
+            self._invalidate_alb(pa_range)
+
+    def _do_unmap(self, instr: AtomMapInstruction) -> None:
+        self.stats.unmap_instructions += 1
+        for pa_range in self._pa_ranges(instr):
+            self.aam.unmap_range(pa_range, instr.atom_id)
+            self._invalidate_alb(pa_range)
+
+    def _invalidate_alb(self, pa_range: AddressRange) -> None:
+        page = self.aam.config.page_bytes
+        for page_index in pa_range.chunks(page):
+            self.alb.invalidate_page(page_index)
+
+    # -- Lookups ---------------------------------------------------------
+
+    def lookup(self, paddr: int) -> Optional[int]:
+        """ATOM_LOOKUP: the *active* atom ID for a physical address.
+
+        Consults the ALB first; on a miss, reads the AAM and fills the
+        ALB with the whole page.  Returns None when the address is not
+        mapped to any atom or the mapped atom is inactive.
+        """
+        self.stats.lookups += 1
+        cfg = self.aam.config
+        page_index = paddr // cfg.page_bytes
+        data = self.alb.lookup(page_index)
+        if data is None:
+            data = self.aam.lookup_page(page_index)
+            self.alb.fill(page_index, data)
+        chunk_in_page = (paddr % cfg.page_bytes) // cfg.chunk_bytes
+        atom_id = data[chunk_in_page]
+        if atom_id is None or not self.ast.is_active(atom_id):
+            return None
+        return atom_id
+
+    def lookup_raw(self, paddr: int) -> Optional[int]:
+        """The mapped atom ID regardless of activation (debug/tests)."""
+        return self.aam.lookup(paddr)
+
+    # -- Context switches -------------------------------------------------
+
+    def context_switch(self, ast_snapshot: bytes) -> None:
+        """Flush the ALB and reload the AST for the incoming process.
+
+        The AAM is global (PA-indexed) and survives context switches;
+        the AST and PATs are per-process state (Section 4.3).
+        """
+        self.alb.flush()
+        self.ast.restore(ast_snapshot)

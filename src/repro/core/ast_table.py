@@ -1,0 +1,72 @@
+"""Atom Status Table (AST) -- Section 4.2, component (2).
+
+A per-process bitmap recording which atoms are currently active.
+``CreateAtom`` assigns IDs consecutively from 0, so the table is
+indexed directly by atom ID.  With the paper's 256-atom budget the AST
+is 256 bits = 32 B per application.
+"""
+
+from __future__ import annotations
+
+from repro.core.atom import MAX_ATOMS_PER_PROCESS
+from repro.core.errors import ConfigurationError, UnknownAtomError
+
+
+class AtomStatusTable:
+    """Bitmap of atom activation state, updated by the AMU.
+
+    The table deliberately models the hardware structure: a fixed-size
+    bit vector, not a Python set, so the storage-overhead arithmetic of
+    Section 4.4 falls out of the geometry.
+    """
+
+    def __init__(self, max_atoms: int = MAX_ATOMS_PER_PROCESS) -> None:
+        if max_atoms <= 0:
+            raise ConfigurationError(f"max_atoms must be > 0: {max_atoms}")
+        self.max_atoms = max_atoms
+        self._bits = bytearray((max_atoms + 7) // 8)
+
+    def _check(self, atom_id: int) -> None:
+        if not 0 <= atom_id < self.max_atoms:
+            raise UnknownAtomError(atom_id)
+
+    def activate(self, atom_id: int) -> None:
+        """Set the active bit for ``atom_id`` (ATOM_ACTIVATE)."""
+        self._check(atom_id)
+        self._bits[atom_id >> 3] |= 1 << (atom_id & 7)
+
+    def deactivate(self, atom_id: int) -> None:
+        """Clear the active bit for ``atom_id`` (ATOM_DEACTIVATE)."""
+        self._check(atom_id)
+        self._bits[atom_id >> 3] &= ~(1 << (atom_id & 7))
+
+    def is_active(self, atom_id: int) -> bool:
+        """Whether ``atom_id`` is currently active."""
+        self._check(atom_id)
+        return bool(self._bits[atom_id >> 3] & (1 << (atom_id & 7)))
+
+    def active_ids(self) -> list:
+        """All active atom IDs, in increasing order."""
+        return [i for i in range(self.max_atoms) if self.is_active(i)]
+
+    def clear(self) -> None:
+        """Deactivate every atom (process teardown / exec)."""
+        for i in range(len(self._bits)):
+            self._bits[i] = 0
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bitmap size in bytes: 32 B at the default 256-atom budget."""
+        return len(self._bits)
+
+    def snapshot(self) -> bytes:
+        """Immutable copy of the bitmap (saved on context switch)."""
+        return bytes(self._bits)
+
+    def restore(self, snapshot: bytes) -> None:
+        """Reload the bitmap from a context-switch snapshot."""
+        if len(snapshot) != len(self._bits):
+            raise ConfigurationError(
+                f"snapshot size {len(snapshot)} != AST size {len(self._bits)}"
+            )
+        self._bits = bytearray(snapshot)

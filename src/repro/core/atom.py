@@ -1,0 +1,157 @@
+"""The Atom: XMem's hardware-software abstraction (Sections 3.1-3.2).
+
+An atom is a named region of semantically-similar program data.  It has
+three components:
+
+* **Attributes** -- immutable program semantics (:class:`AtomAttributes`);
+* **Mapping** -- the set of virtual-address ranges it currently
+  describes (a :class:`RangeSet`; possibly non-contiguous);
+* **State** -- ``ACTIVE`` or ``INACTIVE``; attributes are recognized by
+  the system only while the atom is active.
+
+The invariants of Section 3.2 are enforced here:
+
+* *Immutable attributes*: ``attributes`` is a frozen dataclass and the
+  ``Atom`` exposes no setter; callers who need different attributes
+  create a new atom.
+* *Flexible mapping*: ``map_range``/``unmap_range`` may be called any
+  number of times with ranges of any size.
+* *Activation/deactivation*: toggling state is cheap and does not touch
+  the mapping.
+
+The *many-to-one VA-atom* invariant is global across atoms, so it is
+enforced by the mapping tables (:mod:`repro.core.aam`), not here.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Optional
+
+from repro.core.attributes import AtomAttributes
+from repro.core.ranges import AddressRange, RangeSet
+
+#: Default size of the per-process atom-ID space.  Section 4.2 assumes up
+#: to 256 atoms per application ("all benchmarks in our experiments had
+#: under 10 atoms").
+MAX_ATOMS_PER_PROCESS = 256
+
+
+class AtomState(enum.Enum):
+    """Activation state of an atom (Section 3.1)."""
+
+    INACTIVE = "inactive"
+    ACTIVE = "active"
+
+
+class Atom:
+    """One atom instance, identified by a process-local integer ID.
+
+    Atoms are created through :class:`repro.core.xmemlib.XMemLib` (the
+    ``CREATE`` operator), not constructed directly by applications.
+    """
+
+    __slots__ = ("atom_id", "attributes", "_mapping", "_state")
+
+    def __init__(self, atom_id: int, attributes: AtomAttributes) -> None:
+        self.atom_id = atom_id
+        self.attributes = attributes
+        self._mapping = RangeSet()
+        self._state = AtomState.INACTIVE
+
+    # -- State ---------------------------------------------------------
+
+    @property
+    def state(self) -> AtomState:
+        """Current activation state."""
+        return self._state
+
+    @property
+    def is_active(self) -> bool:
+        """True while the system should honour this atom's attributes."""
+        return self._state is AtomState.ACTIVE
+
+    def activate(self) -> None:
+        """Mark the atom's attributes valid for its mapped data."""
+        self._state = AtomState.ACTIVE
+
+    def deactivate(self) -> None:
+        """Mark the atom's attributes invalid (mapping is retained)."""
+        self._state = AtomState.INACTIVE
+
+    # -- Mapping -------------------------------------------------------
+
+    def map_range(self, rng: AddressRange) -> None:
+        """Map a virtual-address range to this atom."""
+        self._mapping.add(rng)
+
+    def unmap_range(self, rng: AddressRange) -> None:
+        """Remove a virtual-address range from this atom's mapping."""
+        self._mapping.remove(rng)
+
+    def unmap_all(self) -> None:
+        """Drop the entire mapping (used when re-purposing an atom)."""
+        self._mapping = RangeSet()
+
+    def covers(self, vaddr: int) -> bool:
+        """True if ``vaddr`` is currently mapped to this atom."""
+        return vaddr in self._mapping
+
+    def iter_ranges(self) -> Iterator[AddressRange]:
+        """Iterate over the atom's mapped ranges (sorted, disjoint)."""
+        return iter(self._mapping)
+
+    @property
+    def mapping(self) -> RangeSet:
+        """The atom's mapped ranges (a live view; do not mutate)."""
+        return self._mapping
+
+    @property
+    def working_set_bytes(self) -> int:
+        """The working-set size the atom expresses (Section 3.3).
+
+        The paper infers the working set "from the size of data the atom
+        is mapped to"; it is therefore a property of the mapping, not a
+        stored attribute.
+        """
+        return self._mapping.total_bytes
+
+    # -- Convenience ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The atom's human-readable name (may be empty)."""
+        return self.attributes.name
+
+    @property
+    def reuse(self) -> int:
+        """The atom's 8-bit relative reuse value."""
+        return self.attributes.reuse
+
+    def __repr__(self) -> str:
+        return (
+            f"Atom(id={self.atom_id}, name={self.name!r}, "
+            f"state={self._state.value}, "
+            f"ws={self.working_set_bytes}B, ranges={len(self._mapping)})"
+        )
+
+
+def describe_atom(atom: Atom) -> str:
+    """Multi-line description of an atom, for debug dumps."""
+    lines = [repr(atom), f"  {atom.attributes.describe()}"]
+    for rng in atom.iter_ranges():
+        lines.append(f"  [{rng.start:#x}, {rng.end:#x}) {rng.size} bytes")
+    return "\n".join(lines)
+
+
+def resolve_overlap(
+    existing: Optional[int], incoming: int
+) -> int:
+    """Resolution rule when a VA chunk is mapped to a second atom.
+
+    The many-to-one invariant says any VA maps to *at most one* atom at a
+    time; the latest mapping wins (the program remaps data "to a
+    different atom that describes it better", Section 3.2).  Kept as a
+    named function so the policy is explicit and testable.
+    """
+    return incoming

@@ -1,0 +1,285 @@
+"""Atom attributes: the program semantics an atom conveys (Section 3.3).
+
+An atom carries three classes of attributes:
+
+1. **Data value properties** -- the type and properties of the values in
+   the data pool the atom is mapped to (``INT32``, ``SPARSE``,
+   ``POINTER``, ...).  Implemented as an extensible bit-set so new
+   properties can be added without changing the wire format.
+2. **Access properties** -- how the data is accessed: the access pattern
+   (:class:`PatternType` with an optional stride), read/write
+   characteristics (:class:`RWChar`), and an 8-bit relative access
+   intensity ("hotness").
+3. **Data locality** -- an 8-bit relative reuse value; the working-set
+   size is *inferred from the size of data the atom is mapped to* (the
+   paper, Section 3.3), so it is not stored here.
+
+Attributes are immutable once an atom is created (Section 3.2), which is
+why every class in this module is a frozen dataclass.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Optional
+
+from repro.core.errors import InvalidAttributeError
+
+#: Domain of the 8-bit relative quantities (reuse, access intensity).
+U8_MIN, U8_MAX = 0, 255
+
+
+class DataType(enum.Enum):
+    """Primitive data type of the values mapped to an atom.
+
+    Used, e.g., by compression (FP-specific vs. delta encoding) and by
+    approximation techniques (Table 1).
+    """
+
+    UNKNOWN = "unknown"
+    INT8 = "int8"
+    INT16 = "int16"
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+    CHAR8 = "char8"
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of one element of this type, in bytes (0 if unknown)."""
+        return _DATA_TYPE_SIZES[self]
+
+
+_DATA_TYPE_SIZES = {
+    DataType.UNKNOWN: 0,
+    DataType.INT8: 1,
+    DataType.INT16: 2,
+    DataType.INT32: 4,
+    DataType.INT64: 8,
+    DataType.FLOAT32: 4,
+    DataType.FLOAT64: 8,
+    DataType.CHAR8: 1,
+}
+
+
+class DataProperty(enum.Flag):
+    """Extensible bit-set of value properties (one bit per property).
+
+    The paper implements data-value properties "as an extensible list
+    using a single bit for each attribute"; :class:`enum.Flag` gives us
+    exactly that encoding.
+    """
+
+    NONE = 0
+    SPARSE = enum.auto()
+    APPROXIMABLE = enum.auto()
+    POINTER = enum.auto()
+    INDEX = enum.auto()
+    COMPRESSIBLE = enum.auto()
+    READ_MOSTLY = enum.auto()
+
+
+class PatternType(enum.Enum):
+    """Access-pattern classes defined by the paper (Section 3.3).
+
+    * ``REGULAR``  -- strided; the stride is carried alongside.
+    * ``IRREGULAR`` -- repeatable within the data range but with no fixed
+      stride (e.g., graph traversals over a fixed edge list).
+    * ``NON_DET`` -- no repeated pattern at all.
+    """
+
+    REGULAR = "regular"
+    IRREGULAR = "irregular"
+    NON_DET = "non_det"
+
+
+class RWChar(enum.Enum):
+    """Read/write characteristics of the data at a given time.
+
+    ``WRITE_HEAVY`` implements the extension the paper explicitly
+    anticipates ("it could also be extended to include varying degrees
+    of read-write intensity"): data that is written on a large fraction
+    of its accesses, which placement policies treat differently from
+    read-mostly data (a write-heavy stream's writeback traffic competes
+    with its own reads for banks).
+    """
+
+    READ_ONLY = "read_only"
+    READ_WRITE = "read_write"
+    WRITE_HEAVY = "write_heavy"
+    WRITE_ONLY = "write_only"
+
+
+def _check_u8(name: str, value: int) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise InvalidAttributeError(f"{name} must be an int, got {value!r}")
+    if not U8_MIN <= value <= U8_MAX:
+        raise InvalidAttributeError(
+            f"{name} must be in [{U8_MIN}, {U8_MAX}], got {value}"
+        )
+
+
+@dataclass(frozen=True)
+class DataValueProperties:
+    """Class-1 attributes: what the data *is*."""
+
+    data_type: DataType = DataType.UNKNOWN
+    properties: DataProperty = DataProperty.NONE
+
+    def has(self, prop: DataProperty) -> bool:
+        """Return True if ``prop`` is set on this atom's data."""
+        return bool(self.properties & prop)
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """The ``AccessPattern`` attribute: a pattern type plus stride.
+
+    ``stride_bytes`` is meaningful only for ``REGULAR`` patterns; it is
+    the distance, in bytes, between consecutive accesses.  A stride of 0
+    with a REGULAR pattern is rejected (it would express "no movement").
+    """
+
+    pattern: PatternType = PatternType.NON_DET
+    stride_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.pattern is PatternType.REGULAR:
+            if self.stride_bytes is None or self.stride_bytes == 0:
+                raise InvalidAttributeError(
+                    "REGULAR access pattern requires a non-zero stride"
+                )
+        elif self.stride_bytes is not None:
+            raise InvalidAttributeError(
+                f"stride is only meaningful for REGULAR patterns, "
+                f"got {self.pattern.value} with stride {self.stride_bytes}"
+            )
+
+    @property
+    def is_prefetchable(self) -> bool:
+        """Whether a simple engine can prefetch this pattern.
+
+        REGULAR patterns are directly prefetchable with a stride engine;
+        IRREGULAR patterns are prefetchable by replay/streaming over the
+        mapped range; NON_DET patterns are not prefetchable.
+        """
+        return self.pattern is not PatternType.NON_DET
+
+
+@dataclass(frozen=True)
+class AccessProperties:
+    """Class-2 attributes: how the data is *accessed*."""
+
+    pattern: AccessPattern = field(default_factory=AccessPattern)
+    rw: RWChar = RWChar.READ_WRITE
+    access_intensity: int = 0
+
+    def __post_init__(self) -> None:
+        _check_u8("access_intensity", self.access_intensity)
+
+
+@dataclass(frozen=True)
+class DataLocality:
+    """Class-3 attributes: locality semantics.
+
+    ``reuse`` is the paper's 8-bit relative reuse value: 0 means no
+    reuse; larger values mean more reuse *relative to other atoms*.  The
+    working-set size is derived from the atom's current mapping, not
+    stored here.
+    """
+
+    reuse: int = 0
+
+    def __post_init__(self) -> None:
+        _check_u8("reuse", self.reuse)
+
+
+@dataclass(frozen=True)
+class AtomAttributes:
+    """The full, immutable attribute record of one atom.
+
+    This is the unit summarized by the compiler into the atom segment,
+    loaded by the OS into the Global Attribute Table, and translated by
+    the hardware Attribute Translator into per-component primitives.
+    """
+
+    name: str = ""
+    data: DataValueProperties = field(default_factory=DataValueProperties)
+    access: AccessProperties = field(default_factory=AccessProperties)
+    locality: DataLocality = field(default_factory=DataLocality)
+
+    #: Storage footprint of one attribute record in the GAT; the paper's
+    #: overhead analysis (Section 4.4) budgets 19 bytes per atom.
+    ENCODED_SIZE_BYTES = 19
+
+    @property
+    def reuse(self) -> int:
+        """Shortcut for the locality reuse value."""
+        return self.locality.reuse
+
+    @property
+    def access_intensity(self) -> int:
+        """Shortcut for the access-intensity ranking."""
+        return self.access.access_intensity
+
+    @property
+    def pattern(self) -> AccessPattern:
+        """Shortcut for the access pattern."""
+        return self.access.pattern
+
+    def describe(self) -> str:
+        """One-line human-readable summary, for logs and reports."""
+        bits = [p.name for p in DataProperty if p is not DataProperty.NONE
+                and self.data.has(p)]
+        stride = (f" stride={self.access.pattern.stride_bytes}"
+                  if self.access.pattern.stride_bytes is not None else "")
+        return (
+            f"{self.name or '<anon>'}: {self.data.data_type.value}"
+            f"[{','.join(bits) or '-'}] "
+            f"{self.access.pattern.pattern.value}{stride} "
+            f"{self.access.rw.value} hot={self.access_intensity} "
+            f"reuse={self.reuse}"
+        )
+
+
+def make_attributes(
+    name: str = "",
+    *,
+    data_type: DataType = DataType.UNKNOWN,
+    properties: Iterable[DataProperty] = (),
+    pattern: PatternType = PatternType.NON_DET,
+    stride_bytes: Optional[int] = None,
+    rw: RWChar = RWChar.READ_WRITE,
+    access_intensity: int = 0,
+    reuse: int = 0,
+) -> AtomAttributes:
+    """Convenience constructor assembling an :class:`AtomAttributes`.
+
+    This is the flat keyword form used by :func:`repro.core.xmemlib.
+    XMemLib.create_atom`; it folds the three attribute classes into one
+    call the way the paper's ``CreateAtom`` does.
+    """
+    prop_bits = DataProperty.NONE
+    for prop in properties:
+        prop_bits |= prop
+    return AtomAttributes(
+        name=name,
+        data=DataValueProperties(data_type=data_type, properties=prop_bits),
+        access=AccessProperties(
+            pattern=AccessPattern(pattern=pattern, stride_bytes=stride_bytes),
+            rw=rw,
+            access_intensity=access_intensity,
+        ),
+        locality=DataLocality(reuse=reuse),
+    )
+
+
+#: The set of attribute names understood by version 1 of the atom-segment
+#: format (see :mod:`repro.core.segment`).  Kept as a frozenset so tests
+#: can assert forward compatibility (unknown attributes are ignored).
+V1_ATTRIBUTE_FIELDS: FrozenSet[str] = frozenset(
+    {"name", "data_type", "properties", "pattern", "stride_bytes", "rw",
+     "access_intensity", "reuse"}
+)

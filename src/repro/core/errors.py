@@ -1,0 +1,70 @@
+"""Exception hierarchy for the XMem system.
+
+All XMem errors derive from :class:`XMemError` so callers can catch the
+whole family with a single ``except`` clause.  The hierarchy mirrors the
+places where the paper's invariants (Section 3.2) can be violated:
+attribute immutability, the many-to-one VA-to-atom mapping, atom-ID
+capacity, and the operator state machine.
+"""
+
+from __future__ import annotations
+
+
+class XMemError(Exception):
+    """Base class for every error raised by the XMem system."""
+
+
+class AtomError(XMemError):
+    """Base class for errors concerning a specific atom."""
+
+
+class UnknownAtomError(AtomError):
+    """An operation referenced an atom ID that was never created."""
+
+    def __init__(self, atom_id: int) -> None:
+        super().__init__(f"unknown atom id {atom_id}")
+        self.atom_id = atom_id
+
+
+class AtomCapacityError(AtomError):
+    """The per-process atom-ID space (default 256 IDs) is exhausted."""
+
+
+class ImmutableAttributeError(AtomError):
+    """An attempt was made to mutate the attributes of a created atom.
+
+    Section 3.2: "While atoms are dynamically created, the attributes of
+    an atom cannot be changed once created."
+    """
+
+
+class MappingError(XMemError):
+    """Base class for errors in the VA/PA <-> atom mapping machinery."""
+
+
+class AddressRangeError(MappingError):
+    """A virtual-address range is malformed (negative size, overflow...)."""
+
+
+class InvalidAttributeError(XMemError):
+    """An attribute value is outside its defined domain.
+
+    For example, reuse and access-intensity are 8-bit quantities
+    (Section 3.3); values outside [0, 255] are rejected at creation.
+    """
+
+
+class TranslationError(XMemError):
+    """The MMU could not translate a virtual address (unmapped page)."""
+
+    def __init__(self, vaddr: int) -> None:
+        super().__init__(f"no translation for virtual address {vaddr:#x}")
+        self.vaddr = vaddr
+
+
+class AllocationError(XMemError):
+    """The OS could not satisfy a physical/virtual memory allocation."""
+
+
+class ConfigurationError(XMemError):
+    """A simulator component was configured with inconsistent parameters."""

@@ -1,0 +1,88 @@
+"""XMem ISA extension (Section 4.1.3).
+
+Two new instruction families let XMemLib talk to the hardware at run
+time:
+
+* ``ATOM_MAP`` / ``ATOM_UNMAP`` -- tell the Atom Management Unit (AMU)
+  to update the address ranges of an atom.  The mapping parameters
+  (base, sizes, row length for 2-D blocks) are conveyed through
+  AMU-specific registers; here they travel as fields of the instruction
+  object.
+* ``ATOM_ACTIVATE`` / ``ATOM_DEACTIVATE`` -- tell the AMU to flip the
+  atom's bit in the Atom Status Table.
+
+Instructions are plain frozen dataclasses: the trace engine counts them
+(for the Section 4.4 instruction-overhead experiment) and the AMU
+interprets them.  They deliberately carry *virtual* addresses -- the
+AMU asks the MMU for translations, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.ranges import AddressRange
+
+
+class AtomOpcode(enum.Enum):
+    """Opcodes of the XMem ISA extension."""
+
+    ATOM_MAP = "atom_map"
+    ATOM_UNMAP = "atom_unmap"
+    ATOM_ACTIVATE = "atom_activate"
+    ATOM_DEACTIVATE = "atom_deactivate"
+
+
+@dataclass(frozen=True)
+class AtomInstruction:
+    """Base class: one executed XMem instruction."""
+
+    opcode: AtomOpcode
+    atom_id: int
+
+
+@dataclass(frozen=True)
+class AtomMapInstruction(AtomInstruction):
+    """ATOM_MAP / ATOM_UNMAP with the VA ranges being (un)mapped.
+
+    Multi-dimensional XMemLib calls (``AtomMap2D``/``AtomMap3D``) are
+    linearized by the library into a tuple of 1-D VA ranges before the
+    instruction is issued; the AMU then broadcasts the higher-dimensional
+    geometry to components that want it (Section 4.2).
+    """
+
+    va_ranges: Tuple[AddressRange, ...] = field(default=())
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes covered by this (un)map operation."""
+        return sum(r.size for r in self.va_ranges)
+
+
+@dataclass(frozen=True)
+class AtomStatusInstruction(AtomInstruction):
+    """ATOM_ACTIVATE / ATOM_DEACTIVATE."""
+
+
+def atom_map(atom_id: int, va_ranges: Tuple[AddressRange, ...]
+             ) -> AtomMapInstruction:
+    """Build an ATOM_MAP instruction."""
+    return AtomMapInstruction(AtomOpcode.ATOM_MAP, atom_id, va_ranges)
+
+
+def atom_unmap(atom_id: int, va_ranges: Tuple[AddressRange, ...]
+               ) -> AtomMapInstruction:
+    """Build an ATOM_UNMAP instruction."""
+    return AtomMapInstruction(AtomOpcode.ATOM_UNMAP, atom_id, va_ranges)
+
+
+def atom_activate(atom_id: int) -> AtomStatusInstruction:
+    """Build an ATOM_ACTIVATE instruction."""
+    return AtomStatusInstruction(AtomOpcode.ATOM_ACTIVATE, atom_id)
+
+
+def atom_deactivate(atom_id: int) -> AtomStatusInstruction:
+    """Build an ATOM_DEACTIVATE instruction."""
+    return AtomStatusInstruction(AtomOpcode.ATOM_DEACTIVATE, atom_id)

@@ -1,0 +1,102 @@
+"""Overhead model reproducing the arithmetic of Section 4.4.
+
+Four overhead categories:
+
+1. **Memory storage** -- AAM, AST, GAT, PATs.  With the defaults the AAM
+   is 0.2% of physical memory (16 MB on an 8 GB system), the AST 32 B,
+   and the GAT a few KB.
+2. **Instructions** -- XMem ISA instructions executed relative to total
+   instructions; the paper measures 0.014% on average, at most 0.2%.
+3. **Hardware area** -- the AMU + Attribute Translator measure
+   0.144 mm^2 at 14 nm (CACTI 6.5), 0.03% of a Xeon E5-2698.  We carry
+   these as constants and expose the ratio computation.
+4. **Context switch** -- one extra register (~1 ns on a 3-5 us switch)
+   plus flushing the ALB and PATs (~700 ns).
+
+These numbers anchor ``benchmarks/test_sec44_overheads.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aam import AAMConfig
+from repro.core.attributes import AtomAttributes
+
+#: CACTI 6.5 @ 14 nm area of AMU + Attribute Translator (paper value).
+XMEM_HW_AREA_MM2 = 0.144
+#: Die area of the reference Xeon E5-2698 used for the ratio.
+XEON_E5_2698_AREA_MM2 = 480.0
+
+#: Context-switch costs from Section 4.4 (nanoseconds).
+EXTRA_REGISTER_SWITCH_NS = 1.0
+ALB_PAT_FLUSH_NS = 700.0
+TYPICAL_CONTEXT_SWITCH_NS = 4000.0
+
+
+@dataclass(frozen=True)
+class StorageOverheads:
+    """Byte counts of every XMem table for one configuration."""
+
+    aam_bytes: int
+    ast_bytes: int
+    gat_bytes: int
+    phys_memory_bytes: int
+
+    @property
+    def aam_fraction(self) -> float:
+        """AAM size as a fraction of physical memory (paper: 0.2%)."""
+        return self.aam_bytes / self.phys_memory_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """All table storage combined."""
+        return self.aam_bytes + self.ast_bytes + self.gat_bytes
+
+
+def storage_overheads(
+    phys_memory_bytes: int,
+    aam_config: AAMConfig = AAMConfig(),
+    max_atoms: int = 256,
+) -> StorageOverheads:
+    """Compute the Section 4.4(1) storage numbers for a configuration."""
+    ast_bytes = (max_atoms + 7) // 8
+    gat_bytes = max_atoms * AtomAttributes.ENCODED_SIZE_BYTES
+    return StorageOverheads(
+        aam_bytes=aam_config.storage_bytes(phys_memory_bytes),
+        ast_bytes=ast_bytes,
+        gat_bytes=gat_bytes,
+        phys_memory_bytes=phys_memory_bytes,
+    )
+
+
+def instruction_overhead(xmem_instructions: int,
+                         total_instructions: int) -> float:
+    """Fraction of dynamic instructions that are XMem operations.
+
+    The paper reports 0.014% average / 0.2% worst case across its
+    workloads; our instrumented Polybench runs land in the same band.
+    """
+    if total_instructions <= 0:
+        return 0.0
+    return xmem_instructions / total_instructions
+
+
+def hardware_area_fraction(
+    xmem_area_mm2: float = XMEM_HW_AREA_MM2,
+    cpu_area_mm2: float = XEON_E5_2698_AREA_MM2,
+) -> float:
+    """XMem hardware area relative to the CPU die (paper: 0.03%)."""
+    return xmem_area_mm2 / cpu_area_mm2
+
+
+def context_switch_overhead_fraction(
+    switch_ns: float = TYPICAL_CONTEXT_SWITCH_NS,
+) -> float:
+    """Added context-switch latency as a fraction of a typical switch.
+
+    One extra register save plus the ALB/PAT flush, over a 3-5 us
+    context switch: well under 20%.
+    """
+    added = EXTRA_REGISTER_SWITCH_NS + ALB_PAT_FLUSH_NS
+    return added / switch_ns

@@ -1,0 +1,216 @@
+"""Private Attribute Tables (PATs) and the Attribute Translator.
+
+Section 3.4 / 4.2: the high-level atom attributes in the GAT are "too
+complex and excessive for easy interpretation by components like the
+cache or prefetcher", so at program-load time (and after a context
+switch) a hardware *Attribute Translator* converts each atom's
+attributes into small, component-specific primitives, stored privately
+at each component in its PAT.
+
+This module defines the primitive records for the components evaluated
+in the paper (cache, prefetcher, memory controller/DRAM placement,
+compression engine) and the translator that produces them.  Adding a new
+component means adding a primitive record and a translation rule --
+nothing else in the system changes, which is the extensibility property
+the paper argues for (Challenge 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+from repro.core.attributes import (
+    AtomAttributes,
+    DataProperty,
+    DataType,
+    PatternType,
+    RWChar,
+)
+from repro.core.gat import GlobalAttributeTable
+
+T = TypeVar("T")
+
+
+# -- Per-component primitives ------------------------------------------
+
+
+@dataclass(frozen=True)
+class CachePrimitives:
+    """What a cache needs to know about an atom (Section 5).
+
+    ``reuse`` drives the greedy pinning algorithm; ``prefetchable`` plus
+    ``stride`` let the cache trigger prefetches on misses to pinned
+    atoms.
+    """
+
+    reuse: int
+    prefetchable: bool
+    stride_bytes: int
+
+
+@dataclass(frozen=True)
+class PrefetcherPrimitives:
+    """What a prefetcher needs: just the prefetchable pattern."""
+
+    pattern: PatternType
+    stride_bytes: int
+
+
+@dataclass(frozen=True)
+class DramPrimitives:
+    """What the memory controller / OS placement policy needs (Section 6).
+
+    ``high_rbl`` marks atoms whose accesses hit the same DRAM row
+    repeatedly (streaming/strided data); ``intensity`` ranks how hot the
+    atom is so bank isolation is only spent on data accessed often
+    enough to matter; ``write_heavy`` flags data whose writeback stream
+    would fight its own reads inside a small isolated bank set.
+    """
+
+    high_rbl: bool
+    irregular: bool
+    intensity: int
+    write_heavy: bool = False
+
+
+@dataclass(frozen=True)
+class CompressionPrimitives:
+    """What a memory-compression engine needs (Table 1, row 3)."""
+
+    data_type: DataType
+    sparse: bool
+    pointer: bool
+    approximable: bool
+
+
+#: Stride (bytes) below which a REGULAR pattern keeps visiting the same
+#: DRAM row and therefore exhibits high row-buffer locality.  A DDR3 row
+#: is 1-2 KB per chip and 8 KB per rank; any stride well under the row
+#: size qualifies.
+HIGH_RBL_MAX_STRIDE = 1024
+
+
+# -- Translation rules -------------------------------------------------
+
+
+def translate_for_cache(attrs: AtomAttributes) -> CachePrimitives:
+    """Reduce atom attributes to the cache's private primitives."""
+    pat = attrs.access.pattern
+    return CachePrimitives(
+        reuse=attrs.reuse,
+        prefetchable=pat.is_prefetchable,
+        stride_bytes=pat.stride_bytes or 0,
+    )
+
+
+def translate_for_prefetcher(attrs: AtomAttributes) -> PrefetcherPrimitives:
+    """Reduce atom attributes to the prefetcher's private primitives."""
+    pat = attrs.access.pattern
+    return PrefetcherPrimitives(
+        pattern=pat.pattern,
+        stride_bytes=pat.stride_bytes or 0,
+    )
+
+
+def translate_for_dram(attrs: AtomAttributes) -> DramPrimitives:
+    """Reduce atom attributes to the DRAM-placement primitives.
+
+    An atom has high row-buffer locality when its accesses are REGULAR
+    with a small stride (consecutive accesses land in the same row).
+    IRREGULAR and NON_DET atoms benefit from being spread across banks
+    for parallelism instead.
+    """
+    pat = attrs.access.pattern
+    high_rbl = (
+        pat.pattern is PatternType.REGULAR
+        and (pat.stride_bytes or 0) != 0
+        and abs(pat.stride_bytes or 0) <= HIGH_RBL_MAX_STRIDE
+    )
+    return DramPrimitives(
+        high_rbl=high_rbl,
+        irregular=pat.pattern is not PatternType.REGULAR,
+        intensity=attrs.access_intensity,
+        write_heavy=attrs.access.rw in (RWChar.WRITE_HEAVY,
+                                        RWChar.WRITE_ONLY),
+    )
+
+
+def translate_for_compression(attrs: AtomAttributes) -> CompressionPrimitives:
+    """Reduce atom attributes to the compression engine's primitives."""
+    return CompressionPrimitives(
+        data_type=attrs.data.data_type,
+        sparse=attrs.data.has(DataProperty.SPARSE),
+        pointer=attrs.data.has(DataProperty.POINTER),
+        approximable=attrs.data.has(DataProperty.APPROXIMABLE),
+    )
+
+
+class PrivateAttributeTable(Generic[T]):
+    """One component's private atom-ID -> primitives table.
+
+    Small and hardware-resident; flushed on context switch and refilled
+    by the Attribute Translator.
+    """
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+        self._entries: Dict[int, T] = {}
+
+    def install(self, atom_id: int, primitives: T) -> None:
+        """Store the translated primitives for one atom."""
+        self._entries[atom_id] = primitives
+
+    def lookup(self, atom_id: int) -> Optional[T]:
+        """Primitives for ``atom_id``, or None if not translated."""
+        return self._entries.get(atom_id)
+
+    def flush(self) -> None:
+        """Drop all entries (context switch)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[int, T]]:
+        return iter(sorted(self._entries.items()))
+
+
+class AttributeTranslator:
+    """The hardware runtime that fills every PAT from the GAT.
+
+    Invoked by the OS at program-load time and after context switches
+    (Section 3.4, "Private Attributes and Attribute Translation").
+    """
+
+    #: component name -> translation rule.
+    RULES = {
+        "cache": translate_for_cache,
+        "prefetcher": translate_for_prefetcher,
+        "dram": translate_for_dram,
+        "compression": translate_for_compression,
+    }
+
+    def __init__(self) -> None:
+        self.translations_performed = 0
+
+    def translate(self, gat: GlobalAttributeTable,
+                  pats: Dict[str, PrivateAttributeTable]) -> None:
+        """Flush and refill each PAT with primitives for every GAT atom.
+
+        Unknown component names raise ``KeyError`` eagerly, so a
+        misconfigured system fails at load time rather than silently
+        leaving a component without semantics.
+        """
+        for component, pat in pats.items():
+            rule = self.RULES[component]
+            pat.flush()
+            for atom_id, attrs in gat:
+                pat.install(atom_id, rule(attrs))
+                self.translations_performed += 1
+
+
+def make_standard_pats() -> Dict[str, PrivateAttributeTable]:
+    """The PAT set for the components this reproduction models."""
+    return {name: PrivateAttributeTable(name)
+            for name in AttributeTranslator.RULES}

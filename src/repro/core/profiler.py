@@ -1,0 +1,261 @@
+"""Dynamic profiling: inferring atom attributes from an access stream.
+
+Section 3.5.1 names three ways atoms get expressed: program annotation,
+static compiler analysis, or **dynamic profiling**.  This module is the
+profiling path: it watches a memory trace, builds per-region access
+profiles, and infers the atom attributes a programmer would have
+written -- pattern (with stride), read/write character, relative access
+intensity, and relative reuse.  ``instrument`` then creates, maps, and
+activates the inferred atoms through XMemLib.
+
+Regions are either supplied explicitly (e.g., the allocator's
+structure boundaries) or derived from fixed-size virtual regions.
+
+Classification heuristics:
+
+* **REGULAR**   -- one delta dominates the consecutive-access deltas;
+* **IRREGULAR** -- no dominant stride, but the visit sequence repeats
+  (the second pass over the region re-walks the first pass's order);
+* **NON_DET**   -- neither.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.attributes import (
+    AtomAttributes,
+    PatternType,
+    RWChar,
+    make_attributes,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.ranges import AddressRange
+
+#: Fraction of deltas one stride must own to classify as REGULAR.
+STRIDE_DOMINANCE = 0.6
+#: Length of the visit-order fingerprint used for IRREGULAR detection.
+FINGERPRINT_LEN = 64
+#: Fraction of post-warmup accesses that must re-walk the recorded
+#: visit order to call the region IRREGULAR (repeatable).  A region
+#: whose accesses are random re-syncs constantly but almost never
+#: *follows* the order, so its share stays near zero.
+REPEAT_THRESHOLD = 0.5
+#: Below this write share, data profiles as READ_ONLY.
+READ_ONLY_MAX_WRITE_SHARE = 0.02
+#: At and above this write share, data profiles as WRITE_HEAVY.
+WRITE_HEAVY_MIN_SHARE = 0.5
+
+LINE = 64
+
+
+@dataclass
+class RegionProfile:
+    """Raw per-region observation state."""
+
+    region: AddressRange
+    accesses: int = 0
+    writes: int = 0
+    last_addr: Optional[int] = None
+    deltas: Counter = field(default_factory=Counter)
+    unique_lines: set = field(default_factory=set)
+    #: First FINGERPRINT_LEN distinct-line visit order.
+    fingerprint: List[int] = field(default_factory=list)
+    #: Matches of later visits against the fingerprint.
+    replay_hits: int = 0
+    replay_total: int = 0
+    _replay_pos: int = 0
+    _fp_index: Dict[int, int] = field(default_factory=dict)
+
+    def observe(self, addr: int, is_write: bool) -> None:
+        """Record one access to this region."""
+        self.accesses += 1
+        if is_write:
+            self.writes += 1
+        if self.last_addr is not None:
+            delta = addr - self.last_addr
+            if delta:
+                self.deltas[delta] += 1
+        self.last_addr = addr
+        line = addr // LINE
+        self.unique_lines.add(line)
+        if len(self.fingerprint) < FINGERPRINT_LEN:
+            if not self.fingerprint or self.fingerprint[-1] != line:
+                self.fingerprint.append(line)
+                self._fp_index[line] = len(self.fingerprint) - 1
+        else:
+            # Compare later traffic against the recorded visit order:
+            # a hit means the access *follows* the order; a known line
+            # out of order merely re-synchronizes the cursor.
+            expected = self.fingerprint[self._replay_pos]
+            self.replay_total += 1
+            if line == expected:
+                self.replay_hits += 1
+                self._replay_pos = (self._replay_pos + 1) \
+                    % len(self.fingerprint)
+            else:
+                pos = self._fp_index.get(line)
+                if pos is not None:
+                    self._replay_pos = (pos + 1) % len(self.fingerprint)
+
+    # -- Derived quantities ------------------------------------------------
+
+    @property
+    def write_share(self) -> float:
+        """Fraction of accesses that write."""
+        return self.writes / self.accesses if self.accesses else 0.0
+
+    @property
+    def dominant_stride(self) -> Optional[int]:
+        """The stride owning >= STRIDE_DOMINANCE of deltas, if any."""
+        total = sum(self.deltas.values())
+        if not total:
+            return None
+        stride, count = self.deltas.most_common(1)[0]
+        return stride if count / total >= STRIDE_DOMINANCE else None
+
+    @property
+    def replay_share(self) -> float:
+        """How much of the later traffic re-walks the fingerprint."""
+        return self.replay_hits / self.replay_total \
+            if self.replay_total else 0.0
+
+    @property
+    def reuse_factor(self) -> float:
+        """Mean touches per distinct line."""
+        return self.accesses / len(self.unique_lines) \
+            if self.unique_lines else 0.0
+
+    def classify_pattern(self) -> Tuple[PatternType, Optional[int]]:
+        """(pattern, stride) per the module heuristics."""
+        stride = self.dominant_stride
+        if stride is not None:
+            return PatternType.REGULAR, stride
+        if self.replay_share >= REPEAT_THRESHOLD:
+            return PatternType.IRREGULAR, None
+        return PatternType.NON_DET, None
+
+    def classify_rw(self) -> RWChar:
+        """RWChar from the observed write share."""
+        share = self.write_share
+        if share <= READ_ONLY_MAX_WRITE_SHARE:
+            return RWChar.READ_ONLY
+        if share >= WRITE_HEAVY_MIN_SHARE:
+            return RWChar.WRITE_HEAVY
+        return RWChar.READ_WRITE
+
+
+class AccessProfiler:
+    """Observes a trace and infers per-region atom attributes."""
+
+    def __init__(self,
+                 regions: Optional[Iterable[Tuple[str, AddressRange]]]
+                 = None,
+                 region_bytes: int = 1 << 20) -> None:
+        if regions is None and region_bytes <= 0:
+            raise ConfigurationError("region_bytes must be positive")
+        self.region_bytes = region_bytes
+        self._named: List[Tuple[str, AddressRange, RegionProfile]] = []
+        if regions is not None:
+            for name, rng in regions:
+                self._named.append((name, rng, RegionProfile(rng)))
+        self._auto: Dict[int, RegionProfile] = {}
+
+    # -- Observation -----------------------------------------------------
+
+    def observe(self, addr: int, is_write: bool = False) -> None:
+        """Feed one access."""
+        for _name, rng, prof in self._named:
+            if addr in rng:
+                prof.observe(addr, is_write)
+                return
+        key = addr // self.region_bytes
+        prof = self._auto.get(key)
+        if prof is None:
+            base = key * self.region_bytes
+            prof = self._auto[key] = RegionProfile(
+                AddressRange.from_size(base, self.region_bytes)
+            )
+        prof.observe(addr, is_write)
+
+    def observe_trace(self, trace) -> int:
+        """Feed a whole trace of MemAccess events; returns count."""
+        from repro.cpu.trace import MemAccess
+        n = 0
+        for ev in trace:
+            if isinstance(ev, MemAccess):
+                self.observe(ev.vaddr, ev.is_write)
+                n += 1
+        return n
+
+    # -- Inference ----------------------------------------------------------
+
+    def profiles(self) -> List[Tuple[str, RegionProfile]]:
+        """All touched regions, named ones first."""
+        out = [(name, prof) for name, _rng, prof in self._named
+               if prof.accesses]
+        out.extend((f"region@{k * self.region_bytes:#x}", p)
+                   for k, p in sorted(self._auto.items())
+                   if p.accesses)
+        return out
+
+    def infer_attributes(self) -> Dict[str, AtomAttributes]:
+        """The inferred atom attributes, one per touched region.
+
+        Intensity and reuse are *relative* 8-bit quantities (Section
+        3.3), so they are scaled against the hottest / most-reused
+        region in this profile.
+        """
+        profs = self.profiles()
+        if not profs:
+            return {}
+        max_acc = max(p.accesses for _, p in profs)
+        max_reuse = max(p.reuse_factor for _, p in profs)
+        out = {}
+        for name, prof in profs:
+            pattern, stride = prof.classify_pattern()
+            reuse = 0
+            if max_reuse > 1.0 and prof.reuse_factor > 1.0:
+                reuse = round(255 * (prof.reuse_factor - 1.0)
+                              / (max_reuse - 1.0))
+            out[name] = make_attributes(
+                name,
+                pattern=pattern,
+                stride_bytes=stride,
+                rw=prof.classify_rw(),
+                access_intensity=max(
+                    1, round(255 * prof.accesses / max_acc)),
+                reuse=min(255, reuse),
+            )
+        return out
+
+    def instrument(self, lib) -> Dict[str, int]:
+        """Create, map, and activate atoms for every inferred region.
+
+        Returns region name -> atom id.  This is the full profiling
+        path of Figure 1: the application did not annotate anything;
+        the profile stands in for it.
+        """
+        attrs = self.infer_attributes()
+        spans = {name: rng for name, rng, _ in self._named}
+        for key in self._auto:
+            base = key * self.region_bytes
+            spans[f"region@{base:#x}"] = AddressRange.from_size(
+                base, self.region_bytes)
+        out = {}
+        for name, a in attrs.items():
+            atom_id = lib.create_atom(
+                name,
+                pattern=a.access.pattern.pattern,
+                stride_bytes=a.access.pattern.stride_bytes,
+                rw=a.access.rw,
+                access_intensity=a.access_intensity,
+                reuse=a.reuse,
+            )
+            rng = spans[name]
+            lib.atom_map(atom_id, rng.start, rng.size)
+            lib.atom_activate(atom_id)
+            out[name] = atom_id
+        return out

@@ -1,0 +1,159 @@
+"""Address-range arithmetic shared by the XMem mapping machinery.
+
+An :class:`AddressRange` is a half-open byte interval ``[start, end)``.
+Atoms map to *sets* of such ranges (possibly non-contiguous, Section
+3.2 "Flexible mapping to data"); :class:`RangeSet` maintains a
+normalized (sorted, coalesced) set with add/remove/query operations.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.core.errors import AddressRangeError
+
+
+@dataclass(frozen=True, order=True)
+class AddressRange:
+    """A half-open interval of byte addresses ``[start, end)``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise AddressRangeError(
+                f"invalid range [{self.start:#x}, {self.end:#x})"
+            )
+
+    @classmethod
+    def from_size(cls, start: int, size: int) -> "AddressRange":
+        """Build a range from a base address and byte size."""
+        if size < 0:
+            raise AddressRangeError(f"negative size {size}")
+        return cls(start, start + size)
+
+    @property
+    def size(self) -> int:
+        """Number of bytes covered by the range."""
+        return self.end - self.start
+
+    def __contains__(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        """True if the two ranges share at least one byte."""
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "AddressRange") -> "AddressRange":
+        """The overlapping sub-range (empty range at 0 if disjoint)."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo >= hi:
+            return AddressRange(0, 0)
+        return AddressRange(lo, hi)
+
+    def chunks(self, granularity: int) -> Iterator[int]:
+        """Yield the granularity-aligned chunk indices the range touches.
+
+        Used by the AAM, which tracks atom IDs per fixed-size chunk
+        (512 B by default).
+        """
+        if granularity <= 0:
+            raise AddressRangeError(f"granularity must be > 0: {granularity}")
+        if self.size == 0:
+            return
+        first = self.start // granularity
+        last = (self.end - 1) // granularity
+        yield from range(first, last + 1)
+
+
+class RangeSet:
+    """A normalized set of disjoint, sorted address ranges.
+
+    Adjacent and overlapping ranges are coalesced on insertion, so the
+    internal representation is canonical: equality of two RangeSets is
+    equality of the byte sets they cover.
+    """
+
+    def __init__(self, ranges: Iterable[AddressRange] = ()) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+        for rng in ranges:
+            self.add(rng)
+
+    def add(self, rng: AddressRange) -> None:
+        """Insert ``rng``, coalescing with neighbours."""
+        if rng.size == 0:
+            return
+        start, end = rng.start, rng.end
+        # Find the window of existing ranges that touch [start, end].
+        i = bisect.bisect_left(self._ends, start)
+        j = bisect.bisect_right(self._starts, end)
+        if i < j:
+            start = min(start, self._starts[i])
+            end = max(end, self._ends[j - 1])
+        self._starts[i:j] = [start]
+        self._ends[i:j] = [end]
+
+    def remove(self, rng: AddressRange) -> None:
+        """Remove the bytes of ``rng`` from the set (splitting as needed)."""
+        if rng.size == 0:
+            return
+        new_starts: List[int] = []
+        new_ends: List[int] = []
+        for s, e in zip(self._starts, self._ends):
+            if e <= rng.start or s >= rng.end:
+                new_starts.append(s)
+                new_ends.append(e)
+                continue
+            if s < rng.start:
+                new_starts.append(s)
+                new_ends.append(rng.start)
+            if e > rng.end:
+                new_starts.append(rng.end)
+                new_ends.append(e)
+        self._starts = new_starts
+        self._ends = new_ends
+
+    def __contains__(self, addr: int) -> bool:
+        i = bisect.bisect_right(self._starts, addr) - 1
+        return i >= 0 and addr < self._ends[i]
+
+    def __iter__(self) -> Iterator[AddressRange]:
+        for s, e in zip(self._starts, self._ends):
+            yield AddressRange(s, e)
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RangeSet):
+            return NotImplemented
+        return self._starts == other._starts and self._ends == other._ends
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"[{s:#x},{e:#x})" for s, e in
+                          zip(self._starts, self._ends))
+        return f"RangeSet({parts})"
+
+    @property
+    def total_bytes(self) -> int:
+        """Total number of bytes covered (the atom's working-set size)."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def spans(self) -> List[Tuple[int, int]]:
+        """The (start, end) pairs as plain tuples (for serialization)."""
+        return list(zip(self._starts, self._ends))
+
+    def copy(self) -> "RangeSet":
+        """A deep copy of this range set."""
+        out = RangeSet()
+        out._starts = list(self._starts)
+        out._ends = list(self._ends)
+        return out

@@ -1,0 +1,127 @@
+"""The atom segment: compile-time summarization of atoms (Section 3.5.2).
+
+At compile time, the compiler walks the program's ``CreateAtom`` calls,
+assigns consecutive atom IDs, and emits a table of (atom ID ->
+attributes) into a dedicated *atom segment* of the object file.  The
+segment carries a **version identifier** so the attribute format can
+evolve across architecture generations: newer loaders interpret newer
+fields, older XMem systems skip unknown formats entirely, and unknown
+*fields* inside a known format are ignored (forward compatibility).
+
+At load time the OS reads the segment and fills the process's Global
+Attribute Table (:mod:`repro.core.gat`).
+
+We serialize to a plain dict-of-dicts (JSON-shaped) rather than packed
+bytes; the compatibility and versioning *behaviour* is what the paper
+specifies, and that is fully exercised here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.core.attributes import (
+    AtomAttributes,
+    DataProperty,
+    DataType,
+    PatternType,
+    RWChar,
+    V1_ATTRIBUTE_FIELDS,
+    make_attributes,
+)
+from repro.core.errors import XMemError
+from repro.core.gat import GlobalAttributeTable
+
+#: The format version this implementation emits.
+CURRENT_VERSION = 1
+
+#: Versions this implementation knows how to interpret.
+SUPPORTED_VERSIONS = frozenset({1})
+
+
+class SegmentFormatError(XMemError):
+    """The atom segment is malformed (not merely unknown-version)."""
+
+
+@dataclass
+class AtomSegment:
+    """The serialized atom table embedded in a program binary."""
+
+    version: int = CURRENT_VERSION
+    entries: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def atom_count(self) -> int:
+        """Number of atoms summarized in the segment."""
+        return len(self.entries)
+
+
+def encode_attributes(attrs: AtomAttributes) -> Dict[str, Any]:
+    """Serialize one attribute record into the v1 segment encoding."""
+    return {
+        "name": attrs.name,
+        "data_type": attrs.data.data_type.value,
+        "properties": [p.name for p in DataProperty
+                       if p is not DataProperty.NONE and attrs.data.has(p)],
+        "pattern": attrs.access.pattern.pattern.value,
+        "stride_bytes": attrs.access.pattern.stride_bytes,
+        "rw": attrs.access.rw.value,
+        "access_intensity": attrs.access.access_intensity,
+        "reuse": attrs.reuse,
+    }
+
+
+def decode_attributes(entry: Dict[str, Any]) -> AtomAttributes:
+    """Deserialize one v1 entry, ignoring unknown fields.
+
+    Unknown fields are silently skipped -- that is the forward-
+    compatibility rule -- but known fields with bad values raise
+    :class:`SegmentFormatError` because they indicate corruption, not a
+    newer format.
+    """
+    known = {k: v for k, v in entry.items() if k in V1_ATTRIBUTE_FIELDS}
+    try:
+        return make_attributes(
+            name=known.get("name", ""),
+            data_type=DataType(known.get("data_type", "unknown")),
+            properties=[DataProperty[p] for p in known.get("properties", [])],
+            pattern=PatternType(known.get("pattern", "non_det")),
+            stride_bytes=known.get("stride_bytes"),
+            rw=RWChar(known.get("rw", "read_write")),
+            access_intensity=known.get("access_intensity", 0),
+            reuse=known.get("reuse", 0),
+        )
+    except (KeyError, ValueError, XMemError) as exc:
+        raise SegmentFormatError(f"bad segment entry {entry!r}: {exc}") from exc
+
+
+def summarize(atoms: List[Tuple[int, AtomAttributes]]) -> AtomSegment:
+    """The compiler pass: summarize created atoms into a segment.
+
+    ``atoms`` must be (atom_id, attributes) with consecutive IDs from 0,
+    because the AST and GAT index by ID.
+    """
+    expected = list(range(len(atoms)))
+    if [a for a, _ in atoms] != expected:
+        raise SegmentFormatError(
+            f"atom ids must be consecutive from 0, got {[a for a, _ in atoms]}"
+        )
+    return AtomSegment(
+        version=CURRENT_VERSION,
+        entries=[encode_attributes(attrs) for _, attrs in atoms],
+    )
+
+
+def load_segment(segment: AtomSegment, gat: GlobalAttributeTable) -> int:
+    """The OS loader: fill the GAT from a binary's atom segment.
+
+    Returns the number of atoms loaded.  An unknown segment version is
+    *ignored* (returns 0): "older XMem architectures can simply ignore
+    unknown formats" -- the program still runs, just without hints.
+    """
+    if segment.version not in SUPPORTED_VERSIONS:
+        return 0
+    for atom_id, entry in enumerate(segment.entries):
+        gat.install(atom_id, decode_attributes(entry))
+    return segment.atom_count

@@ -1,0 +1,305 @@
+"""XMemLib: the application-facing library (Sections 3.5.1, 4.1.1).
+
+``XMemLib`` exposes the three operator families of Table 2:
+
+* ``create_atom``       -- CREATE: returns an atom ID; repeated calls
+  with identical attributes (the same static call site) return the same
+  ID without re-creating the atom.
+* ``atom_map`` / ``atom_unmap`` (and the 2-D/3-D variants) -- MAP/UNMAP:
+  issue ``ATOM_MAP``/``ATOM_UNMAP`` instructions to the AMU, which
+  translates the VA ranges through the MMU and updates the AAM.
+* ``atom_activate`` / ``atom_deactivate`` -- ACTIVATE/DEACTIVATE: issue
+  status instructions that flip the AST bit.
+
+The library is bound to one :class:`XMemProcess`, the per-process view
+of the whole XMem system (GAT + AMU + PATs + the software atom
+registry).  Everything is hint-based: no call here can raise on account
+of program data being absent, and dropping every call leaves program
+functionality unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.aam import AAMConfig
+from repro.core.amu import AtomManagementUnit, TranslateFn
+from repro.core.atom import MAX_ATOMS_PER_PROCESS, Atom
+from repro.core.attributes import (
+    AtomAttributes,
+    DataProperty,
+    DataType,
+    PatternType,
+    RWChar,
+    make_attributes,
+)
+from repro.core.errors import AtomCapacityError, UnknownAtomError
+from repro.core.gat import GlobalAttributeTable
+from repro.core.isa import (
+    atom_activate,
+    atom_deactivate,
+    atom_map,
+    atom_unmap,
+)
+from repro.core.pat import (
+    AttributeTranslator,
+    PrivateAttributeTable,
+    make_standard_pats,
+)
+from repro.core.ranges import AddressRange
+from repro.core.segment import AtomSegment, summarize
+
+
+@dataclass
+class XMemProcess:
+    """Per-process XMem state: registry, GAT, AMU, PATs, translator."""
+
+    aam_config: Optional[AAMConfig] = None
+    max_atoms: int = MAX_ATOMS_PER_PROCESS
+    alb_entries: int = 256
+    translate: Optional[TranslateFn] = None
+
+    atoms: Dict[int, Atom] = field(default_factory=dict, init=False)
+    gat: GlobalAttributeTable = field(init=False)
+    amu: AtomManagementUnit = field(init=False)
+    pats: Dict[str, PrivateAttributeTable] = field(init=False)
+    translator: AttributeTranslator = field(
+        default_factory=AttributeTranslator, init=False
+    )
+
+    def __post_init__(self) -> None:
+        self.gat = GlobalAttributeTable(self.max_atoms)
+        self.amu = AtomManagementUnit(
+            aam_config=self.aam_config,
+            max_atoms=self.max_atoms,
+            alb_entries=self.alb_entries,
+            translate=self.translate,
+        )
+        self.pats = make_standard_pats()
+
+    def retranslate(self) -> None:
+        """Refill every PAT from the GAT (program load / context switch)."""
+        self.translator.translate(self.gat, self.pats)
+
+    def atom_for_paddr(self, paddr: int) -> Optional[Atom]:
+        """The active atom describing a physical address, if any.
+
+        This is the query interface architectural components use
+        (Figure 1, arrow 4): ALB/AAM lookup plus AST check, then the
+        software-side Atom object for its attributes and mapping.
+        """
+        atom_id = self.amu.lookup(paddr)
+        if atom_id is None:
+            return None
+        return self.atoms.get(atom_id)
+
+    def active_atoms(self) -> List[Atom]:
+        """All currently active atoms, in ID order."""
+        return [self.atoms[i] for i in self.amu.ast.active_ids()
+                if i in self.atoms]
+
+
+class XMemLib:
+    """The Table 2 function-call interface, bound to one process."""
+
+    def __init__(self, process: Optional[XMemProcess] = None) -> None:
+        self.process = process or XMemProcess()
+        self._create_sites: Dict[AtomAttributes, int] = {}
+        self._next_id = 0
+        #: Callbacks fired after any MAP/UNMAP/ACTIVATE/DEACTIVATE --
+        #: how hardware controllers (e.g., the Use-Case-1 cache policy)
+        #: learn that the active-atom list changed.
+        self.listeners: List[callable] = []
+
+    def _notify(self) -> None:
+        for listener in self.listeners:
+            listener()
+
+    # -- CREATE ----------------------------------------------------------
+
+    def create_atom(
+        self,
+        name: str = "",
+        *,
+        data_type: DataType = DataType.UNKNOWN,
+        properties: Tuple[DataProperty, ...] = (),
+        pattern: PatternType = PatternType.NON_DET,
+        stride_bytes: Optional[int] = None,
+        rw: RWChar = RWChar.READ_WRITE,
+        access_intensity: int = 0,
+        reuse: int = 0,
+    ) -> int:
+        """CREATE: make an atom with immutable attributes, return its ID.
+
+        Repeated calls with identical attributes model repeated
+        execution of the same static ``CreateAtom`` call site (e.g.,
+        inside a loop) and return the existing ID without creating a
+        new atom.
+        """
+        attrs = make_attributes(
+            name=name,
+            data_type=data_type,
+            properties=properties,
+            pattern=pattern,
+            stride_bytes=stride_bytes,
+            rw=rw,
+            access_intensity=access_intensity,
+            reuse=reuse,
+        )
+        existing = self._create_sites.get(attrs)
+        if existing is not None:
+            return existing
+        if self._next_id >= self.process.max_atoms:
+            raise AtomCapacityError(
+                f"process atom budget ({self.process.max_atoms}) exhausted"
+            )
+        atom_id = self._next_id
+        self._next_id += 1
+        self.process.atoms[atom_id] = Atom(atom_id, attrs)
+        self.process.gat.install(atom_id, attrs)
+        self._create_sites[attrs] = atom_id
+        return atom_id
+
+    def _atom(self, atom_id: int) -> Atom:
+        try:
+            return self.process.atoms[atom_id]
+        except KeyError:
+            raise UnknownAtomError(atom_id) from None
+
+    # -- MAP / UNMAP -----------------------------------------------------
+
+    def atom_map(self, atom_id: int, start: int, size: int) -> None:
+        """MAP a 1-D VA range [start, start+size) to the atom."""
+        self._map_ranges(atom_id, (AddressRange.from_size(start, size),),
+                         unmap=False)
+
+    def atom_unmap(self, atom_id: int, start: int, size: int) -> None:
+        """UNMAP a 1-D VA range from the atom."""
+        self._map_ranges(atom_id, (AddressRange.from_size(start, size),),
+                         unmap=True)
+
+    def atom_map_2d(self, atom_id: int, start: int, size_x: int,
+                    size_y: int, len_x: int) -> None:
+        """MAP a 2-D block: ``size_y`` rows of ``size_x`` bytes, in a
+        structure whose full row is ``len_x`` bytes (Table 2 AtomMap2D).
+        """
+        self._map_ranges(atom_id,
+                         _block_2d(start, size_x, size_y, len_x),
+                         unmap=False)
+
+    def atom_unmap_2d(self, atom_id: int, start: int, size_x: int,
+                      size_y: int, len_x: int) -> None:
+        """UNMAP a 2-D block (inverse of :meth:`atom_map_2d`)."""
+        self._map_ranges(atom_id,
+                         _block_2d(start, size_x, size_y, len_x),
+                         unmap=True)
+
+    def atom_map_3d(self, atom_id: int, start: int, size_x: int,
+                    size_y: int, size_z: int, len_x: int,
+                    len_y: int) -> None:
+        """MAP a 3-D block of ``size_z`` planes of 2-D blocks.
+
+        ``len_x`` is the row length and ``len_y`` the number of rows per
+        plane of the enclosing structure, both in bytes/rows.
+        """
+        self._map_ranges(
+            atom_id,
+            _block_3d(start, size_x, size_y, size_z, len_x, len_y),
+            unmap=False,
+        )
+
+    def atom_unmap_3d(self, atom_id: int, start: int, size_x: int,
+                      size_y: int, size_z: int, len_x: int,
+                      len_y: int) -> None:
+        """UNMAP a 3-D block (inverse of :meth:`atom_map_3d`)."""
+        self._map_ranges(
+            atom_id,
+            _block_3d(start, size_x, size_y, size_z, len_x, len_y),
+            unmap=True,
+        )
+
+    def _map_ranges(self, atom_id: int,
+                    ranges: Tuple[AddressRange, ...], *,
+                    unmap: bool) -> None:
+        atom = self._atom(atom_id)
+        if unmap:
+            for rng in ranges:
+                atom.unmap_range(rng)
+            self.process.amu.execute(atom_unmap(atom_id, ranges))
+        else:
+            for rng in ranges:
+                atom.map_range(rng)
+            self.process.amu.execute(atom_map(atom_id, ranges))
+        self._notify()
+
+    def atom_remap(self, atom_id: int, start: int, size: int) -> None:
+        """Convenience: drop the atom's whole mapping, then map a new
+        1-D range.  This is the per-tile idiom of Section 5.2 ("when the
+        program is done with one partition, it unmaps the current
+        partition and maps the next partition to the same atom").
+        """
+        atom = self._atom(atom_id)
+        old = tuple(atom.iter_ranges())
+        if old:
+            self._map_ranges(atom_id, old, unmap=True)
+        self.atom_map(atom_id, start, size)
+
+    def atom_remap_2d(self, atom_id: int, start: int, size_x: int,
+                      size_y: int, len_x: int) -> None:
+        """Drop the atom's mapping, then map a 2-D block (tile slide)."""
+        atom = self._atom(atom_id)
+        old = tuple(atom.iter_ranges())
+        if old:
+            self._map_ranges(atom_id, old, unmap=True)
+        self.atom_map_2d(atom_id, start, size_x, size_y, len_x)
+
+    # -- ACTIVATE / DEACTIVATE --------------------------------------------
+
+    def atom_activate(self, atom_id: int) -> None:
+        """ACTIVATE: the atom's attributes become valid for its data."""
+        self._atom(atom_id).activate()
+        self.process.amu.execute(atom_activate(atom_id))
+        self._notify()
+
+    def atom_deactivate(self, atom_id: int) -> None:
+        """DEACTIVATE: the atom's attributes stop applying."""
+        self._atom(atom_id).deactivate()
+        self.process.amu.execute(atom_deactivate(atom_id))
+        self._notify()
+
+    # -- Compile/load-time glue -------------------------------------------
+
+    def compile_segment(self) -> AtomSegment:
+        """The compiler pass: summarize all created atoms (Section 3.5.2)."""
+        pairs = sorted(
+            (atom_id, atom.attributes)
+            for atom_id, atom in self.process.atoms.items()
+        )
+        return summarize(pairs)
+
+    @property
+    def xmem_instruction_count(self) -> int:
+        """XMem ISA instructions this process has executed so far."""
+        return self.process.amu.stats.xmem_instructions
+
+
+def _block_2d(start: int, size_x: int, size_y: int, len_x: int
+              ) -> Tuple[AddressRange, ...]:
+    """Linearize a 2-D block into per-row 1-D VA ranges."""
+    return tuple(
+        AddressRange.from_size(start + row * len_x, size_x)
+        for row in range(size_y)
+    )
+
+
+def _block_3d(start: int, size_x: int, size_y: int, size_z: int,
+              len_x: int, len_y: int) -> Tuple[AddressRange, ...]:
+    """Linearize a 3-D block into per-row 1-D VA ranges."""
+    plane_bytes = len_x * len_y
+    ranges: List[AddressRange] = []
+    for plane in range(size_z):
+        ranges.extend(
+            _block_2d(start + plane * plane_bytes, size_x, size_y, len_x)
+        )
+    return tuple(ranges)

@@ -1,0 +1,24 @@
+"""Execution substrate: trace events and the timing engine."""
+
+from repro.cpu.engine import EngineStats, TraceEngine
+from repro.cpu.trace import (
+    MemAccess,
+    Trace,
+    TraceEvent,
+    Work,
+    XMemOp,
+    count_events,
+    strip_xmem,
+)
+
+__all__ = [
+    "EngineStats",
+    "MemAccess",
+    "Trace",
+    "TraceEngine",
+    "TraceEvent",
+    "Work",
+    "XMemOp",
+    "count_events",
+    "strip_xmem",
+]

@@ -1,0 +1,110 @@
+"""Trace events: the execution substrate's instruction stream.
+
+Workloads are generators of trace events; the engine interprets them.
+Three event kinds:
+
+* :class:`MemAccess` -- one memory instruction, optionally preceded by
+  ``work`` non-memory instructions (so line-granular trace generation
+  can account for the arithmetic it elides).
+* :class:`Work` -- a block of non-memory instructions.
+* :class:`XMemOp` -- one XMemLib call, executed against the bound
+  library *at its position in the stream*, so atom mappings and
+  activations take effect exactly when the program would issue them.
+  The call is stored by name + arguments, keeping traces serializable.
+
+Events use ``__slots__``: traces run to millions of events.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple, Union
+
+
+class MemAccess:
+    """One memory reference (plus optional preceding ALU work)."""
+
+    __slots__ = ("vaddr", "is_write", "work")
+
+    def __init__(self, vaddr: int, is_write: bool = False,
+                 work: int = 0) -> None:
+        self.vaddr = vaddr
+        self.is_write = is_write
+        self.work = work
+
+    def __repr__(self) -> str:
+        kind = "W" if self.is_write else "R"
+        return f"MemAccess({kind} {self.vaddr:#x}, work={self.work})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, MemAccess)
+                and (self.vaddr, self.is_write, self.work)
+                == (other.vaddr, other.is_write, other.work))
+
+
+class Work:
+    """``count`` non-memory instructions."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"Work({self.count})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Work) and self.count == other.count
+
+
+class XMemOp:
+    """One XMemLib call embedded in the instruction stream.
+
+    ``method`` names an :class:`repro.core.xmemlib.XMemLib` method
+    (e.g., ``"atom_map"``); ``args`` are its positional arguments.
+    Engines without a bound XMemLib skip these events entirely -- the
+    baseline system running an XMem-instrumented binary.
+    """
+
+    __slots__ = ("method", "args")
+
+    def __init__(self, method: str, *args) -> None:
+        self.method = method
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"XMemOp({self.method}{self.args})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, XMemOp)
+                and (self.method, self.args) == (other.method, other.args))
+
+
+TraceEvent = Union[MemAccess, Work, XMemOp]
+Trace = Iterable[TraceEvent]
+
+
+def count_events(trace: Trace) -> Tuple[int, int, int]:
+    """(memory, work-instr, xmem-op) counts -- consumes the trace."""
+    mem = work = xmem = 0
+    for ev in trace:
+        if isinstance(ev, MemAccess):
+            mem += 1
+            work += ev.work
+        elif isinstance(ev, Work):
+            work += ev.count
+        elif isinstance(ev, XMemOp):
+            xmem += 1
+        else:
+            raise TypeError(f"not a trace event: {ev!r}")
+    return mem, work, xmem
+
+
+def strip_xmem(trace: Trace) -> Iterator[TraceEvent]:
+    """Drop XMem operations from a trace (build a plain baseline run).
+
+    Because XMem is hint-only, the remaining stream is exactly the
+    program the baseline system executes.
+    """
+    for ev in trace:
+        if not isinstance(ev, XMemOp):
+            yield ev

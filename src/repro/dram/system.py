@@ -1,0 +1,151 @@
+"""The DRAM system: banks + channels + timing + address mapping.
+
+A trace-driven, cycle-approximate model.  Each access:
+
+1. decomposes the physical address through the configured mapping
+   scheme (:mod:`repro.dram.mapping`);
+2. waits for its bank (serialization within a bank = limited MLP);
+3. pays the row-buffer outcome latency (hit / closed / conflict);
+4. waits for, then occupies, the channel data bus for one burst
+   (serialization on the bus = finite bandwidth).
+
+The same model serves reads and writes; read latency is what sits on
+the critical path (Section 6.4), so reads and writes are accounted
+separately for the Figure 8 experiment.
+
+``perfect_rbl=True`` builds the paper's *Ideal* comparison point: every
+access behaves as a row hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.bank import Bank, RowOutcome
+from repro.dram.mapping import (
+    AddressMapping,
+    DramAddress,
+    DramGeometry,
+    make_mapping,
+)
+from repro.dram.timing import DramTiming, ddr3_1066
+
+
+@dataclass
+class DramStats:
+    """System-wide counters and latency accumulators."""
+
+    reads: int = 0
+    writes: int = 0
+    read_latency_sum: float = 0.0
+    write_latency_sum: float = 0.0
+    row_hits: int = 0
+    row_closed: int = 0
+    row_conflicts: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total requests serviced."""
+        return self.reads + self.writes
+
+    @property
+    def avg_read_latency(self) -> float:
+        """Mean read latency in CPU cycles (the Figure 8 metric)."""
+        return self.read_latency_sum / self.reads if self.reads else 0.0
+
+    @property
+    def avg_write_latency(self) -> float:
+        """Mean write latency in CPU cycles."""
+        return self.write_latency_sum / self.writes if self.writes else 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        """System row-buffer hit rate (RBL)."""
+        total = self.row_hits + self.row_closed + self.row_conflicts
+        return self.row_hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class DramResult:
+    """Outcome of one DRAM access."""
+
+    latency: float
+    completes_at: float
+    outcome: RowOutcome
+    address: DramAddress
+
+
+class DramSystem:
+    """Banks, channels, and the access path."""
+
+    def __init__(
+        self,
+        geometry: Optional[DramGeometry] = None,
+        timing: Optional[DramTiming] = None,
+        mapping: str = "scheme2",
+        perfect_rbl: bool = False,
+    ) -> None:
+        self.geometry = geometry or DramGeometry()
+        self.timing = timing or ddr3_1066()
+        self.mapping: AddressMapping = make_mapping(mapping, self.geometry)
+        self.perfect_rbl = perfect_rbl
+        self._banks: Dict[Tuple[int, int, int], Bank] = {}
+        self._channel_free: List[float] = [0.0] * self.geometry.channels
+        self.stats = DramStats()
+
+    def bank(self, key: Tuple[int, int, int]) -> Bank:
+        """The bank object for a (channel, rank, bank) triple."""
+        b = self._banks.get(key)
+        if b is None:
+            b = self._banks[key] = Bank()
+        return b
+
+    def access(self, paddr: int, now: float,
+               is_write: bool = False) -> DramResult:
+        """Service one request arriving at time ``now``."""
+        addr = self.mapping.decompose(paddr)
+        bank = self.bank(addr.bank_key)
+        start = max(now, bank.busy_until)
+        outcome = (RowOutcome.HIT if self.perfect_rbl
+                   else bank.classify(addr.row))
+        data_ready = bank.access(addr.row, start, self.timing,
+                                 force_hit=self.perfect_rbl)
+        burst_start = max(data_ready, self._channel_free[addr.channel])
+        done = burst_start + self.timing.t_burst
+        self._channel_free[addr.channel] = done
+        latency = done - now
+        self._record(outcome, latency, is_write)
+        return DramResult(latency=latency, completes_at=done,
+                          outcome=outcome, address=addr)
+
+    def _record(self, outcome: RowOutcome, latency: float,
+                is_write: bool) -> None:
+        if outcome is RowOutcome.HIT:
+            self.stats.row_hits += 1
+        elif outcome is RowOutcome.CLOSED:
+            self.stats.row_closed += 1
+        else:
+            self.stats.row_conflicts += 1
+        if is_write:
+            self.stats.writes += 1
+            self.stats.write_latency_sum += latency
+        else:
+            self.stats.reads += 1
+            self.stats.read_latency_sum += latency
+
+    # -- Introspection ------------------------------------------------------
+
+    def bank_row_hit_rates(self) -> Dict[Tuple[int, int, int], float]:
+        """Per-bank RBL, for placement diagnostics."""
+        return {key: b.stats.row_hit_rate for key, b in self._banks.items()}
+
+    def banks_touched(self) -> int:
+        """Number of banks that serviced at least one request (MLP)."""
+        return sum(1 for b in self._banks.values() if b.stats.accesses)
+
+    def reset_time(self) -> None:
+        """Zero the busy horizons (new measurement interval)."""
+        for b in self._banks.values():
+            b.busy_until = 0.0
+        self._channel_free = [0.0] * self.geometry.channels

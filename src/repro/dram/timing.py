@@ -1,0 +1,81 @@
+"""DDR3 timing parameters.
+
+The paper simulates DDR3-1066 (Table 3).  We carry the first-order
+timing constraints that determine row-buffer-locality and bandwidth
+behaviour -- tCL, tRCD, tRP, tBURST -- converted into CPU cycles so the
+whole simulator runs on one clock.
+
+A row-buffer access costs:
+
+* **row hit**      tCL + tBURST
+* **row closed**   tRCD + tCL + tBURST
+* **row conflict** tRP + tRCD + tCL + tBURST
+
+plus any queueing behind the bank and the channel data bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing of one DRAM configuration, in CPU cycles (floats)."""
+
+    #: Column access strobe latency (ACT->data for an open row).
+    t_cl: float
+    #: RAS-to-CAS delay (row activation).
+    t_rcd: float
+    #: Row precharge.
+    t_rp: float
+    #: Data-burst occupancy of the channel bus per 64 B line.
+    t_burst: float
+
+    def __post_init__(self) -> None:
+        for name in ("t_cl", "t_rcd", "t_rp", "t_burst"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @property
+    def row_hit_latency(self) -> float:
+        """Access latency when the requested row is already open."""
+        return self.t_cl + self.t_burst
+
+    @property
+    def row_closed_latency(self) -> float:
+        """Access latency when the bank has no row open."""
+        return self.t_rcd + self.t_cl + self.t_burst
+
+    @property
+    def row_conflict_latency(self) -> float:
+        """Access latency when a different row must be closed first."""
+        return self.t_rp + self.t_rcd + self.t_cl + self.t_burst
+
+    def scaled_bandwidth(self, factor: float) -> "DramTiming":
+        """A copy with the channel bandwidth scaled by ``factor``.
+
+        Halving the available bandwidth doubles the bus occupancy of
+        each burst; latency components are unchanged.  Used for the
+        Figure 6 bandwidth sweep (2 / 1 / 0.5 GB/s per core).
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"bandwidth factor must be > 0: {factor}")
+        return replace(self, t_burst=self.t_burst / factor)
+
+
+def ddr3_1066(cpu_ghz: float = 3.6) -> DramTiming:
+    """DDR3-1066 CL7 timing, converted to cycles of a ``cpu_ghz`` core.
+
+    tCK = 1.875 ns; tCL = tRCD = tRP = 7 x tCK = 13.125 ns;
+    tBURST = 4 x tCK (BL8, double data rate) = 7.5 ns.
+    """
+    ns = cpu_ghz  # 1 ns = cpu_ghz cycles
+    return DramTiming(
+        t_cl=13.125 * ns,
+        t_rcd=13.125 * ns,
+        t_rp=13.125 * ns,
+        t_burst=7.5 * ns,
+    )

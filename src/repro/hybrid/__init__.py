@@ -1,0 +1,33 @@
+"""Hybrid DRAM + NVM memory substrate and atom-guided placement.
+
+Implements Table 1 row 8 ("Data placement: hybrid memories") as a
+complete subsystem: an NVM device model with asymmetric read/write
+timing, a two-tier memory system routed by physical address, and the
+benefit-density placement policy that consumes atom semantics.
+"""
+
+from repro.hybrid.nvm import NvmDevice, NvmStats, NvmTiming, pcm_like
+from repro.hybrid.placement import (
+    HybridCandidate,
+    HybridPlacement,
+    WRITE_PENALTY_WEIGHT,
+    first_touch_placement,
+    layout_addresses,
+    plan_hybrid_placement,
+)
+from repro.hybrid.system import HybridMemorySystem, HybridStats
+
+__all__ = [
+    "HybridCandidate",
+    "HybridMemorySystem",
+    "HybridPlacement",
+    "HybridStats",
+    "NvmDevice",
+    "NvmStats",
+    "NvmTiming",
+    "WRITE_PENALTY_WEIGHT",
+    "first_touch_placement",
+    "layout_addresses",
+    "pcm_like",
+    "plan_hybrid_placement",
+]

@@ -1,0 +1,99 @@
+"""Non-volatile memory device model.
+
+NVM (e.g., PCM) differs from DRAM in two first-order ways the hybrid-
+placement use case depends on (Table 1, row 8): reads are a few times
+slower than DRAM, and writes are *much* slower and consume the device
+for longer (asymmetric read/write).  The model is bank-less: a row-
+buffer-less array with per-device concurrency limited by a small
+number of parallel units, plus a shared data bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NvmTiming:
+    """NVM service times in CPU cycles."""
+
+    read_latency: float
+    write_latency: float
+    #: Bus occupancy per 64 B transfer.
+    t_burst: float
+
+    def __post_init__(self) -> None:
+        for name in ("read_latency", "write_latency", "t_burst"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+
+def pcm_like(cpu_ghz: float = 3.6) -> NvmTiming:
+    """PCM-class timing: ~2.5x DRAM reads, ~10x writes.
+
+    DRAM row-closed read is ~28 ns; PCM array reads are ~60-120 ns and
+    writes ~150-500 ns in the literature; we use 75/300 ns.
+    """
+    ns = cpu_ghz
+    return NvmTiming(read_latency=75.0 * ns, write_latency=300.0 * ns,
+                     t_burst=15.0 * ns)
+
+
+@dataclass
+class NvmStats:
+    """Latency accounting, reads and writes separated."""
+
+    reads: int = 0
+    writes: int = 0
+    read_latency_sum: float = 0.0
+    write_latency_sum: float = 0.0
+
+    @property
+    def avg_read_latency(self) -> float:
+        """Mean read latency (CPU cycles)."""
+        return self.read_latency_sum / self.reads if self.reads else 0.0
+
+    @property
+    def avg_write_latency(self) -> float:
+        """Mean write latency (CPU cycles)."""
+        return self.write_latency_sum / self.writes if self.writes \
+            else 0.0
+
+
+class NvmDevice:
+    """A bank-less NVM array with ``units`` parallel access units."""
+
+    def __init__(self, timing: NvmTiming, units: int = 4) -> None:
+        if units <= 0:
+            raise ConfigurationError(f"units must be positive: {units}")
+        self.timing = timing
+        self._unit_free: List[float] = [0.0] * units
+        self._bus_free = 0.0
+        self.stats = NvmStats()
+
+    def access(self, paddr: int, now: float,
+               is_write: bool = False) -> float:
+        """Service one request; returns its completion time."""
+        # Pick the earliest-free unit (the device's internal
+        # parallelism).
+        unit = min(range(len(self._unit_free)),
+                   key=lambda u: self._unit_free[u])
+        start = max(now, self._unit_free[unit])
+        work = (self.timing.write_latency if is_write
+                else self.timing.read_latency)
+        ready = start + work
+        burst_start = max(ready, self._bus_free)
+        done = burst_start + self.timing.t_burst
+        self._bus_free = done
+        self._unit_free[unit] = done
+        latency = done - now
+        if is_write:
+            self.stats.writes += 1
+            self.stats.write_latency_sum += latency
+        else:
+            self.stats.reads += 1
+            self.stats.read_latency_sum += latency
+        return done

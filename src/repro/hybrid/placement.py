@@ -1,0 +1,128 @@
+"""Atom-guided placement across DRAM and NVM (Table 1, row 8).
+
+The paper's hybrid-memory row says XMem "avoids the need for
+profiling/migration of data in hybrid memories to (i) effectively
+manage the asymmetric read-write properties in NVM (e.g., placing
+Read-Only data in the NVM), (ii) make tradeoffs between data structure
+'hotness' and size to allocate fast/high bandwidth memory".
+
+The algorithm ranks data structures by a benefit density --
+access intensity (write accesses weighted by the NVM write penalty)
+per byte -- and fills the fast tier greedily; read-only and cold data
+overflow to NVM first.
+
+The baseline it is compared against (no semantics) fills the fast tier
+in allocation order, which is what a first-touch policy does without
+profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.attributes import AtomAttributes, RWChar
+from repro.core.errors import ConfigurationError
+
+#: How much more an NVM write hurts than an NVM read, for ranking.
+WRITE_PENALTY_WEIGHT = 4.0
+
+
+@dataclass(frozen=True)
+class HybridCandidate:
+    """One data structure competing for the fast tier."""
+
+    atom_id: int
+    attributes: AtomAttributes
+    size_bytes: int
+
+    @property
+    def benefit_density(self) -> float:
+        """Fast-tier benefit per byte.
+
+        Hot data benefits in proportion to its access intensity; data
+        that is written benefits more (NVM writes are the expensive
+        operation); read-only data benefits least -- the paper's
+        "place Read-Only data in the NVM".
+        """
+        intensity = self.attributes.access_intensity
+        rw = self.attributes.access.rw
+        if rw is RWChar.READ_ONLY:
+            write_boost = 0.0
+        elif rw in (RWChar.WRITE_HEAVY, RWChar.WRITE_ONLY):
+            write_boost = WRITE_PENALTY_WEIGHT
+        else:
+            write_boost = WRITE_PENALTY_WEIGHT / 2
+        score = intensity * (1.0 + write_boost)
+        return score / max(self.size_bytes, 1)
+
+
+@dataclass
+class HybridPlacement:
+    """atom id -> tier assignment."""
+
+    fast: List[int] = field(default_factory=list)
+    slow: List[int] = field(default_factory=list)
+    fast_bytes_used: int = 0
+
+    def tier_of(self, atom_id: int) -> str:
+        """"fast", "slow", or "slow" by default for unknown atoms."""
+        if atom_id in self.fast:
+            return "fast"
+        return "slow"
+
+
+def plan_hybrid_placement(candidates: List[HybridCandidate],
+                          fast_bytes: int) -> HybridPlacement:
+    """Greedy benefit-density knapsack over the fast tier."""
+    if fast_bytes <= 0:
+        raise ConfigurationError("fast tier needs capacity")
+    ranked = sorted(candidates, key=lambda c: c.benefit_density,
+                    reverse=True)
+    placement = HybridPlacement()
+    used = 0
+    for cand in ranked:
+        if used + cand.size_bytes <= fast_bytes:
+            placement.fast.append(cand.atom_id)
+            used += cand.size_bytes
+        else:
+            placement.slow.append(cand.atom_id)
+    placement.fast_bytes_used = used
+    return placement
+
+
+def first_touch_placement(candidates: List[HybridCandidate],
+                          fast_bytes: int) -> HybridPlacement:
+    """The no-semantics baseline: allocation order fills DRAM first."""
+    placement = HybridPlacement()
+    used = 0
+    for cand in candidates:
+        if used + cand.size_bytes <= fast_bytes:
+            placement.fast.append(cand.atom_id)
+            used += cand.size_bytes
+        else:
+            placement.slow.append(cand.atom_id)
+    placement.fast_bytes_used = used
+    return placement
+
+
+def layout_addresses(candidates: List[HybridCandidate],
+                     placement: HybridPlacement,
+                     fast_bytes: int) -> Dict[int, int]:
+    """Assign each atom a base physical address in its tier.
+
+    Fast-tier structures pack from 0; slow-tier structures pack from
+    ``fast_bytes`` upward (the convention
+    :class:`repro.hybrid.system.HybridMemorySystem` routes by).
+    """
+    by_id = {c.atom_id: c for c in candidates}
+    bases: Dict[int, int] = {}
+    fast_cursor = 0
+    slow_cursor = fast_bytes
+    for atom_id in placement.fast:
+        bases[atom_id] = fast_cursor
+        fast_cursor += by_id[atom_id].size_bytes
+    for atom_id in placement.slow:
+        bases[atom_id] = slow_cursor
+        slow_cursor += by_id[atom_id].size_bytes
+    return bases

@@ -1,0 +1,83 @@
+"""Cache-hierarchy substrate: caches, replacement, prefetchers, MSHRs,
+plus the Table-1 component models (compression, DRAM cache, NUCA,
+approximate memory)."""
+
+from repro.mem.approx import ApproxConfig, ApproximateMemory
+from repro.mem.cache import AccessResult, Cache, CacheLine, CacheStats
+from repro.mem.compression import (
+    BaseDeltaCompressor,
+    CompressedLine,
+    CompressionStats,
+    FloatCompressor,
+    SemanticCompressionEngine,
+    SparseCompressor,
+    ZeroLineCompressor,
+)
+from repro.mem.dram_cache import DramCache, SemanticDramCachePolicy
+from repro.mem.nuca import (
+    NucaCandidate,
+    NucaMachine,
+    hashed_placement,
+    mean_latency,
+    plan_nuca_placement,
+)
+from repro.mem.hierarchy import (
+    CacheHierarchy,
+    HierarchyOutcome,
+    LevelConfig,
+)
+from repro.mem.mshr import MSHRFile, MSHRStats
+from repro.mem.prefetch import (
+    MultiStridePrefetcher,
+    PrefetchStats,
+    XMemPrefetcher,
+)
+from repro.mem.replacement import (
+    BRRIPPolicy,
+    DRRIPPolicy,
+    LRUPolicy,
+    POLICIES,
+    RandomPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AccessResult",
+    "ApproxConfig",
+    "ApproximateMemory",
+    "BRRIPPolicy",
+    "BaseDeltaCompressor",
+    "CompressedLine",
+    "CompressionStats",
+    "DramCache",
+    "FloatCompressor",
+    "NucaCandidate",
+    "NucaMachine",
+    "SemanticCompressionEngine",
+    "SemanticDramCachePolicy",
+    "SparseCompressor",
+    "ZeroLineCompressor",
+    "hashed_placement",
+    "mean_latency",
+    "plan_nuca_placement",
+    "Cache",
+    "CacheHierarchy",
+    "CacheLine",
+    "CacheStats",
+    "DRRIPPolicy",
+    "HierarchyOutcome",
+    "LRUPolicy",
+    "LevelConfig",
+    "MSHRFile",
+    "MSHRStats",
+    "MultiStridePrefetcher",
+    "POLICIES",
+    "PrefetchStats",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "XMemPrefetcher",
+    "make_policy",
+]

@@ -1,0 +1,98 @@
+"""Approximation in memory, gated by atom semantics (Table 1, row 6).
+
+Approximate-memory techniques (lowered DRAM refresh, voltage scaling,
+lossy compression) trade occasional bit errors for latency/energy.
+They are only safe on data the *application* declared tolerant -- the
+``APPROXIMABLE`` data property -- and the paper's row-6 benefit is
+precisely that "each memory component [can] track how approximable
+data is (at a fine granularity) to inform approximation techniques".
+
+:class:`ApproximateMemory` models a memory with a fast-but-lossy mode:
+accesses to APPROXIMABLE atoms use the fast timing and accrue a
+bounded error probability; everything else uses reliable timing.  The
+critical invariant -- **never approximate unannotated data** -- is what
+the tests pin down.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.attributes import DataProperty
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ApproxConfig:
+    """Timing/error trade-off of the approximate mode."""
+
+    reliable_latency: float = 140.0
+    approx_latency: float = 90.0
+    #: Per-access probability of a (tolerated) bit flip.
+    error_rate: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.approx_latency >= self.reliable_latency:
+            raise ConfigurationError(
+                "approximate mode must be faster than reliable mode"
+            )
+        if not 0 <= self.error_rate < 1:
+            raise ConfigurationError("error_rate must be in [0, 1)")
+
+
+@dataclass
+class ApproxStats:
+    """Traffic split and injected-error count."""
+
+    reliable_accesses: int = 0
+    approx_accesses: int = 0
+    injected_errors: int = 0
+
+    @property
+    def approx_share(self) -> float:
+        """Fraction of accesses served by the approximate path."""
+        total = self.reliable_accesses + self.approx_accesses
+        return self.approx_accesses / total if total else 0.0
+
+
+class ApproximateMemory:
+    """Route accesses to the reliable or approximate path by atom.
+
+    ``lookup_atom`` resolves a physical address to the active atom (or
+    None).  Only atoms carrying ``DataProperty.APPROXIMABLE`` take the
+    fast path.
+    """
+
+    def __init__(self, lookup_atom: Callable[[int], Optional[object]],
+                 config: Optional[ApproxConfig] = None,
+                 seed: int = 0) -> None:
+        self._lookup_atom = lookup_atom
+        self.config = config or ApproxConfig()
+        self._rng = random.Random(seed)
+        self.stats = ApproxStats()
+
+    def is_approximable(self, paddr: int) -> bool:
+        """Whether the data at ``paddr`` tolerates approximation."""
+        atom = self._lookup_atom(paddr)
+        if atom is None:
+            return False
+        return atom.attributes.data.has(DataProperty.APPROXIMABLE)
+
+    def access(self, paddr: int) -> float:
+        """One read; returns its latency (and may inject an error)."""
+        if self.is_approximable(paddr):
+            self.stats.approx_accesses += 1
+            if self._rng.random() < self.config.error_rate:
+                self.stats.injected_errors += 1
+            return self.config.approx_latency
+        self.stats.reliable_accesses += 1
+        return self.config.reliable_latency
+
+    @property
+    def mean_latency_saved(self) -> float:
+        """Cycles saved so far by the approximate path."""
+        return self.stats.approx_accesses * (
+            self.config.reliable_latency - self.config.approx_latency
+        )

@@ -1,0 +1,274 @@
+"""Set-associative cache model.
+
+Write-back, write-allocate, physically addressed.  The model tracks
+tags, dirty bits, and a per-line ``pinned`` flag used by Use Case 1:
+the cache never selects a pinned line as victim while a non-pinned
+candidate exists, and the cache controller (``repro.policies.
+cache_mgmt``) bounds pinning to 75% of the ways per set and ages pins
+when the active-atom list changes (Section 5.2(3)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.mem.replacement import DRRIPPolicy, ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheLine:
+    """One cache line's bookkeeping state."""
+
+    tag: int = -1
+    valid: bool = False
+    dirty: bool = False
+    pinned: bool = False
+
+
+@dataclass
+class CacheStats:
+    """Per-cache counters."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+    pinned_fills: int = 0
+    pin_refusals: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction over demand accesses."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction over demand accesses."""
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    #: Physical line address written back to the next level (if any).
+    writeback_addr: Optional[int] = None
+    #: True when the hit line had been brought in by a prefetch.
+    was_prefetched: bool = False
+
+
+class Cache:
+    """A single cache level.
+
+    ``pin_quota`` is the maximum fraction of ways per set that may hold
+    pinned lines; fills requesting ``pinned=True`` beyond the quota
+    degrade to normal fills (counted in ``stats.pin_refusals``).  The
+    paper pins at most 75% of the cache (Section 5.2(2)).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        policy: str = "lru",
+        pin_quota: float = 0.75,
+    ) -> None:
+        if size_bytes % (ways * line_bytes):
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible by "
+                f"{ways} ways x {line_bytes}B lines"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (ways * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigurationError(
+                f"{name}: number of sets ({self.num_sets}) must be a "
+                f"power of two"
+            )
+        self.policy: ReplacementPolicy = make_policy(
+            policy, self.num_sets, ways
+        )
+        self.pin_quota = pin_quota
+        self._max_pinned_ways = max(0, int(ways * pin_quota))
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(ways)] for _ in range(self.num_sets)
+        ]
+        #: Prefetch tags remembered until first demand hit, for stats.
+        self._prefetched_tags = set()
+        self.stats = CacheStats()
+
+    # -- Address helpers ---------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        """The line-aligned address containing ``addr``."""
+        return addr - (addr % self.line_bytes)
+
+    def _index(self, addr: int) -> int:
+        return (addr // self.line_bytes) % self.num_sets
+
+    def _tag(self, addr: int) -> int:
+        return addr // (self.line_bytes * self.num_sets)
+
+    # -- Lookup / fill ------------------------------------------------------
+
+    def _find(self, set_idx: int, tag: int) -> Optional[int]:
+        for way, line in enumerate(self._sets[set_idx]):
+            if line.valid and line.tag == tag:
+                return way
+        return None
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive presence check (no stats, no policy update)."""
+        return self._find(self._index(addr), self._tag(addr)) is not None
+
+    def access(self, addr: int, is_write: bool) -> AccessResult:
+        """A demand access.  On a miss the caller is responsible for
+        fetching the line from the next level and calling :meth:`fill`.
+        """
+        self.stats.accesses += 1
+        set_idx = self._index(addr)
+        tag = self._tag(addr)
+        way = self._find(set_idx, tag)
+        if way is not None:
+            self.stats.hits += 1
+            line = self._sets[set_idx][way]
+            if is_write:
+                line.dirty = True
+            self.policy.on_hit(set_idx, way)
+            was_pf = (set_idx, tag) in self._prefetched_tags
+            if was_pf:
+                self.stats.prefetch_hits += 1
+                self._prefetched_tags.discard((set_idx, tag))
+            return AccessResult(hit=True, was_prefetched=was_pf)
+        self.stats.misses += 1
+        if isinstance(self.policy, DRRIPPolicy):
+            self.policy.record_miss(set_idx)
+        return AccessResult(hit=False)
+
+    def fill(self, addr: int, *, dirty: bool = False,
+             pinned: bool = False, prefetch: bool = False
+             ) -> Optional[int]:
+        """Install the line holding ``addr``.
+
+        Returns the line address of a dirty victim that must be written
+        back to the next level, or None.  If the line is already
+        present, the flags are merged instead (a prefetch racing a
+        demand fill).
+        """
+        set_idx = self._index(addr)
+        tag = self._tag(addr)
+        way = self._find(set_idx, tag)
+        if way is not None:
+            line = self._sets[set_idx][way]
+            line.dirty = line.dirty or dirty
+            line.pinned = line.pinned or (pinned and self._pin_ok(set_idx))
+            return None
+
+        way, writeback = self._allocate(set_idx)
+        line = self._sets[set_idx][way]
+        line.tag = tag
+        line.valid = True
+        line.dirty = dirty
+        want_pin = pinned and self._pin_ok(set_idx)
+        if pinned and not want_pin:
+            self.stats.pin_refusals += 1
+        line.pinned = want_pin
+        if want_pin:
+            self.stats.pinned_fills += 1
+        if prefetch:
+            self.stats.prefetch_fills += 1
+            self._prefetched_tags.add((set_idx, tag))
+        self.policy.on_fill(set_idx, way, high_priority=want_pin)
+        return writeback
+
+    def _pin_ok(self, set_idx: int) -> bool:
+        pinned_ways = sum(1 for l in self._sets[set_idx] if l.valid
+                          and l.pinned)
+        return pinned_ways < self._max_pinned_ways
+
+    def _allocate(self, set_idx: int):
+        lines = self._sets[set_idx]
+        for way, line in enumerate(lines):
+            if not line.valid:
+                return way, None
+        candidates = [w for w, l in enumerate(lines) if not l.pinned]
+        if not candidates:
+            # Quota guarantees this cannot happen with quota < 1.0, but
+            # a controller bug must degrade gracefully, not deadlock.
+            candidates = list(range(self.ways))
+        victim = self.policy.victim(set_idx, candidates)
+        line = lines[victim]
+        self.stats.evictions += 1
+        writeback = None
+        if line.dirty:
+            self.stats.writebacks += 1
+            writeback = self._victim_addr(set_idx, line.tag)
+        self._prefetched_tags.discard((set_idx, line.tag))
+        line.valid = False
+        line.pinned = False
+        line.dirty = False
+        self.policy.on_invalidate(set_idx, victim)
+        return victim, writeback
+
+    def _victim_addr(self, set_idx: int, tag: int) -> int:
+        return (tag * self.num_sets + set_idx) * self.line_bytes
+
+    # -- Pinning control (Use Case 1 controller hooks) ----------------------
+
+    def unpin_all(self) -> int:
+        """Age every pinned line back to normal priority.
+
+        Called when the active-atom list changes (Section 5.2(3): "only
+        then does the cache age the high-priority lines so they can be
+        evicted by the default replacement policy").  Returns the number
+        of lines unpinned.
+        """
+        count = 0
+        for set_idx, lines in enumerate(self._sets):
+            for way, line in enumerate(lines):
+                if line.valid and line.pinned:
+                    line.pinned = False
+                    count += 1
+        return count
+
+    @property
+    def pinned_lines(self) -> int:
+        """Number of currently pinned lines."""
+        return sum(1 for lines in self._sets for l in lines
+                   if l.valid and l.pinned)
+
+    # -- Maintenance ---------------------------------------------------------
+
+    def invalidate_all(self) -> int:
+        """Drop every line (no writebacks -- test helper)."""
+        count = 0
+        for set_idx, lines in enumerate(self._sets):
+            for way, line in enumerate(lines):
+                if line.valid:
+                    line.valid = False
+                    line.dirty = False
+                    line.pinned = False
+                    self.policy.on_invalidate(set_idx, way)
+                    count += 1
+        self._prefetched_tags.clear()
+        return count
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(1 for lines in self._sets for l in lines if l.valid)
+
+    def __repr__(self) -> str:
+        return (f"Cache({self.name}, {self.size_bytes // 1024}KB, "
+                f"{self.ways}w, {self.policy.name})")

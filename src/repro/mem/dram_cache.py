@@ -1,0 +1,124 @@
+"""Die-stacked DRAM cache with semantics-guided management (Table 1,
+row 5).
+
+A giga-scale cache in front of main memory.  Two failure modes make
+blind management hard, and both are exactly what atom semantics fix:
+
+* **thrashing** -- a working set larger than the cache evicts itself;
+  knowing the *working-set size* up front lets the controller bypass
+  oversized pools instead of churning ("helps avoid cache thrashing by
+  knowing working set size");
+* **dead fills** -- zero-reuse streaming data occupies capacity that
+  reusable data needs; the *reuse* attribute identifies it at fill
+  time.
+
+:class:`DramCache` is the device: set-associative, 64 B lines, with a
+miss path the caller services from main memory.
+:class:`SemanticDramCachePolicy` produces the insert/bypass decision
+from the cache PAT + the atom's currently mapped footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.errors import ConfigurationError
+from repro.mem.cache import Cache
+
+
+@dataclass
+class DramCacheStats:
+    """Hit/bypass accounting."""
+
+    accesses: int = 0
+    hits: int = 0
+    bypassed_fills: int = 0
+    fills: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Demand hit fraction."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class DramCache:
+    """The stacked-DRAM cache array.
+
+    ``hit_latency`` and the main-memory ``miss_latency`` are supplied
+    by the composition (stacked DRAM is ~half the latency and several
+    times the bandwidth of off-package DRAM).
+    """
+
+    def __init__(self, size_bytes: int, ways: int = 8,
+                 line_bytes: int = 64,
+                 hit_latency: float = 60.0,
+                 miss_latency: float = 140.0) -> None:
+        if hit_latency >= miss_latency:
+            raise ConfigurationError(
+                "a DRAM cache must be faster than main memory"
+            )
+        self._array = Cache("dram$", size_bytes, ways, line_bytes,
+                            policy="lru")
+        self.hit_latency = hit_latency
+        self.miss_latency = miss_latency
+        self.stats = DramCacheStats()
+        #: Insert/bypass decision; default inserts everything.
+        self.insert_predicate: Callable[[int], bool] = lambda addr: True
+
+    @property
+    def size_bytes(self) -> int:
+        """Cache capacity."""
+        return self._array.size_bytes
+
+    def access(self, addr: int) -> float:
+        """One read; returns its latency."""
+        self.stats.accesses += 1
+        line = self._array.line_addr(addr)
+        if self._array.access(line, is_write=False).hit:
+            self.stats.hits += 1
+            return self.hit_latency
+        if self.insert_predicate(line):
+            self.stats.fills += 1
+            self._array.fill(line)
+        else:
+            self.stats.bypassed_fills += 1
+        return self.miss_latency
+
+    @property
+    def resident_lines(self) -> int:
+        """Lines currently cached."""
+        return self._array.resident_lines
+
+
+class SemanticDramCachePolicy:
+    """Bypass/insert from atom semantics.
+
+    ``lookup_atom`` resolves an address to the active
+    :class:`repro.core.atom.Atom` (or None).  Decision rules:
+
+    * no atom -> insert (default behaviour, hint-free data);
+    * reuse == 0 -> bypass (streaming data never pays back a fill);
+    * working set > ``thrash_factor`` x cache -> bypass (the fill would
+      thrash; serve it from memory and keep the cache for data that
+      fits).
+    """
+
+    def __init__(self, cache: DramCache, lookup_atom,
+                 thrash_factor: float = 1.0) -> None:
+        self.cache = cache
+        self._lookup_atom = lookup_atom
+        self.thrash_factor = thrash_factor
+        cache.insert_predicate = self.should_insert
+
+    def should_insert(self, addr: int) -> bool:
+        """The fill-path decision."""
+        atom = self._lookup_atom(addr)
+        if atom is None:
+            return True
+        if atom.reuse == 0:
+            return False
+        ws = atom.working_set_bytes
+        if ws > self.thrash_factor * self.cache.size_bytes:
+            return False
+        return True

@@ -1,0 +1,159 @@
+"""Multi-level cache hierarchy (Table 3: L1 / L2 / L3).
+
+The hierarchy is functional: it decides hits, fills, evictions, and
+writebacks, and reports which level satisfied each access.  Timing
+(latencies, DRAM service) is layered on top by :mod:`repro.sim.system`
+so the same functional model serves both use cases.
+
+Policy hooks:
+
+* ``pin_predicate(line_addr) -> bool`` -- consulted on LLC fills; when
+  True the line is installed pinned/high-priority (Use Case 1).  The
+  default pins nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.mem.cache import Cache
+
+
+@dataclass(frozen=True)
+class LevelConfig:
+    """Geometry + latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int                  # lookup latency, CPU cycles
+    policy: str = "lru"
+
+
+@dataclass
+class HierarchyOutcome:
+    """Functional outcome of one demand access."""
+
+    #: Index of the level that hit (0 = L1); None = missed everywhere.
+    hit_level: Optional[int]
+    #: Line addresses evicted dirty from the LLC (DRAM writes).
+    memory_writebacks: List[int] = field(default_factory=list)
+    #: Cycles spent traversing cache lookups (excl. DRAM).
+    lookup_latency: int = 0
+    #: The LLC access missed but hit a prefetched line further probing.
+    llc_prefetch_hit: bool = False
+
+    @property
+    def memory_read(self) -> bool:
+        """True when the access had to be fetched from DRAM."""
+        return self.hit_level is None
+
+
+class CacheHierarchy:
+    """An inclusive-by-fill (non-enforced) write-back hierarchy."""
+
+    def __init__(self, levels: Sequence[LevelConfig],
+                 line_bytes: int = 64) -> None:
+        if not levels:
+            raise ConfigurationError("hierarchy needs at least one level")
+        self.line_bytes = line_bytes
+        self.levels: List[Cache] = [
+            Cache(cfg.name, cfg.size_bytes, cfg.ways,
+                  line_bytes=line_bytes, policy=cfg.policy)
+            for cfg in levels
+        ]
+        self.latencies: List[int] = [cfg.latency for cfg in levels]
+        self.pin_predicate: Callable[[int], bool] = lambda addr: False
+
+    @property
+    def llc(self) -> Cache:
+        """The last-level cache."""
+        return self.levels[-1]
+
+    def line_addr(self, addr: int) -> int:
+        """Line-align an address."""
+        return addr - (addr % self.line_bytes)
+
+    # -- Demand path ----------------------------------------------------
+
+    def access(self, addr: int, is_write: bool) -> HierarchyOutcome:
+        """One demand access, with all fills and writebacks applied."""
+        line = self.line_addr(addr)
+        outcome = HierarchyOutcome(hit_level=None)
+        hit_level: Optional[int] = None
+        for i, cache in enumerate(self.levels):
+            outcome.lookup_latency += self.latencies[i]
+            result = cache.access(line, is_write and i == 0)
+            if result.hit:
+                hit_level = i
+                if i == len(self.levels) - 1:
+                    outcome.llc_prefetch_hit = result.was_prefetched
+                break
+        outcome.hit_level = hit_level
+        # Fill the levels above the hit point (or all levels on a full
+        # miss -- the caller charges the DRAM read).
+        top = hit_level if hit_level is not None else len(self.levels)
+        self._fill_upper(line, upto_level=top, dirty=is_write,
+                         outcome=outcome)
+        return outcome
+
+    def _fill_upper(self, line: int, upto_level: int, dirty: bool,
+                    outcome: HierarchyOutcome) -> None:
+        """Install ``line`` into every level above ``upto_level``.
+
+        L1 gets the dirty bit on a write (write-allocate); inner copies
+        stay clean.  Victim writebacks ripple downwards.
+        """
+        for i in range(upto_level - 1, -1, -1):
+            cache = self.levels[i]
+            pinned = (i == len(self.levels) - 1
+                      and self.pin_predicate(line))
+            wb = cache.fill(line, dirty=(dirty and i == 0), pinned=pinned)
+            if wb is not None:
+                self._writeback(i + 1, wb, outcome)
+
+    def _writeback(self, level: int, line: int,
+                   outcome: HierarchyOutcome) -> None:
+        """Deliver a dirty victim from ``level - 1`` into ``level``."""
+        if level >= len(self.levels):
+            outcome.memory_writebacks.append(line)
+            return
+        cache = self.levels[level]
+        wb = cache.fill(line, dirty=True)
+        if wb is not None:
+            self._writeback(level + 1, wb, outcome)
+
+    # -- Prefetch path ----------------------------------------------------
+
+    def fill_prefetch(self, line: int) -> HierarchyOutcome:
+        """Install a prefetched line into the LLC only.
+
+        Returns an outcome whose ``memory_read`` indicates whether the
+        line actually had to be fetched (False if already resident).
+        """
+        outcome = HierarchyOutcome(hit_level=None)
+        llc = self.llc
+        if llc.probe(line):
+            outcome.hit_level = len(self.levels) - 1
+            return outcome
+        pinned = self.pin_predicate(line)
+        wb = llc.fill(line, pinned=pinned, prefetch=True)
+        if wb is not None:
+            outcome.memory_writebacks.append(wb)
+        return outcome
+
+    # -- Maintenance ---------------------------------------------------------
+
+    def invalidate_all(self) -> None:
+        """Flush every level without writebacks (test helper)."""
+        for cache in self.levels:
+            cache.invalidate_all()
+
+    def total_hits(self) -> int:
+        """Demand hits summed over all levels."""
+        return sum(c.stats.hits for c in self.levels)
+
+    def __repr__(self) -> str:
+        return "CacheHierarchy(" + ", ".join(map(repr, self.levels)) + ")"

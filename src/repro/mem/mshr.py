@@ -1,0 +1,76 @@
+"""Miss-status holding registers (MSHRs).
+
+MSHRs bound the number of outstanding misses a core can have in
+flight -- the hardware limit on miss-level parallelism.  The timing
+engine (:mod:`repro.cpu.engine`) uses this structure to decide when a
+new miss must stall until an older one completes.
+
+The model keeps completion times, not request payloads: ``reserve``
+registers a miss that completes at time ``t``; when full, ``reserve``
+reports the earliest completion time the caller must wait for.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass
+class MSHRStats:
+    """Occupancy counters."""
+
+    reservations: int = 0
+    full_stalls: int = 0
+
+
+class MSHRFile:
+    """A fixed-size pool of outstanding-miss slots."""
+
+    def __init__(self, entries: int = 16) -> None:
+        if entries <= 0:
+            raise ConfigurationError(f"MSHR entries must be > 0: {entries}")
+        self.entries = entries
+        self._completions: List[float] = []
+        self.stats = MSHRStats()
+
+    def drain_until(self, now: float) -> None:
+        """Retire every miss that has completed by ``now``."""
+        while self._completions and self._completions[0] <= now:
+            heapq.heappop(self._completions)
+
+    def reserve(self, now: float, completes_at: float) -> float:
+        """Register a miss completing at ``completes_at``.
+
+        Returns the time at which the reservation could actually be
+        made: ``now`` if a slot was free, otherwise the completion time
+        of the oldest outstanding miss (the stall the core experiences).
+        """
+        self.drain_until(now)
+        start = now
+        if len(self._completions) >= self.entries:
+            start = heapq.heappop(self._completions)
+            self.stats.full_stalls += 1
+        heapq.heappush(self._completions, completes_at)
+        self.stats.reservations += 1
+        return start
+
+    @property
+    def outstanding(self) -> int:
+        """Number of misses currently in flight."""
+        return len(self._completions)
+
+    def oldest_completion(self) -> Optional[float]:
+        """Completion time of the oldest in-flight miss, if any."""
+        return self._completions[0] if self._completions else None
+
+    def latest_completion(self) -> Optional[float]:
+        """Completion time of the youngest in-flight miss, if any."""
+        return max(self._completions) if self._completions else None
+
+    def flush(self) -> None:
+        """Drop all reservations (end of simulation)."""
+        self._completions.clear()

@@ -1,0 +1,49 @@
+"""Full-system simulation: configurations, composition, statistics."""
+
+from repro.sim.config import (
+    CpuConfig,
+    PrefetcherConfig,
+    SimConfig,
+    scaled_config,
+    table3_config,
+)
+from repro.sim.stats import (
+    RunRecord,
+    amean,
+    format_table,
+    geomean,
+    slowdown,
+    speedup,
+)
+from repro.sim.corun import CoreStats, CorunSystem, MultiProcessController
+from repro.sim.system import (
+    MemoryStats,
+    MemorySystem,
+    SystemHandle,
+    build_baseline,
+    build_xmem,
+    build_xmem_pref,
+)
+
+__all__ = [
+    "CoreStats",
+    "CorunSystem",
+    "CpuConfig",
+    "MultiProcessController",
+    "MemoryStats",
+    "MemorySystem",
+    "PrefetcherConfig",
+    "RunRecord",
+    "SimConfig",
+    "SystemHandle",
+    "amean",
+    "build_baseline",
+    "build_xmem",
+    "build_xmem_pref",
+    "format_table",
+    "geomean",
+    "scaled_config",
+    "slowdown",
+    "speedup",
+    "table3_config",
+]

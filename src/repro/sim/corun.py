@@ -1,0 +1,332 @@
+"""Multi-core co-running simulation (the Section 5.1 scenario).
+
+Use Case 1's motivation is that the cache space *actually available* to
+an application changes when other applications co-run on the shared
+LLC.  This module simulates N cores, each with private L1/L2 and its
+own trace, sharing the L3 and DRAM:
+
+* cores advance in timestamp order (the core with the smallest local
+  clock steps next), so shared-resource contention interleaves
+  naturally;
+* each application may carry its own XMem process; the shared LLC's
+  pinning decision is *global* -- the paper's greedy algorithm "takes
+  the active atoms in all the cores" and pins by reuse until the 75%
+  budget fills;
+* per-application address spaces are disjoint (each core's addresses
+  are offset), so one AAM lookup per application resolves cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.xmemlib import XMemLib
+from repro.cpu.trace import MemAccess, Trace, Work, XMemOp
+from repro.dram.system import DramSystem
+from repro.mem.cache import Cache
+from repro.mem.mshr import MSHRFile
+from repro.mem.prefetch import MultiStridePrefetcher, XMemPrefetcher
+from repro.sim.config import SimConfig
+
+#: Address-space stride between co-running applications.
+APP_SPACE = 1 << 40
+
+
+@dataclass
+class CoreStats:
+    """Per-core results."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    mem_accesses: int = 0
+    llc_misses: int = 0
+
+
+class _Core:
+    """Private state of one core."""
+
+    def __init__(self, index: int, config: SimConfig,
+                 xmemlib: Optional[XMemLib]) -> None:
+        self.index = index
+        self.offset = index * APP_SPACE
+        l1, l2 = config.levels[0], config.levels[1]
+        self.l1 = Cache(f"c{index}.L1", l1.size_bytes, l1.ways,
+                        config.line_bytes, policy=l1.policy)
+        self.l2 = Cache(f"c{index}.L2", l2.size_bytes, l2.ways,
+                        config.line_bytes, policy=l2.policy)
+        self.l1_lat = l1.latency
+        self.l2_lat = l2.latency
+        self.xmemlib = xmemlib
+        self.now = 0.0
+        self.mshr = MSHRFile(config.cpu.window)
+        self.stats = CoreStats()
+        self.trace: Optional[Iterator] = None
+        self.done = False
+
+
+class MultiProcessController:
+    """The global greedy pinning decision over every app's atoms.
+
+    Mirrors :class:`repro.policies.cache_mgmt.CacheController` but
+    walks the active atoms of *all* registered XMem processes, sorted
+    together by reuse, against one shared 75% budget.  Addresses are
+    per-application physical (offset), so pin lookups dispatch to the
+    owning application's AMU.
+    """
+
+    def __init__(self, llc: Cache, pin_fraction: float = 0.75) -> None:
+        self.llc = llc
+        self.pin_fraction = pin_fraction
+        self._apps: List[Tuple[int, XMemLib]] = []
+        self._pin_spans: Dict[int, List[Tuple[int, int]]] = {}
+        self.prefetchers: Dict[int, XMemPrefetcher] = {}
+
+    def register(self, offset: int, xmemlib: XMemLib,
+                 prefetcher: Optional[XMemPrefetcher] = None) -> None:
+        """Attach one application (by its address-space offset)."""
+        self._apps.append((offset, xmemlib))
+        if prefetcher is not None:
+            self.prefetchers[offset] = prefetcher
+        xmemlib.listeners.append(self.refresh)
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Recompute the global pinning decision."""
+        budget = int(self.llc.size_bytes * self.pin_fraction)
+        entries = []
+        for offset, lib in self._apps:
+            for atom in lib.process.active_atoms():
+                if atom.reuse > 0:
+                    entries.append((atom.reuse, offset, lib, atom))
+        entries.sort(key=lambda e: e[0], reverse=True)
+        spans: Dict[int, List[Tuple[int, int]]] = {}
+        arm: Dict[int, Dict] = {o: {} for o, _ in self._apps}
+        for reuse, offset, lib, atom in entries:
+            if budget <= 0:
+                break
+            aam = lib.process.amu.aam
+            chunk = aam.config.chunk_bytes
+            atom_spans = _coalesce(sorted(aam.mapped_chunks(atom.atom_id)),
+                                   chunk)
+            size = sum(e - s for s, e in atom_spans)
+            take = min(size, budget)
+            if take < chunk:
+                continue
+            taken = _prefix(atom_spans, take)
+            spans.setdefault(offset, []).extend(
+                (s + offset, e + offset) for s, e in taken
+            )
+            budget -= take
+            if take < size and offset in self.prefetchers:
+                from repro.core.pat import translate_for_prefetcher
+                attrs = lib.process.gat.get(atom.atom_id)
+                if attrs is not None:
+                    arm[offset][atom.atom_id] = XMemPrefetcher.entry(
+                        translate_for_prefetcher(attrs), atom_spans)
+        if spans != self._pin_spans:
+            self.llc.unpin_all()
+            self._pin_spans = spans
+        for offset, pf in self.prefetchers.items():
+            pf.set_pinned_atoms(arm.get(offset, {}))
+
+    def pin_predicate(self, global_addr: int) -> bool:
+        """Whether a (global) line address belongs to a pinned atom."""
+        offset = (global_addr // APP_SPACE) * APP_SPACE
+        spans = self._pin_spans.get(offset)
+        if not spans:
+            return False
+        return any(s <= global_addr < e for s, e in spans)
+
+
+class CorunSystem:
+    """N cores over a shared LLC + DRAM."""
+
+    def __init__(self, config: SimConfig, n_cores: int,
+                 xmem_cores: Sequence[int] = ()) -> None:
+        if n_cores <= 0:
+            raise ConfigurationError(f"need at least one core: {n_cores}")
+        if len(config.levels) != 3:
+            raise ConfigurationError("corun expects an L1/L2/L3 config")
+        self.config = config
+        l3 = config.levels[2]
+        self.llc = Cache("sharedL3", l3.size_bytes, l3.ways,
+                         config.line_bytes, policy=l3.policy)
+        self.llc_lat = l3.latency
+        self.dram = DramSystem(geometry=config.dram_geometry,
+                               timing=config.timing(),
+                               mapping=config.dram_mapping)
+        self.stride_pf = MultiStridePrefetcher(
+            streams=config.prefetcher.streams,
+            degree=config.prefetcher.degree,
+            line_bytes=config.line_bytes,
+        ) if config.prefetcher.enabled else None
+        self.controller = MultiProcessController(self.llc)
+        self.cores: List[_Core] = []
+        for i in range(n_cores):
+            lib = XMemLib() if i in xmem_cores else None
+            core = _Core(i, config, lib)
+            self.cores.append(core)
+            if lib is not None:
+                pf = XMemPrefetcher(
+                    lookup_atom=self._app_lookup(core.offset, lib),
+                    line_bytes=config.line_bytes,
+                )
+                core.xmem_pf = pf
+                self.controller.register(core.offset, lib, pf)
+            else:
+                core.xmem_pf = None
+        self._prefetch_ready: Dict[int, float] = {}
+
+    @staticmethod
+    def _app_lookup(offset: int, lib: XMemLib):
+        def lookup(global_addr: int):
+            return lib.process.amu.lookup(global_addr - offset)
+        return lookup
+
+    # -- Running --------------------------------------------------------
+
+    def run(self, traces: Sequence[Trace]) -> List[CoreStats]:
+        """Interleave one trace per core until all complete."""
+        if len(traces) != len(self.cores):
+            raise ConfigurationError(
+                f"{len(self.cores)} cores need {len(self.cores)} traces"
+            )
+        for core, trace in zip(self.cores, traces):
+            core.trace = iter(trace)
+            core.done = False
+        pending = set(range(len(self.cores)))
+        while pending:
+            core = min((self.cores[i] for i in pending),
+                       key=lambda c: c.now)
+            if not self._step(core):
+                tail = core.mshr.latest_completion()
+                if tail is not None and tail > core.now:
+                    core.now = tail
+                core.mshr.flush()
+                core.stats.cycles = core.now
+                core.done = True
+                pending.discard(core.index)
+        return [c.stats for c in self.cores]
+
+    def _step(self, core: _Core) -> bool:
+        try:
+            ev = next(core.trace)
+        except StopIteration:
+            return False
+        issue = self.config.cpu.issue_width
+        if type(ev) is MemAccess:
+            if ev.work:
+                core.now += ev.work / issue
+                core.stats.instructions += ev.work
+            core.stats.instructions += 1
+            core.stats.mem_accesses += 1
+            completes = self._access(core, ev.vaddr + core.offset,
+                                     ev.is_write)
+            latency = completes - core.now
+            if latency > 4.0:
+                start = core.mshr.reserve(core.now, completes)
+                core.now = max(core.now, start) + 1.0 / issue
+            else:
+                core.now += 1.0 / issue
+        elif type(ev) is Work:
+            core.now += ev.count / issue
+            core.stats.instructions += ev.count
+        elif type(ev) is XMemOp:
+            core.stats.instructions += 1
+            core.now += 1.0 / issue
+            if core.xmemlib is not None:
+                getattr(core.xmemlib, ev.method)(*ev.args)
+        else:
+            raise TypeError(f"not a trace event: {ev!r}")
+        return True
+
+    def _access(self, core: _Core, addr: int, is_write: bool) -> float:
+        line = addr - addr % self.config.line_bytes
+        now = core.now
+        # Private L1.
+        if core.l1.access(line, is_write).hit:
+            return now + 1.0
+        t = now + core.l1_lat
+        # Private L2.
+        if core.l2.access(line, False).hit:
+            self._fill_private(core, line, is_write)
+            return t + core.l2_lat
+        t += core.l2_lat
+        # Shared L3.
+        result = self.llc.access(line, False)
+        t += self.llc_lat
+        if self.stride_pf is not None:
+            for target in self.stride_pf.observe(line):
+                self._prefetch(target, now)
+        if result.hit:
+            ready = self._prefetch_ready.pop(line, None)
+            if ready is not None and ready > t:
+                t = ready
+            self._fill_private(core, line, is_write)
+            return t
+        core.stats.llc_misses += 1
+        res = self.dram.access(line, t, is_write=False)
+        self._prefetch_ready.pop(line, None)
+        wb = self.llc.fill(line,
+                           pinned=self.controller.pin_predicate(line))
+        if wb is not None:
+            self.dram.access(wb, t, is_write=True)
+        if core.xmem_pf is not None:
+            for target in core.xmem_pf.on_demand_miss(line):
+                self._prefetch(target, now)
+        self._fill_private(core, line, is_write)
+        return res.completes_at
+
+    def _fill_private(self, core: _Core, line: int,
+                      is_write: bool) -> None:
+        wb2 = core.l2.fill(line)
+        if wb2 is not None:
+            wb3 = self.llc.fill(wb2, dirty=True)
+            if wb3 is not None:
+                self.dram.access(wb3, core.now, is_write=True)
+        wb1 = core.l1.fill(line, dirty=is_write)
+        if wb1 is not None:
+            wb2 = core.l2.fill(wb1, dirty=True)
+            if wb2 is not None:
+                wb3 = self.llc.fill(wb2, dirty=True)
+                if wb3 is not None:
+                    self.dram.access(wb3, core.now, is_write=True)
+
+    def _prefetch(self, line: int, now: float) -> None:
+        if self.llc.probe(line):
+            return
+        res = self.dram.access(line, now, is_write=False)
+        self._prefetch_ready[line] = res.completes_at
+        wb = self.llc.fill(line, prefetch=True,
+                           pinned=self.controller.pin_predicate(line))
+        if wb is not None:
+            self.dram.access(wb, now, is_write=True)
+
+
+def _coalesce(chunks: List[int], chunk_bytes: int
+              ) -> List[Tuple[int, int]]:
+    """Chunk indices -> coalesced (start, end) byte spans."""
+    spans: List[Tuple[int, int]] = []
+    for c in chunks:
+        start = c * chunk_bytes
+        if spans and spans[-1][1] == start:
+            spans[-1] = (spans[-1][0], start + chunk_bytes)
+        else:
+            spans.append((start, start + chunk_bytes))
+    return spans
+
+
+def _prefix(spans: List[Tuple[int, int]], budget: int
+            ) -> List[Tuple[int, int]]:
+    """Leading ``budget`` bytes of a span list."""
+    out: List[Tuple[int, int]] = []
+    remaining = budget
+    for s, e in spans:
+        if remaining <= 0:
+            break
+        take = min(e - s, remaining)
+        out.append((s, s + take))
+        remaining -= take
+    return out

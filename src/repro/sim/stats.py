@@ -1,0 +1,93 @@
+"""Measurement helpers: run records, speedups, geometric means."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.cpu.engine import EngineStats
+
+
+@dataclass
+class RunRecord:
+    """One (workload, system, parameters) measurement."""
+
+    workload: str
+    system: str
+    cycles: float
+    instructions: int
+    llc_miss_rate: float = 0.0
+    dram_read_latency: float = 0.0
+    dram_write_latency: float = 0.0
+    dram_row_hit_rate: float = 0.0
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_handle(cls, workload: str, handle, engine_stats: EngineStats,
+                    **params) -> "RunRecord":
+        """Snapshot a finished run from a :class:`SystemHandle`."""
+        return cls(
+            workload=workload,
+            system=handle.name,
+            cycles=engine_stats.cycles,
+            instructions=engine_stats.instructions,
+            llc_miss_rate=handle.llc.stats.miss_rate,
+            dram_read_latency=handle.dram.stats.avg_read_latency,
+            dram_write_latency=handle.dram.stats.avg_write_latency,
+            dram_row_hit_rate=handle.dram.stats.row_hit_rate,
+            params=dict(params),
+        )
+
+
+def speedup(baseline_cycles: float, other_cycles: float) -> float:
+    """Classic speedup: baseline time / other time."""
+    if other_cycles <= 0:
+        return float("inf")
+    return baseline_cycles / other_cycles
+
+
+def slowdown(reference_cycles: float, other_cycles: float) -> float:
+    """How much slower ``other`` is than ``reference`` (1.0 = equal)."""
+    if reference_cycles <= 0:
+        return float("inf")
+    return other_cycles / reference_cycles
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional speedup aggregate)."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def amean(values: Iterable[float]) -> float:
+    """Arithmetic mean."""
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def format_table(headers: List[str], rows: List[List[object]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table for experiment output."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,248 @@
+"""Full-system composition: caches + DRAM + prefetchers + XMem.
+
+:class:`MemorySystem` is the memory side the trace engine talks to; the
+``build_*`` functions assemble the configurations evaluated in the
+paper:
+
+* :func:`build_baseline` -- DRRIP caches + multi-stride L3 prefetcher
+  (the strengthened baseline of Sections 5.3/6.3);
+* :func:`build_xmem` -- baseline plus the Use-Case-1 cache controller
+  (greedy pinning) and the XMem semantic prefetcher;
+* :func:`build_xmem_pref` -- the Figure 6 ablation: XMem prefetching
+  only, DRRIP cache management unchanged.
+
+Each build returns a :class:`SystemHandle` bundling the engine, memory,
+and (when applicable) the XMem library to hand to workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.xmemlib import XMemLib, XMemProcess
+from repro.cpu.engine import EngineStats, TraceEngine
+from repro.cpu.trace import Trace, strip_xmem
+from repro.dram.system import DramSystem
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.prefetch import MultiStridePrefetcher, XMemPrefetcher
+from repro.policies.cache_mgmt import CacheController
+from repro.sim.config import SimConfig
+
+
+@dataclass
+class MemoryStats:
+    """Counters owned by the memory system wrapper."""
+
+    demand_reads: int = 0
+    demand_writes: int = 0
+    prefetch_reads: int = 0
+    writebacks: int = 0
+
+
+class MemorySystem:
+    """The engine-facing memory side of the machine."""
+
+    def __init__(
+        self,
+        hierarchy: CacheHierarchy,
+        dram: DramSystem,
+        stride_prefetcher: Optional[MultiStridePrefetcher] = None,
+        xmem_prefetcher: Optional[XMemPrefetcher] = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.dram = dram
+        self.stride_prefetcher = stride_prefetcher
+        self.xmem_prefetcher = xmem_prefetcher
+        #: line -> DRAM completion time of an in-flight prefetch; a
+        #: demand hit to a line that has not arrived yet waits for it
+        #: (prefetch timeliness).
+        self._prefetch_ready: dict = {}
+        #: Buffered writebacks, drained in (bank, row)-sorted batches --
+        #: the memory controller's write queue.  Writes leave the
+        #: critical path and stop closing rows under demand reads.
+        self._write_buffer: List[int] = []
+        self.write_drain_threshold = 32
+        self.stats = MemoryStats()
+
+    def access(self, paddr: int, is_write: bool,
+               now: float) -> Tuple[float, bool]:
+        """One demand access; returns (completion time, went-to-DRAM)."""
+        out = self.hierarchy.access(paddr, is_write)
+        t_lookup = now + out.lookup_latency
+        line = self.hierarchy.line_addr(paddr)
+        if out.memory_read:
+            res = self.dram.access(line, t_lookup, is_write=False)
+            completes = res.completes_at
+            self._prefetch_ready.pop(line, None)
+            if is_write:
+                self.stats.demand_writes += 1
+            else:
+                self.stats.demand_reads += 1
+        else:
+            completes = t_lookup
+            ready = self._prefetch_ready.pop(line, None)
+            if ready is not None and ready > completes:
+                # The prefetch was issued but its data has not arrived:
+                # the demand access waits for it (a late prefetch).
+                completes = ready
+        for wb in out.memory_writebacks:
+            self._buffer_write(wb, t_lookup)
+        self._run_prefetchers(paddr, out, now)
+        return completes, out.memory_read
+
+    def _buffer_write(self, line: int, now: float) -> None:
+        self.stats.writebacks += 1
+        self._write_buffer.append(line)
+        if len(self._write_buffer) >= self.write_drain_threshold:
+            self.drain_writes(now)
+
+    def drain_writes(self, now: float) -> None:
+        """Issue buffered writebacks, sorted for row locality.
+
+        Sorting by (bank, row) is what an FR-FCFS controller's write
+        drain achieves: consecutive writes to the same row become row
+        hits instead of ping-ponging the row buffer under reads.
+        """
+        if not self._write_buffer:
+            return
+        decomposed = [(self.dram.mapping.decompose(line), line)
+                      for line in self._write_buffer]
+        decomposed.sort(key=lambda pair: (pair[0].bank_key, pair[0].row,
+                                          pair[0].col))
+        for _, line in decomposed:
+            self.dram.access(line, now, is_write=True)
+        self._write_buffer.clear()
+
+    def _run_prefetchers(self, paddr: int, out, now: float) -> None:
+        llc_level = len(self.hierarchy.levels) - 1
+        reached_llc = out.hit_level is None or out.hit_level >= llc_level
+        line = self.hierarchy.line_addr(paddr)
+        if self.stride_prefetcher is not None and reached_llc:
+            for target in self.stride_prefetcher.observe(line):
+                self._prefetch(target, now)
+        if self.xmem_prefetcher is not None and (
+                out.memory_read or out.llc_prefetch_hit):
+            # A miss to a pinned atom starts the stream; a demand hit on
+            # a prefetched line keeps it running ahead.
+            for target in self.xmem_prefetcher.on_demand_miss(paddr):
+                self._prefetch(target, now)
+
+    def _prefetch(self, line: int, now: float) -> None:
+        out = self.hierarchy.fill_prefetch(line)
+        if out.memory_read:
+            self.stats.prefetch_reads += 1
+            res = self.dram.access(line, now, is_write=False)
+            self._prefetch_ready[line] = res.completes_at
+        for wb in out.memory_writebacks:
+            self._buffer_write(wb, now)
+
+
+@dataclass
+class SystemHandle:
+    """Everything a workload run needs, bundled."""
+
+    name: str
+    config: SimConfig
+    engine: TraceEngine
+    memory: MemorySystem
+    xmemlib: Optional[XMemLib] = None
+    controller: Optional[CacheController] = None
+
+    def run(self, trace: Trace) -> EngineStats:
+        """Execute a trace on this machine.
+
+        Machines without an XMem system automatically drop the trace's
+        XMem operations (hints are supplemental: the binary still runs).
+        """
+        if self.xmemlib is None:
+            trace = strip_xmem(trace)
+        return self.engine.run(trace)
+
+    @property
+    def llc(self):
+        """The last-level cache (stats live here)."""
+        return self.memory.hierarchy.llc
+
+    @property
+    def dram(self) -> DramSystem:
+        """The DRAM system (latency/RBL stats live here)."""
+        return self.memory.dram
+
+
+def _base_parts(config: SimConfig):
+    hierarchy = CacheHierarchy(config.levels, config.line_bytes)
+    dram = DramSystem(
+        geometry=config.dram_geometry,
+        timing=config.timing(),
+        mapping=config.dram_mapping,
+    )
+    stride = None
+    if config.prefetcher.enabled:
+        stride = MultiStridePrefetcher(
+            streams=config.prefetcher.streams,
+            degree=config.prefetcher.degree,
+            line_bytes=config.line_bytes,
+        )
+    return hierarchy, dram, stride
+
+
+def build_baseline(config: SimConfig,
+                   translate: Optional[Callable[[int], int]] = None
+                   ) -> SystemHandle:
+    """The strengthened baseline: DRRIP + multi-stride prefetcher."""
+    hierarchy, dram, stride = _base_parts(config)
+    memory = MemorySystem(hierarchy, dram, stride_prefetcher=stride)
+    engine = TraceEngine(memory, xmemlib=None, translate=translate,
+                         issue_width=config.cpu.issue_width,
+                         window=config.cpu.window)
+    return SystemHandle("baseline", config, engine, memory)
+
+
+def build_xmem(config: SimConfig,
+               translate: Optional[Callable[[int], int]] = None,
+               process: Optional[XMemProcess] = None) -> SystemHandle:
+    """Baseline + Use-Case-1 cache management + XMem prefetching."""
+    hierarchy, dram, stride = _base_parts(config)
+    xmemlib = XMemLib(process)
+    xmem_pf = XMemPrefetcher(
+        lookup_atom=xmemlib.process.amu.lookup,
+        line_bytes=config.line_bytes,
+    )
+    memory = MemorySystem(hierarchy, dram, stride_prefetcher=stride,
+                          xmem_prefetcher=xmem_pf)
+    controller = CacheController(xmemlib, hierarchy.llc,
+                                 prefetcher=xmem_pf)
+    controller.install(hierarchy)
+    engine = TraceEngine(memory, xmemlib=xmemlib, translate=translate,
+                         issue_width=config.cpu.issue_width,
+                         window=config.cpu.window)
+    return SystemHandle("xmem", config, engine, memory,
+                        xmemlib=xmemlib, controller=controller)
+
+
+def build_xmem_pref(config: SimConfig,
+                    translate: Optional[Callable[[int], int]] = None
+                    ) -> SystemHandle:
+    """Figure 6's XMem-Pref: semantic prefetching, DRRIP caching.
+
+    The controller still tracks the "pinned" working set so the
+    prefetcher knows what to fetch, but its pin predicate is *not*
+    installed -- insertion stays default-priority everywhere.
+    """
+    hierarchy, dram, stride = _base_parts(config)
+    xmemlib = XMemLib()
+    xmem_pf = XMemPrefetcher(
+        lookup_atom=xmemlib.process.amu.lookup,
+        line_bytes=config.line_bytes,
+    )
+    memory = MemorySystem(hierarchy, dram, stride_prefetcher=stride,
+                          xmem_prefetcher=xmem_pf)
+    controller = CacheController(xmemlib, hierarchy.llc,
+                                 prefetcher=xmem_pf)
+    # Deliberately NOT installed on the hierarchy: no pinning.
+    engine = TraceEngine(memory, xmemlib=xmemlib, translate=translate,
+                         issue_width=config.cpu.issue_width,
+                         window=config.cpu.window)
+    return SystemHandle("xmem-pref", config, engine, memory,
+                        xmemlib=xmemlib, controller=controller)

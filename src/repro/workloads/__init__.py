@@ -1,0 +1,6 @@
+"""Workloads: Polybench kernels (Use Case 1) and the 27-workload
+SPEC/Rodinia/Parboil suite (Use Case 2)."""
+
+from repro.workloads import polybench, suite
+
+__all__ = ["polybench", "suite"]

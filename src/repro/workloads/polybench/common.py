@@ -1,0 +1,165 @@
+"""Shared infrastructure for the Polybench kernel traces.
+
+The paper evaluates Use Case 1 on Polybench kernels statically tiled by
+PLUTO (Section 5.3).  We reproduce the kernels as *trace generators*:
+each kernel walks its (tiled) loop nest and emits the memory accesses
+the compiled loop nest would issue, at cache-line granularity --
+consecutive same-line element accesses are folded into one
+:class:`MemAccess` whose ``work`` field carries the elided arithmetic
+instructions.  This preserves the cache-visible access stream exactly
+while keeping traces tractable.
+
+XMem instrumentation follows the Section 5.2 idiom: one atom describes
+the *current high-reuse tile*; when the kernel moves to the next tile it
+remaps the same atom (`atom_remap`), and the cache controller re-runs
+its pinning decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.core.errors import ConfigurationError
+from repro.cpu.trace import MemAccess, TraceEvent, XMemOp
+
+#: Elements are double-precision floats throughout Polybench.
+ELEM = 8
+#: Cache-line size assumed by line-granular emission.
+LINE = 64
+#: Elements per cache line.
+EPL = LINE // ELEM
+
+#: Arithmetic instructions modelled per elided element access (a
+#: multiply-add plus loop overhead).
+WORK_PER_ELEM = 3
+
+
+@dataclass
+class Array:
+    """One dense array of the kernel, laid out row-major."""
+
+    name: str
+    base: int
+    rows: int
+    cols: int
+
+    @property
+    def bytes(self) -> int:
+        """Footprint in bytes."""
+        return self.rows * self.cols * ELEM
+
+    def addr(self, i: int, j: int = 0) -> int:
+        """Virtual address of element [i][j]."""
+        return self.base + (i * self.cols + j) * ELEM
+
+
+class Layout:
+    """Bump allocator for kernel arrays (page-aligned, gap-padded)."""
+
+    def __init__(self, base: int = 0x10_0000) -> None:
+        self._next = base
+        self.arrays: List[Array] = []
+
+    def array(self, name: str, rows: int, cols: int = 1) -> Array:
+        """Allocate a rows x cols array."""
+        arr = Array(name, self._next, rows, cols)
+        size = arr.bytes
+        # Page-align the next array and leave a guard page so distinct
+        # arrays never share an AAM chunk.
+        self._next += (size + 8191) // 4096 * 4096
+        self.arrays.append(arr)
+        return arr
+
+
+def row_segment(arr: Array, i: int, j0: int, width: int,
+                write: bool = False,
+                work_per_elem: int = WORK_PER_ELEM
+                ) -> Iterator[MemAccess]:
+    """Stream elements [i][j0 : j0+width) at line granularity."""
+    start = arr.addr(i, j0)
+    end = arr.addr(i, j0 + width)
+    addr = start - (start % LINE)
+    while addr < end:
+        lo = max(addr, start)
+        hi = min(addr + LINE, end)
+        elems = (hi - lo) // ELEM
+        yield MemAccess(lo, write, work=elems * work_per_elem)
+        addr += LINE
+
+
+def col_segment(arr: Array, j: int, i0: int, height: int,
+                write: bool = False,
+                work_per_elem: int = WORK_PER_ELEM
+                ) -> Iterator[MemAccess]:
+    """Walk a column: one access per element (each its own line when
+    cols*ELEM >= LINE, which holds for all our kernels)."""
+    for i in range(i0, i0 + height):
+        yield MemAccess(arr.addr(i, j), write, work=work_per_elem)
+
+
+def tiles(n: int, tile: int) -> Iterator[range]:
+    """Split [0, n) into tile-sized chunks."""
+    for t0 in range(0, n, tile):
+        yield range(t0, min(t0 + tile, n))
+
+
+def check_params(n: int, tile: int) -> None:
+    """Validate the (N, tile) pair of a kernel invocation."""
+    if n <= 0:
+        raise ConfigurationError(f"kernel size must be > 0: {n}")
+    if tile <= 0 or tile > n:
+        raise ConfigurationError(
+            f"tile must be in [1, {n}], got {tile}"
+        )
+
+
+def map_tile_2d(atom_id: int, arr: Array, i0: int, j0: int,
+                height: int, width: int) -> XMemOp:
+    """Remap an atom onto a 2-D tile of ``arr``.
+
+    Uses the AtomMap2D form of Table 2: width/row-length in bytes.
+    """
+    return XMemOp(
+        "atom_remap_2d", atom_id,
+        arr.addr(i0, j0), width * ELEM, height, arr.cols * ELEM,
+    )
+
+
+def map_range(atom_id: int, arr: Array, i0: int, rows: int) -> XMemOp:
+    """Remap an atom onto a contiguous band of rows of ``arr``."""
+    return XMemOp("atom_remap", atom_id, arr.addr(i0, 0),
+                  rows * arr.cols * ELEM)
+
+
+@dataclass
+class Kernel:
+    """Registry record of one Polybench kernel."""
+
+    name: str
+    #: setup(lib) -> dict of atom ids (None lib: returns {} -- baseline)
+    setup: callable
+    #: trace(n, tile, atoms) -> event iterator
+    trace: callable
+    #: Arrays touched, as a footprint estimator: footprint(n) -> bytes.
+    footprint: callable
+    description: str = ""
+
+    def build_trace(self, n: int, tile: int,
+                    lib=None) -> Iterator[TraceEvent]:
+        """Set up atoms (when a lib is present) and emit the trace."""
+        check_params(n, tile)
+        atoms = self.setup(lib) if lib is not None else {}
+        return self.trace(n, tile, atoms)
+
+
+#: Global kernel registry, filled by the kernel modules at import time.
+KERNELS: Dict[str, Kernel] = {}
+
+
+def register(kernel: Kernel) -> Kernel:
+    """Add a kernel to the registry (import-time side effect)."""
+    if kernel.name in KERNELS:
+        raise ConfigurationError(f"duplicate kernel {kernel.name!r}")
+    KERNELS[kernel.name] = kernel
+    return kernel

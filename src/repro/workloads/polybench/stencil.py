@@ -1,0 +1,136 @@
+"""Stencil kernels: jacobi-2d, seidel-2d, fdtd-2d.
+
+PLUTO time-tiles stencils: a spatial band of rows is swept repeatedly
+across the time steps of a time tile, so the band is the high-reuse
+working set.  The tile parameter is the band height in rows; the band's
+working-set bytes scale with ``tile * n * ELEM * arrays``.  The XMem
+atom maps the current band and slides with it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.core.attributes import PatternType
+from repro.cpu.trace import TraceEvent
+from repro.workloads.polybench.common import (
+    ELEM,
+    Kernel,
+    Layout,
+    map_range,
+    register,
+    row_segment,
+    tiles,
+)
+
+#: Time steps per time tile -- the reuse count of a band.
+TSTEPS = 8
+
+
+def _setup_band(lib) -> Dict[str, int]:
+    if lib is None:
+        return {}
+    band = lib.create_atom(
+        "stencil_band", pattern=PatternType.REGULAR, stride_bytes=ELEM,
+        reuse=TSTEPS * 8,
+    )
+    lib.atom_activate(band)
+    return {"band": band}
+
+
+def _jacobi2d_trace(n: int, tile: int, atoms: Dict[str, int]
+                    ) -> Iterator[TraceEvent]:
+    lay = Layout()
+    a = lay.array("A", n, n)
+    b = lay.array("B", n, n)
+    band = atoms.get("band")
+    for rows in tiles(n, tile):
+        if band is not None:
+            yield map_range(band, a, rows.start, len(rows))
+        for _t in range(TSTEPS):
+            for i in rows:
+                lo = max(i - 1, 0)
+                hi = min(i + 1, n - 1)
+                # 5-point stencil: rows i-1, i, i+1 of A; write B[i].
+                yield from row_segment(a, lo, 0, n)
+                if lo != i:
+                    yield from row_segment(a, i, 0, n)
+                if hi != i:
+                    yield from row_segment(a, hi, 0, n)
+                yield from row_segment(b, i, 0, n, write=True)
+            # Copy-back half step: A = B within the band.
+            for i in rows:
+                yield from row_segment(b, i, 0, n)
+                yield from row_segment(a, i, 0, n, write=True)
+
+
+def _seidel2d_trace(n: int, tile: int, atoms: Dict[str, int]
+                    ) -> Iterator[TraceEvent]:
+    lay = Layout()
+    a = lay.array("A", n, n)
+    band = atoms.get("band")
+    for rows in tiles(n, tile):
+        if band is not None:
+            yield map_range(band, a, rows.start, len(rows))
+        for _t in range(TSTEPS):
+            for i in rows:
+                lo = max(i - 1, 0)
+                hi = min(i + 1, n - 1)
+                # In-place 9-point sweep reads 3 rows, writes row i.
+                yield from row_segment(a, lo, 0, n)
+                if lo != i:
+                    yield from row_segment(a, i, 0, n)
+                if hi != i:
+                    yield from row_segment(a, hi, 0, n)
+                yield from row_segment(a, i, 0, n, write=True)
+
+
+def _fdtd2d_trace(n: int, tile: int, atoms: Dict[str, int]
+                  ) -> Iterator[TraceEvent]:
+    lay = Layout()
+    ex = lay.array("ex", n, n)
+    ey = lay.array("ey", n, n)
+    hz = lay.array("hz", n, n)
+    band = atoms.get("band")
+    for rows in tiles(n, tile):
+        if band is not None:
+            yield map_range(band, hz, rows.start, len(rows))
+        for _t in range(TSTEPS):
+            for i in rows:
+                lo = max(i - 1, 0)
+                # ey[i][j] -= 0.5 (hz[i][j] - hz[i-1][j])
+                yield from row_segment(hz, lo, 0, n)
+                yield from row_segment(ey, i, 0, n, write=True)
+                # ex[i][j] -= 0.5 (hz[i][j] - hz[i][j-1])
+                yield from row_segment(hz, i, 0, n)
+                yield from row_segment(ex, i, 0, n, write=True)
+                # hz[i][j] -= 0.7 (ex[i][j+1] - ex[i][j]
+                #                 + ey[i+1][j] - ey[i][j])
+                yield from row_segment(ex, i, 0, n)
+                yield from row_segment(ey, i, 0, n)
+                yield from row_segment(hz, i, 0, n, write=True)
+
+
+JACOBI2D = register(Kernel(
+    name="jacobi2d",
+    setup=_setup_band,
+    trace=_jacobi2d_trace,
+    footprint=lambda n: 2 * n * n * ELEM,
+    description="5-point Jacobi, time-tiled bands; atom on the band",
+))
+
+SEIDEL2D = register(Kernel(
+    name="seidel2d",
+    setup=_setup_band,
+    trace=_seidel2d_trace,
+    footprint=lambda n: n * n * ELEM,
+    description="in-place Gauss-Seidel sweep, time-tiled bands",
+))
+
+FDTD2D = register(Kernel(
+    name="fdtd2d",
+    setup=_setup_band,
+    trace=_fdtd2d_trace,
+    footprint=lambda n: 3 * n * n * ELEM,
+    description="2-D FDTD over ex/ey/hz, time-tiled bands",
+))

@@ -1,0 +1,31 @@
+"""The 27-workload Use-Case-2 suite (SPEC / Rodinia / Parboil models)."""
+
+from repro.workloads.suite.catalog import (
+    BY_NAME,
+    LOW_HEADROOM,
+    RANDOM_DOMINATED,
+    SUITE,
+    graph,
+    stream,
+    table,
+)
+from repro.workloads.suite.spec import (
+    LINE,
+    StructureSpec,
+    SuiteWorkload,
+    WORK_PER_ACCESS,
+)
+
+__all__ = [
+    "BY_NAME",
+    "LINE",
+    "LOW_HEADROOM",
+    "RANDOM_DOMINATED",
+    "SUITE",
+    "StructureSpec",
+    "SuiteWorkload",
+    "WORK_PER_ACCESS",
+    "graph",
+    "stream",
+    "table",
+]

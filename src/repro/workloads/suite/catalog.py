@@ -1,0 +1,173 @@
+"""The 27 Use-Case-2 workload models (SPEC CPU2006 / Rodinia / Parboil).
+
+Each entry models the memory-intensive behaviour of one workload from
+the paper's Section 6 evaluation as a mix of data structures with
+distinct access semantics.  The mixes are chosen to reproduce the
+paper's qualitative behaviour classes:
+
+* **streaming-dominated** (libquantum, lbm, GemsFDTD, ...) -- several
+  concurrently accessed regular structures: randomized placement lets
+  them interfere in DRAM banks; XMem isolates the hot ones.
+* **irregular-dominated** (mcf, xalancbmk, bfsRod) -- random access
+  patterns with no row locality to protect: the paper observes these
+  gain little.
+* **little-headroom** (sc, histo) -- effectively a single stream whose
+  row locality is already near-perfect under any placement.
+* **mixed** -- a hot stream plus irregular side structures, the main
+  beneficiary class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.attributes import PatternType, RWChar
+from repro.workloads.suite.spec import StructureSpec, SuiteWorkload
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+def stream(name: str, size: int, intensity: int,
+           stride: int = 64, rw: RWChar = RWChar.READ_WRITE,
+           write_fraction: float = 0.2) -> StructureSpec:
+    """A sequentially streamed structure (high RBL)."""
+    return StructureSpec(name, size, PatternType.REGULAR,
+                         stride_bytes=stride, intensity=intensity,
+                         rw=rw, write_fraction=write_fraction)
+
+
+def table(name: str, size: int, intensity: int,
+          write_fraction: float = 0.3) -> StructureSpec:
+    """A randomly probed structure (no repeatable pattern)."""
+    return StructureSpec(name, size, PatternType.NON_DET,
+                         intensity=intensity,
+                         write_fraction=write_fraction)
+
+
+def graph(name: str, size: int, intensity: int,
+          write_fraction: float = 0.1) -> StructureSpec:
+    """An irregular-but-repeatable structure (graph-like)."""
+    return StructureSpec(name, size, PatternType.IRREGULAR,
+                         intensity=intensity,
+                         write_fraction=write_fraction)
+
+
+def _w(name: str, *structures: StructureSpec,
+       description: str = "") -> SuiteWorkload:
+    return SuiteWorkload(name=name, structures=tuple(structures),
+                         description=description)
+
+
+#: The full 27-workload roster of Figure 7/8.
+SUITE: Tuple[SuiteWorkload, ...] = (
+    # ---- SPEC CPU2006 (15) ------------------------------------------------
+    _w("mcf",
+       table("nodes", 10 * MB, 230), stream("arcs", 2 * MB, 40),
+       description="pointer-chasing network simplex; random-dominated"),
+    _w("lbm",
+       stream("grid_src", 6 * MB, 210), stream("grid_dst", 6 * MB, 190,
+                                               write_fraction=0.8),
+       stream("flags", 1 * MB, 40, rw=RWChar.READ_ONLY),
+       description="lattice-Boltzmann: two big concurrent streams"),
+    _w("libquantum",
+       stream("state", 8 * MB, 250, rw=RWChar.READ_WRITE),
+       table("gates", 256 * KB, 20),
+       description="quantum register sweeps: one dominant stream"),
+    _w("milc",
+       stream("links", 4 * MB, 180), stream("momenta", 4 * MB, 150),
+       table("rand", 1 * MB, 60),
+       description="lattice QCD: strided field updates + noise table"),
+    _w("soplex",
+       stream("columns", 4 * MB, 160), table("basis", 3 * MB, 120),
+       description="LP solver: column streams vs. basis probing"),
+    _w("gcc",
+       table("ir", 3 * MB, 150), stream("rtl", 2 * MB, 110),
+       description="compiler IR walks with streaming passes"),
+    _w("omnetpp",
+       graph("events", 6 * MB, 200), stream("queues", 1 * MB, 70),
+       description="discrete-event simulation: heap-order event walks"),
+    _w("astar",
+       graph("grid", 4 * MB, 180), stream("open_list", 2 * MB, 90),
+       description="pathfinding: repeatable graph expansion"),
+    _w("sphinx3",
+       stream("acoustic", 4 * MB, 190, rw=RWChar.READ_ONLY),
+       table("hmm", 2 * MB, 110),
+       description="speech decoding: model streaming + HMM probes"),
+    _w("GemsFDTD",
+       stream("e_field", 4 * MB, 200), stream("h_field", 4 * MB, 200),
+       stream("coeff", 2 * MB, 80, rw=RWChar.READ_ONLY),
+       description="FDTD: three concurrent field streams"),
+    _w("leslie3d",
+       stream("u", 3 * MB, 170), stream("v", 3 * MB, 170),
+       stream("w", 3 * MB, 160),
+       description="CFD: multi-array sweeps"),
+    _w("bwaves",
+       stream("q", 5 * MB, 200), stream("rhs", 5 * MB, 180,
+                                        write_fraction=0.7),
+       description="blast-wave solver: paired read/write streams"),
+    _w("cactusADM",
+       stream("metric", 5 * MB, 190), table("lookup", 1 * MB, 60),
+       description="numerical relativity: stencil stream + tables"),
+    _w("zeusmp",
+       stream("density", 3 * MB, 170), stream("energy", 3 * MB, 160),
+       stream("velocity", 3 * MB, 150),
+       description="astrophysics MHD: three field streams"),
+    _w("xalancbmk",
+       table("dom", 6 * MB, 220), table("symbols", 2 * MB, 80),
+       description="XSLT: pointer-heavy DOM traversal; random-dominated"),
+    # ---- Rodinia (7) ------------------------------------------------------
+    _w("bfsRod",
+       graph("edges", 8 * MB, 230), stream("frontier", 1 * MB, 50),
+       description="breadth-first search; random-dominated"),
+    _w("kmeans",
+       stream("features", 6 * MB, 200, rw=RWChar.READ_ONLY),
+       table("centroids", 512 * KB, 90),
+       description="clustering: feature streaming + centroid updates"),
+    _w("backprop",
+       stream("weights_in", 4 * MB, 190),
+       stream("weights_out", 4 * MB, 170, write_fraction=0.8),
+       description="neural net training: weight matrix sweeps"),
+    _w("hotspot",
+       stream("temp", 4 * MB, 200), stream("power", 4 * MB, 140,
+                                           rw=RWChar.READ_ONLY),
+       description="thermal grid: paired grid streams"),
+    _w("srad",
+       stream("image", 5 * MB, 210), stream("coeff", 2 * MB, 100),
+       description="image diffusion: pixel streams"),
+    _w("sc",
+       stream("points", 6 * MB, 220, rw=RWChar.READ_ONLY),
+       description="streamcluster: one stream; little headroom"),
+    _w("particlefilter",
+       stream("particles", 4 * MB, 180), table("weights", 1 * MB, 90),
+       description="sequential Monte Carlo: particle array sweeps"),
+    # ---- Parboil (5) ------------------------------------------------------
+    _w("histo",
+       stream("input", 6 * MB, 200, rw=RWChar.READ_ONLY),
+       description="histogram over a streamed input; little headroom"),
+    _w("spmv",
+       stream("values", 4 * MB, 190, rw=RWChar.READ_ONLY),
+       graph("x_gather", 3 * MB, 150),
+       description="sparse mat-vec: value stream + index gathers"),
+    _w("stencil",
+       stream("grid_in", 4 * MB, 200, rw=RWChar.READ_ONLY),
+       stream("grid_out", 4 * MB, 180, write_fraction=0.9),
+       description="7-point stencil: in/out grid streams"),
+    _w("sgemm",
+       stream("a", 3 * MB, 180, rw=RWChar.READ_ONLY),
+       stream("b", 3 * MB, 200, rw=RWChar.READ_ONLY),
+       stream("c", 3 * MB, 120, write_fraction=0.6),
+       description="dense matmul tiles: three matrix streams"),
+    _w("cutcp",
+       stream("lattice", 4 * MB, 170, write_fraction=0.5),
+       table("atoms", 2 * MB, 110),
+       description="Coulomb potential: lattice stream + atom probes"),
+)
+
+#: name -> workload, for lookup by the benches.
+BY_NAME: Dict[str, SuiteWorkload] = {w.name: w for w in SUITE}
+
+#: The workloads the paper singles out as gaining little: <3% headroom
+#: (sc, histo) or random-access-dominated (mcf, xalancbmk, bfsRod).
+LOW_HEADROOM = ("sc", "histo")
+RANDOM_DOMINATED = ("mcf", "xalancbmk", "bfsRod")

@@ -1,0 +1,60 @@
+"""OS substrate: physical memory, page tables, allocators, placement."""
+
+from repro.xos.allocator import (
+    ALLOCATORS,
+    BankTargetAllocator,
+    FrameAllocator,
+    RandomizedAllocator,
+    SequentialAllocator,
+)
+from repro.xos.loader import OperatingSystem, Process
+from repro.xos.page_table import PageTable
+from repro.xos.phys import BankKey, FramePool, PAGE_BYTES
+from repro.xos.placement import (
+    MAX_ISOLATION_FRACTION,
+    MIN_INTENSITY_SHARE,
+    PlacementDecision,
+    plan_from_gat,
+    plan_placement,
+)
+from repro.xos.numa import (
+    NumaCandidate,
+    NumaMachine,
+    NumaTrafficModel,
+    REPLICATED,
+    first_touch_numa,
+    plan_numa_placement,
+)
+from repro.xos.virt import GuestProcess, Hypervisor, VirtualMachine
+from repro.xos.vmalloc import Allocation, HeapAllocator, HEAP_BASE
+
+__all__ = [
+    "ALLOCATORS",
+    "Allocation",
+    "BankKey",
+    "BankTargetAllocator",
+    "FrameAllocator",
+    "FramePool",
+    "GuestProcess",
+    "Hypervisor",
+    "NumaCandidate",
+    "NumaMachine",
+    "NumaTrafficModel",
+    "REPLICATED",
+    "VirtualMachine",
+    "first_touch_numa",
+    "plan_numa_placement",
+    "HEAP_BASE",
+    "HeapAllocator",
+    "MAX_ISOLATION_FRACTION",
+    "MIN_INTENSITY_SHARE",
+    "OperatingSystem",
+    "PAGE_BYTES",
+    "PageTable",
+    "PlacementDecision",
+    "Process",
+    "RandomizedAllocator",
+    "SequentialAllocator",
+    "plan_from_gat",
+    "plan_placement",
+]

@@ -1,0 +1,96 @@
+"""Page-frame allocation policies.
+
+Which frame backs a freshly touched page determines its DRAM bank.
+Three policies:
+
+* :class:`SequentialAllocator` -- lowest free frame first (Buddy-like
+  contiguity, the unstrengthened default).
+* :class:`RandomizedAllocator` -- random free frame.  The paper
+  strengthens its baseline with randomized virtual-to-physical mapping,
+  "shown to perform better than the Buddy algorithm [23]" (Section
+  6.3).
+* :class:`BankTargetAllocator` -- the XMem policy's workhorse: draws
+  frames from an assigned set of banks (falling back to any frame when
+  the banks are exhausted), so a data structure lands where the
+  Section 6.2 algorithm decided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.xos.phys import BankKey, FramePool
+
+
+class FrameAllocator:
+    """Interface: pick a frame for (process, atom) context."""
+
+    name = "abstract"
+
+    def __init__(self, pool: FramePool) -> None:
+        self.pool = pool
+
+    def allocate(self, atom_id: Optional[int] = None) -> int:
+        raise NotImplementedError
+
+
+class SequentialAllocator(FrameAllocator):
+    """Lowest-numbered free frame (contiguous, Buddy-like)."""
+
+    name = "sequential"
+
+    def allocate(self, atom_id: Optional[int] = None) -> int:
+        return self.pool.alloc_any(randomize=False)
+
+
+class RandomizedAllocator(FrameAllocator):
+    """Uniformly random free frame (the strengthened baseline [23])."""
+
+    name = "randomized"
+
+    def allocate(self, atom_id: Optional[int] = None) -> int:
+        return self.pool.alloc_any(randomize=True)
+
+
+class BankTargetAllocator(FrameAllocator):
+    """Frames drawn from per-atom bank assignments (Use Case 2).
+
+    ``assignments`` maps atom IDs to the banks chosen by the placement
+    algorithm.  Pages of unassigned atoms (or plain data) fall back to
+    the ``fallback`` policy over the whole pool.
+    """
+
+    name = "bank_target"
+
+    def __init__(self, pool: FramePool,
+                 assignments: Optional[Dict[int, Sequence[BankKey]]] = None,
+                 randomize_within_banks: bool = True) -> None:
+        super().__init__(pool)
+        self.assignments: Dict[int, Sequence[BankKey]] = dict(
+            assignments or {}
+        )
+        self.randomize_within_banks = randomize_within_banks
+        self.fallbacks = 0
+
+    def assign(self, atom_id: int, banks: Sequence[BankKey]) -> None:
+        """Record/replace the bank set for one atom."""
+        self.assignments[atom_id] = list(banks)
+
+    def allocate(self, atom_id: Optional[int] = None) -> int:
+        banks = self.assignments.get(atom_id) if atom_id is not None \
+            else None
+        if banks:
+            frame = self.pool.alloc_in_banks(
+                banks, randomize=self.randomize_within_banks
+            )
+            if frame is not None:
+                return frame
+        self.fallbacks += 1
+        return self.pool.alloc_any(randomize=True)
+
+
+ALLOCATORS = {
+    cls.name: cls
+    for cls in (SequentialAllocator, RandomizedAllocator,
+                BankTargetAllocator)
+}

@@ -1,0 +1,136 @@
+"""NUMA data placement from atom semantics (Table 1, row 7).
+
+On a multi-socket machine, a page served from the local node is much
+cheaper than from a remote one.  Without semantics, the OS profiles or
+migrates reactively; with XMem the application expresses (i) *which
+threads access which data* (data partitioning) and (ii) *read-write
+characteristics*, enabling two static decisions the paper lists:
+
+* co-locate each partition with the thread that accesses it;
+* replicate READ-ONLY data on every node that reads it (replication is
+  only safe because the data is known not to be written).
+
+The model: ``NumaMachine`` with N nodes and local/remote latencies;
+``plan_numa_placement`` consumes per-atom affinity + RWChar and emits
+a node assignment (possibly "replicated"); ``NumaTrafficModel``
+evaluates average access latency for a given access matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.core.attributes import AtomAttributes, RWChar
+from repro.core.errors import ConfigurationError
+
+#: Marker node id for replicated (per-node copy) placement.
+REPLICATED = -1
+
+
+@dataclass(frozen=True)
+class NumaMachine:
+    """Node count and the local/remote latency split."""
+
+    nodes: int = 2
+    local_latency: float = 90.0
+    remote_latency: float = 220.0
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ConfigurationError("need at least one node")
+        if self.remote_latency < self.local_latency:
+            raise ConfigurationError(
+                "remote access cannot be cheaper than local"
+            )
+
+
+@dataclass(frozen=True)
+class NumaCandidate:
+    """One data structure with its thread-affinity semantics.
+
+    ``accesses_by_node`` is the expressed (or profiled) share of
+    accesses issued from each node's threads.
+    """
+
+    atom_id: int
+    attributes: AtomAttributes
+    accesses_by_node: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.accesses_by_node or \
+                any(a < 0 for a in self.accesses_by_node):
+            raise ConfigurationError("bad access distribution")
+
+    @property
+    def dominant_node(self) -> int:
+        """The node issuing the most accesses."""
+        return max(range(len(self.accesses_by_node)),
+                   key=lambda n: self.accesses_by_node[n])
+
+    @property
+    def shared(self) -> bool:
+        """True when no node owns a 2/3 majority of the accesses."""
+        total = sum(self.accesses_by_node) or 1.0
+        return max(self.accesses_by_node) / total < (2 / 3)
+
+
+def plan_numa_placement(candidates: Sequence[NumaCandidate],
+                        machine: NumaMachine) -> Dict[int, int]:
+    """atom id -> node id (or REPLICATED).
+
+    Rules (Table 1 row 7): private data co-locates with its dominant
+    node; shared READ-ONLY data replicates; shared writable data goes
+    to its dominant node (replication would need coherence).
+    """
+    out: Dict[int, int] = {}
+    for cand in candidates:
+        if len(cand.accesses_by_node) != machine.nodes:
+            raise ConfigurationError(
+                f"atom {cand.atom_id}: distribution has "
+                f"{len(cand.accesses_by_node)} nodes, machine has "
+                f"{machine.nodes}"
+            )
+        if cand.shared and cand.attributes.access.rw is RWChar.READ_ONLY:
+            out[cand.atom_id] = REPLICATED
+        else:
+            out[cand.atom_id] = cand.dominant_node
+    return out
+
+
+def first_touch_numa(candidates: Sequence[NumaCandidate],
+                     machine: NumaMachine,
+                     touching_node: int = 0) -> Dict[int, int]:
+    """The no-semantics baseline: everything lands where the
+    initializing thread first touched it (commonly node 0)."""
+    return {c.atom_id: touching_node for c in candidates}
+
+
+class NumaTrafficModel:
+    """Average access latency under a placement."""
+
+    def __init__(self, machine: NumaMachine) -> None:
+        self.machine = machine
+
+    def atom_latency(self, cand: NumaCandidate, node: int) -> float:
+        """Mean latency for one atom given its home node."""
+        total = sum(cand.accesses_by_node) or 1.0
+        m = self.machine
+        if node == REPLICATED:
+            # Every reader hits its local copy.
+            return m.local_latency
+        local_share = cand.accesses_by_node[node] / total
+        return (local_share * m.local_latency
+                + (1 - local_share) * m.remote_latency)
+
+    def mean_latency(self, candidates: Sequence[NumaCandidate],
+                     placement: Mapping[int, int]) -> float:
+        """Access-weighted mean latency over all atoms."""
+        weighted = 0.0
+        weight = 0.0
+        for cand in candidates:
+            w = sum(cand.accesses_by_node)
+            weighted += w * self.atom_latency(
+                cand, placement[cand.atom_id])
+            weight += w
+        return weighted / weight if weight else 0.0

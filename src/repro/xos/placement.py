@@ -1,0 +1,151 @@
+"""Use Case 2: data placement in DRAM (Section 6.2).
+
+The OS takes the attributes of every atom (from the atom segment /
+GAT), translates them to DRAM primitives (high-RBL? irregular? how
+hot?), and decides which banks each data structure's pages should be
+drawn from:
+
+1. **Isolate** data structures with high row-buffer locality in
+   dedicated banks -- but only those hot enough that dedicating a bank
+   to them does not reduce overall memory-level parallelism, and not
+   write-heavy ones (their writeback stream would fight their own
+   reads inside a small bank set);
+2. **Spread** every other data structure across all the unallocated
+   banks to maximize MLP.
+
+Placement can only steer pages, and under channel-interleaved
+controller mappings a page spans a *group* of banks; the algorithm
+therefore allocates whole isolation groups (see
+:meth:`repro.xos.phys.FramePool.bank_groups`).  With a page-per-bank
+mapping every group is a single bank and the behaviour reduces to the
+paper's description.
+
+The output feeds :class:`repro.xos.allocator.BankTargetAllocator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.attributes import AtomAttributes
+from repro.core.pat import DramPrimitives, translate_for_dram
+from repro.xos.phys import BankKey
+
+#: An atom must carry at least this share of the total access intensity
+#: before a bank is dedicated to it (the MLP guard of Section 6.2).
+MIN_INTENSITY_SHARE = 0.10
+
+#: At most this fraction of all banks may be dedicated to isolated
+#: structures; the rest stay in the spread pool for MLP.
+MAX_ISOLATION_FRACTION = 0.5
+
+
+@dataclass
+class PlacementDecision:
+    """The bank map the algorithm produces."""
+
+    #: atom id -> dedicated banks (high-RBL isolated structures).
+    isolated: Dict[int, List[BankKey]] = field(default_factory=dict)
+    #: banks shared by everything else.
+    spread_banks: List[BankKey] = field(default_factory=list)
+
+    def banks_for(self, atom_id: Optional[int]) -> List[BankKey]:
+        """The banks the given atom's pages should come from."""
+        if atom_id is not None and atom_id in self.isolated:
+            return self.isolated[atom_id]
+        return self.spread_banks
+
+    def as_assignments(self, atom_ids: Sequence[int]
+                       ) -> Dict[int, List[BankKey]]:
+        """Expand into the allocator's atom -> banks table."""
+        return {a: self.banks_for(a) for a in atom_ids}
+
+
+def _interleave_channels(banks: Sequence[BankKey]) -> List[BankKey]:
+    """Order banks so consecutive picks alternate channels (MLP)."""
+    return sorted(banks, key=lambda b: (b[2], b[1], b[0]))
+
+
+def _unit_key(unit: FrozenSet[BankKey]) -> Tuple:
+    """Stable ordering for isolation units (by bank index first)."""
+    return tuple(sorted((b[2], b[1], b[0]) for b in unit))
+
+
+def plan_placement(
+    atoms: Dict[int, Tuple[AtomAttributes, int]],
+    all_banks: Sequence[BankKey],
+    groups: Optional[Sequence[FrozenSet[BankKey]]] = None,
+    min_intensity_share: float = MIN_INTENSITY_SHARE,
+    max_isolation_fraction: float = MAX_ISOLATION_FRACTION,
+) -> PlacementDecision:
+    """Run the Section 6.2 algorithm.
+
+    ``atoms`` maps atom id -> (attributes, footprint bytes).  ``groups``
+    are the page-placement units of the controller mapping (defaults to
+    one bank per unit).
+    """
+    banks = list(all_banks)
+    units: List[FrozenSet[BankKey]] = sorted(
+        (groups if groups is not None
+         else [frozenset({b}) for b in banks]),
+        key=_unit_key,
+    )
+    prims: Dict[int, DramPrimitives] = {
+        a: translate_for_dram(attrs) for a, (attrs, _) in atoms.items()
+    }
+    total_intensity = sum(p.intensity for p in prims.values()) or 1
+
+    # Step 1: pick the isolation candidates -- high RBL, hot enough,
+    # and not write-heavy.
+    candidates = sorted(
+        (a for a, p in prims.items()
+         if p.high_rbl
+         and not p.write_heavy
+         and p.intensity / total_intensity >= min_intensity_share),
+        key=lambda a: prims[a].intensity,
+        reverse=True,
+    )
+
+    decision = PlacementDecision()
+    budget = int(len(banks) * max_isolation_fraction)
+    if candidates and budget > 0:
+        remaining_banks = budget
+        pool = list(units)
+        for position, atom_id in enumerate(candidates):
+            if remaining_banks <= 0 or not pool:
+                break
+            # Banks proportional to the atom's share of the *total*
+            # access intensity; leave at least one unit for every
+            # candidate still waiting.
+            share = prims[atom_id].intensity / total_intensity
+            still_waiting = len(candidates) - position - 1
+            unit_size = len(pool[0])
+            reserve = still_waiting * unit_size
+            cap = max(unit_size, remaining_banks - reserve)
+            want = max(1, min(cap, round(len(all_banks) * share)))
+            chosen: List[BankKey] = []
+            while pool and len(chosen) < want:
+                unit = pool.pop(0)
+                chosen.extend(sorted(unit))
+            decision.isolated[atom_id] = _interleave_channels(chosen)
+            remaining_banks -= len(chosen)
+
+    # Step 2: everything else spreads across the unallocated banks.
+    taken = {b for chosen in decision.isolated.values() for b in chosen}
+    decision.spread_banks = [b for b in _interleave_channels(all_banks)
+                             if b not in taken]
+    if not decision.spread_banks:
+        # Degenerate configuration: never leave the spread pool empty.
+        decision.spread_banks = _interleave_channels(all_banks)
+    return decision
+
+
+def plan_from_gat(gat, footprints: Dict[int, int],
+                  all_banks: Sequence[BankKey],
+                  groups: Optional[Sequence[FrozenSet[BankKey]]] = None,
+                  **kw) -> PlacementDecision:
+    """Convenience: plan placement straight from a process's GAT."""
+    atoms = {atom_id: (attrs, footprints.get(atom_id, 0))
+             for atom_id, attrs in gat}
+    return plan_placement(atoms, all_banks, groups=groups, **kw)

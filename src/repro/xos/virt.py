@@ -1,0 +1,153 @@
+"""XMem in virtualized environments (Section 4.3).
+
+A guest OS runs processes over *guest-physical* memory that the
+hypervisor backs with *host-physical* frames -- two levels of
+translation.  Section 4.3 argues XMem needs **no changes** to work
+here:
+
+* the AAM is indexed by **host** physical address, so it is globally
+  shared across VMs;
+* the AST and PATs are per-process and reload on context switch;
+* the GAT is maintained by each guest OS;
+* ``ATOM_MAP`` translates guest-virtual ranges all the way down to
+  host-physical ranges through the composed MMU.
+
+This module provides the hypervisor and guest plumbing, and
+``make_guest_process`` wires a process whose XMem translate hook is
+the *composed* (gVA -> gPA -> hPA) translation -- the property the
+Section 4.3 tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.errors import AllocationError
+from repro.core.ranges import AddressRange
+from repro.core.xmemlib import XMemLib, XMemProcess
+from repro.xos.page_table import PageTable
+
+
+class Hypervisor:
+    """Backs guest-physical memory with host-physical frames.
+
+    A minimal second-stage translation: each VM gets an extended page
+    table (EPT) mapping guest frames to host frames on demand.
+    """
+
+    def __init__(self, host_frames: int, page_bytes: int = 4096) -> None:
+        self.page_bytes = page_bytes
+        self.host_frames = host_frames
+        self._free = list(range(host_frames - 1, -1, -1))
+        self._epts: Dict[int, PageTable] = {}
+        self._next_vm = 1
+
+    def create_vm(self) -> "VirtualMachine":
+        """Boot a VM with an empty extended page table."""
+        vm_id = self._next_vm
+        self._next_vm += 1
+        self._epts[vm_id] = PageTable(self.page_bytes)
+        return VirtualMachine(vm_id, self)
+
+    def back_guest_frame(self, vm_id: int, gframe: int) -> int:
+        """Allocate a host frame behind a guest frame (EPT fill)."""
+        if not self._free:
+            raise AllocationError("hypervisor out of host frames")
+        hframe = self._free.pop()
+        self._epts[vm_id].map_page(gframe, hframe)
+        return hframe
+
+    def second_stage(self, vm_id: int, gpa: int) -> int:
+        """gPA -> hPA, faulting in the backing frame on first touch."""
+        ept = self._epts[vm_id]
+        gframe = gpa // self.page_bytes
+        if ept.frame_of(gframe) is None:
+            self.back_guest_frame(vm_id, gframe)
+        return ept.translate(gpa)
+
+
+@dataclass
+class VirtualMachine:
+    """One VM: a guest OS with its own first-stage page tables."""
+
+    vm_id: int
+    hypervisor: Hypervisor
+    _next_gframe: int = 0
+    guest_tables: Dict[int, PageTable] = field(default_factory=dict)
+    _next_pid: int = 1
+
+    def create_guest_process(self) -> "GuestProcess":
+        """The guest OS spawns a process."""
+        pid = self._next_pid
+        self._next_pid += 1
+        table = PageTable(self.hypervisor.page_bytes)
+        self.guest_tables[pid] = table
+        return GuestProcess(self, pid, table)
+
+    def allocate_guest_frame(self) -> int:
+        """Guest-physical frame allocation (guest OS buddy stand-in)."""
+        frame = self._next_gframe
+        self._next_gframe += 1
+        return frame
+
+    def translate_to_host(self, pid: int, gva: int) -> int:
+        """The composed gVA -> gPA -> hPA walk the hardware performs."""
+        gpa = self.guest_tables[pid].translate(gva)
+        return self.hypervisor.second_stage(self.vm_id, gpa)
+
+
+class GuestProcess:
+    """A process inside a VM, with an unchanged XMem stack on top.
+
+    The XMem process's MMU hook is the composed two-stage translation,
+    so the AAM ends up indexed by host-physical addresses -- exactly
+    the Section 4.3 design.
+    """
+
+    def __init__(self, vm: VirtualMachine, pid: int,
+                 table: PageTable) -> None:
+        self.vm = vm
+        self.pid = pid
+        self.page_table = table
+        self.xmem = XMemProcess(translate=self._translate_range)
+        self.xmemlib = XMemLib(self.xmem)
+        self._brk = 0x4000_0000
+
+    # -- Guest memory management -------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Guest-virtual allocation, eagerly backed via the guest OS."""
+        if size <= 0:
+            raise AllocationError(f"size must be > 0: {size}")
+        page = self.vm.hypervisor.page_bytes
+        rounded = (size + page - 1) // page * page
+        base = self._brk
+        self._brk += rounded
+        for gvpage in range(base // page, (base + rounded) // page):
+            self.page_table.map_page(gvpage,
+                                     self.vm.allocate_guest_frame())
+        return base
+
+    def translate(self, gva: int) -> int:
+        """gVA -> hPA (what loads and stores see)."""
+        return self.vm.translate_to_host(self.pid, gva)
+
+    # -- MMU hook for the AMU -------------------------------------------
+
+    def _translate_range(self, rng: AddressRange
+                         ) -> Tuple[AddressRange, ...]:
+        """Split a guest-VA range into host-PA ranges, page by page."""
+        page = self.vm.hypervisor.page_bytes
+        out = []
+        va = rng.start
+        while va < rng.end:
+            page_end = min((va // page + 1) * page, rng.end)
+            hpa = self.translate(va)
+            size = page_end - va
+            if out and out[-1].end == hpa:
+                out[-1] = AddressRange(out[-1].start, hpa + size)
+            else:
+                out.append(AddressRange.from_size(hpa, size))
+            va = page_end
+        return tuple(out)

@@ -1,0 +1,105 @@
+"""The user-level memory allocator, atom-aware (Section 4.1.2).
+
+The paper augments ``malloc`` with an Atom ID parameter::
+
+    A = malloc(size, atomID); AtomMap(atomID, A, size);
+
+so the OS knows the atom of a virtual range *before* virtual pages are
+mapped to physical pages and can place them intelligently.  This module
+provides that allocator: a bump allocator over the process's virtual
+address space that
+
+* reserves page-aligned VA ranges,
+* records the static VA-range -> atom mapping for the OS to query, and
+* eagerly asks the OS for physical frames chosen by the active frame-
+  allocation policy (passing the Atom ID down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.errors import AllocationError
+from repro.core.ranges import AddressRange
+
+#: Base of the simulated heap.
+HEAP_BASE = 0x1000_0000
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One live heap allocation."""
+
+    va_range: AddressRange
+    atom_id: Optional[int]
+
+    @property
+    def start(self) -> int:
+        """Base virtual address."""
+        return self.va_range.start
+
+    @property
+    def size(self) -> int:
+        """Requested (page-rounded) size."""
+        return self.va_range.size
+
+
+class HeapAllocator:
+    """Page-granular bump allocator with atom bookkeeping.
+
+    ``back_page`` is the OS hook called once per fresh page with
+    ``(vpage, atom_id)``; it allocates a frame under the active policy
+    and installs the translation.
+    """
+
+    def __init__(self, back_page: Callable[[int, Optional[int]], None],
+                 page_bytes: int = 4096, base: int = HEAP_BASE) -> None:
+        self.page_bytes = page_bytes
+        self._brk = base
+        self._back_page = back_page
+        self._live: Dict[int, Allocation] = {}
+        #: Static VA-range -> atom records, in allocation order (the
+        #: mapping the OS may query, Section 4.1.2).
+        self.static_atom_map: List[Allocation] = []
+
+    def malloc(self, size: int, atom_id: Optional[int] = None) -> int:
+        """Allocate ``size`` bytes; returns the base virtual address."""
+        if size <= 0:
+            raise AllocationError(f"malloc size must be > 0, got {size}")
+        page = self.page_bytes
+        rounded = (size + page - 1) // page * page
+        base = self._brk
+        self._brk += rounded
+        alloc = Allocation(AddressRange.from_size(base, rounded), atom_id)
+        self._live[base] = alloc
+        if atom_id is not None:
+            self.static_atom_map.append(alloc)
+        for vpage in range(base // page, (base + rounded) // page):
+            self._back_page(vpage, atom_id)
+        return base
+
+    def free(self, va: int) -> Allocation:
+        """Release an allocation (bookkeeping only; VA is not reused)."""
+        try:
+            return self._live.pop(va)
+        except KeyError:
+            raise AllocationError(f"free of unallocated address {va:#x}"
+                                  ) from None
+
+    def allocation_at(self, va: int) -> Optional[Allocation]:
+        """The live allocation containing ``va``, if any."""
+        for alloc in self._live.values():
+            if va in alloc.va_range:
+                return alloc
+        return None
+
+    def atom_of_range(self, va: int) -> Optional[int]:
+        """The statically recorded atom for a VA (the OS query)."""
+        alloc = self.allocation_at(va)
+        return alloc.atom_id if alloc else None
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return sum(a.size for a in self._live.values())

@@ -1,0 +1,158 @@
+"""Tests for the Atom Address Map (repro.core.aam)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.aam import AAMConfig, AtomAddressMap
+from repro.core.errors import ConfigurationError
+from repro.core.ranges import AddressRange
+
+
+class TestAAMConfig:
+    def test_defaults_match_paper(self):
+        cfg = AAMConfig()
+        assert cfg.chunk_bytes == 512
+        assert cfg.atom_id_bits == 8
+        assert cfg.chunks_per_page == 8
+
+    def test_default_overhead_is_0_2_percent(self):
+        # 8-bit atom ID per 512 B -> ~0.2% of physical memory.
+        assert AAMConfig().storage_overhead_fraction() == pytest.approx(
+            0.002, rel=0.05
+        )
+
+    def test_compact_overhead_is_0_07_percent(self):
+        # Section 4.2: 6-bit IDs at 1 KB granularity -> 0.07%.
+        cfg = AAMConfig(chunk_bytes=1024, atom_id_bits=6)
+        assert cfg.storage_overhead_fraction() == pytest.approx(
+            0.0007, rel=0.1
+        )
+
+    def test_storage_bytes_8gb(self):
+        # Paper: ~16 MB on an 8 GB system.
+        bytes_ = AAMConfig().storage_bytes(8 << 30)
+        assert bytes_ == pytest.approx(16 << 20, rel=0.05)
+
+    def test_rejects_non_power_of_two_chunks(self):
+        with pytest.raises(ConfigurationError):
+            AAMConfig(chunk_bytes=500)
+
+    def test_rejects_chunk_larger_than_page_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            AAMConfig(chunk_bytes=8192, page_bytes=4096)
+
+    def test_rejects_bad_id_width(self):
+        with pytest.raises(ConfigurationError):
+            AAMConfig(atom_id_bits=0)
+        with pytest.raises(ConfigurationError):
+            AAMConfig(atom_id_bits=17)
+
+
+class TestMapping:
+    def test_lookup_unmapped_is_none(self):
+        aam = AtomAddressMap()
+        assert aam.lookup(0x1234) is None
+
+    def test_map_range_covers_chunks(self):
+        aam = AtomAddressMap()
+        written = aam.map_range(AddressRange(0, 1024), atom_id=5)
+        assert written == 2  # two 512B chunks
+        assert aam.lookup(0) == 5
+        assert aam.lookup(511) == 5
+        assert aam.lookup(1023) == 5
+        assert aam.lookup(1024) is None
+
+    def test_chunk_granularity_approximation(self):
+        # A range covering part of a chunk claims the whole chunk --
+        # the paper's documented approximation.
+        aam = AtomAddressMap()
+        aam.map_range(AddressRange(100, 200), atom_id=1)
+        assert aam.lookup(0) == 1
+        assert aam.lookup(511) == 1
+
+    def test_latest_mapping_wins(self):
+        aam = AtomAddressMap()
+        aam.map_range(AddressRange(0, 512), atom_id=1)
+        aam.map_range(AddressRange(0, 512), atom_id=2)
+        assert aam.lookup(0) == 2
+
+    def test_unmap_only_own_chunks(self):
+        aam = AtomAddressMap()
+        aam.map_range(AddressRange(0, 512), atom_id=1)
+        aam.map_range(AddressRange(0, 512), atom_id=2)
+        # Late unmap from atom 1 must not clobber atom 2's mapping.
+        aam.unmap_range(AddressRange(0, 512), atom_id=1)
+        assert aam.lookup(0) == 2
+
+    def test_unmap_unowned_noop(self):
+        aam = AtomAddressMap()
+        cleared = aam.unmap_range(AddressRange(0, 4096))
+        assert cleared == 0
+
+    def test_unmap_without_id_clears(self):
+        aam = AtomAddressMap()
+        aam.map_range(AddressRange(0, 512), atom_id=7)
+        aam.unmap_range(AddressRange(0, 512))
+        assert aam.lookup(0) is None
+
+    def test_atom_id_must_fit_encoding(self):
+        aam = AtomAddressMap(AAMConfig(atom_id_bits=6))
+        with pytest.raises(ConfigurationError):
+            aam.map_range(AddressRange(0, 512), atom_id=64)
+
+    def test_lookup_page(self):
+        aam = AtomAddressMap()
+        aam.map_range(AddressRange(512, 1024), atom_id=3)
+        page0 = aam.lookup_page(0)
+        assert len(page0) == 8
+        assert page0[0] is None
+        assert page0[1] == 3
+        assert all(e is None for e in page0[2:])
+
+    def test_footprint_bytes(self):
+        aam = AtomAddressMap()
+        aam.map_range(AddressRange(0, 2048), atom_id=1)
+        aam.map_range(AddressRange(8192, 8192 + 512), atom_id=1)
+        assert aam.footprint_bytes(1) == 2048 + 512
+        assert aam.footprint_bytes(2) == 0
+
+    def test_clear(self):
+        aam = AtomAddressMap()
+        aam.map_range(AddressRange(0, 4096), atom_id=1)
+        aam.clear()
+        assert aam.mapped_chunk_count == 0
+
+    def test_mapped_chunks(self):
+        aam = AtomAddressMap()
+        aam.map_range(AddressRange(0, 1024), atom_id=1)
+        aam.map_range(AddressRange(2048, 2560), atom_id=2)
+        assert sorted(aam.mapped_chunks(1)) == [0, 1]
+        assert sorted(aam.mapped_chunks(2)) == [4]
+
+
+@given(
+    base=st.integers(0, 1 << 20),
+    size=st.integers(1, 1 << 16),
+    atom_id=st.integers(0, 255),
+)
+def test_map_then_lookup_every_byte(base, size, atom_id):
+    """Every byte inside a mapped range must resolve to the atom."""
+    aam = AtomAddressMap()
+    rng = AddressRange.from_size(base, size)
+    aam.map_range(rng, atom_id)
+    # Probe the boundaries and a middle point.
+    for addr in {rng.start, rng.start + size // 2, rng.end - 1}:
+        assert aam.lookup(addr) == atom_id
+
+
+@given(
+    base=st.integers(0, 1 << 20),
+    size=st.integers(1, 1 << 16),
+    atom_id=st.integers(0, 255),
+)
+def test_map_unmap_restores_empty(base, size, atom_id):
+    aam = AtomAddressMap()
+    rng = AddressRange.from_size(base, size)
+    aam.map_range(rng, atom_id)
+    aam.unmap_range(rng, atom_id)
+    assert aam.mapped_chunk_count == 0

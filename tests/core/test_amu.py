@@ -1,0 +1,171 @@
+"""Tests for the AMU and ALB (repro.core.amu)."""
+
+import pytest
+
+from repro.core.amu import AtomLookasideBuffer, AtomManagementUnit
+from repro.core.errors import TranslationError
+from repro.core.isa import (
+    atom_activate,
+    atom_deactivate,
+    atom_map,
+    atom_unmap,
+)
+from repro.core.ranges import AddressRange
+
+
+def mapped_amu(atom_id=1, start=0, size=4096):
+    amu = AtomManagementUnit()
+    amu.execute(atom_map(atom_id, (AddressRange.from_size(start, size),)))
+    amu.execute(atom_activate(atom_id))
+    return amu
+
+
+class TestInstructionInterpretation:
+    def test_map_then_lookup(self):
+        amu = mapped_amu(atom_id=3)
+        assert amu.lookup(0) == 3
+        assert amu.lookup(4095) == 3
+        assert amu.lookup(4096) is None
+
+    def test_inactive_atom_invisible(self):
+        amu = AtomManagementUnit()
+        amu.execute(atom_map(1, (AddressRange(0, 4096),)))
+        # Not activated: lookups return None even though mapped.
+        assert amu.lookup(0) is None
+        assert amu.lookup_raw(0) == 1
+
+    def test_deactivate_hides_atom(self):
+        amu = mapped_amu(atom_id=1)
+        amu.execute(atom_deactivate(1))
+        assert amu.lookup(0) is None
+
+    def test_unmap_removes(self):
+        amu = mapped_amu(atom_id=1)
+        amu.execute(atom_unmap(1, (AddressRange(0, 4096),)))
+        assert amu.lookup(0) is None
+
+    def test_multi_range_map(self):
+        amu = AtomManagementUnit()
+        ranges = (AddressRange(0, 512), AddressRange(8192, 8704))
+        amu.execute(atom_map(2, ranges))
+        amu.execute(atom_activate(2))
+        assert amu.lookup(0) == 2
+        assert amu.lookup(8192) == 2
+        assert amu.lookup(4096) is None
+
+    def test_stats_counted(self):
+        amu = mapped_amu()
+        amu.execute(atom_deactivate(1))
+        s = amu.stats
+        assert s.map_instructions == 1
+        assert s.activate_instructions == 1
+        assert s.deactivate_instructions == 1
+        assert s.xmem_instructions == 3
+
+    def test_non_instruction_rejected(self):
+        amu = AtomManagementUnit()
+        with pytest.raises(TypeError):
+            amu.execute("ATOM_MAP")
+
+    def test_translation_hook_applied(self):
+        # VA 0x10000 translates to PA 0x2000 in this fake MMU.
+        def translate(rng):
+            return (AddressRange(rng.start - 0xE000, rng.end - 0xE000),)
+
+        amu = AtomManagementUnit(translate=translate)
+        amu.execute(atom_map(1, (AddressRange(0x10000, 0x11000),)))
+        amu.execute(atom_activate(1))
+        assert amu.lookup(0x2000) == 1
+        assert amu.lookup(0x10000) is None
+
+    def test_untranslatable_range_is_skipped_not_fatal(self):
+        # Hint-only: an unmapped VA range contributes nothing but the
+        # instruction still completes.
+        def translate(rng):
+            raise TranslationError(rng.start)
+
+        amu = AtomManagementUnit(translate=translate)
+        amu.execute(atom_map(1, (AddressRange(0, 4096),)))
+        assert amu.stats.map_instructions == 1
+        assert amu.aam.mapped_chunk_count == 0
+
+
+class TestALB:
+    def test_miss_then_hit(self):
+        alb = AtomLookasideBuffer(entries=4)
+        assert alb.lookup(0) is None
+        alb.fill(0, (1,) * 8)
+        assert alb.lookup(0) == (1,) * 8
+        assert alb.stats.misses == 1
+        assert alb.stats.hits == 1
+
+    def test_lru_eviction(self):
+        alb = AtomLookasideBuffer(entries=2)
+        alb.fill(0, (0,))
+        alb.fill(1, (1,))
+        alb.lookup(0)          # page 0 now MRU
+        alb.fill(2, (2,))      # evicts page 1
+        assert alb.lookup(1) is None
+        assert alb.lookup(0) == (0,)
+        assert alb.lookup(2) == (2,)
+
+    def test_flush(self):
+        alb = AtomLookasideBuffer(entries=4)
+        alb.fill(0, (0,))
+        alb.flush()
+        assert len(alb) == 0
+        assert alb.lookup(0) is None
+
+    def test_hit_rate(self):
+        alb = AtomLookasideBuffer(entries=4)
+        alb.lookup(0)
+        alb.fill(0, (0,))
+        for _ in range(9):
+            alb.lookup(0)
+        assert alb.stats.hit_rate == pytest.approx(0.9)
+
+    def test_refill_same_page_updates(self):
+        alb = AtomLookasideBuffer(entries=2)
+        alb.fill(0, (1,))
+        alb.fill(0, (2,))
+        assert alb.lookup(0) == (2,)
+        assert len(alb) == 1
+
+
+class TestAMULookupPath:
+    def test_alb_caches_lookups(self):
+        amu = mapped_amu()
+        amu.lookup(0)
+        amu.lookup(64)
+        amu.lookup(128)
+        assert amu.alb.stats.misses == 1
+        assert amu.alb.stats.hits == 2
+
+    def test_map_invalidates_alb(self):
+        amu = mapped_amu(atom_id=1)
+        assert amu.lookup(0) == 1           # fills ALB
+        amu.execute(atom_map(2, (AddressRange(0, 512),)))
+        amu.execute(atom_activate(2))
+        # ALB must not serve the stale atom 1 entry.
+        assert amu.lookup(0) == 2
+
+    def test_unmap_invalidates_alb(self):
+        amu = mapped_amu(atom_id=1)
+        assert amu.lookup(0) == 1
+        amu.execute(atom_unmap(1, (AddressRange(0, 4096),)))
+        assert amu.lookup(0) is None
+
+    def test_context_switch_flushes_alb_and_swaps_ast(self):
+        amu = mapped_amu(atom_id=1)
+        assert amu.lookup(0) == 1
+        empty_ast = bytes(len(amu.ast.snapshot()))
+        amu.context_switch(empty_ast)
+        assert len(amu.alb) == 0
+        # Incoming process has no active atoms.
+        assert amu.lookup(0) is None
+
+    def test_lookup_counts(self):
+        amu = mapped_amu()
+        for i in range(5):
+            amu.lookup(i * 64)
+        assert amu.stats.lookups == 5

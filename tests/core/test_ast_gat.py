@@ -1,0 +1,118 @@
+"""Tests for the Atom Status Table and Global Attribute Table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ast_table import AtomStatusTable
+from repro.core.attributes import make_attributes
+from repro.core.errors import (
+    AtomCapacityError,
+    ConfigurationError,
+    ImmutableAttributeError,
+    UnknownAtomError,
+)
+from repro.core.gat import GlobalAttributeTable
+
+
+class TestAtomStatusTable:
+    def test_starts_all_inactive(self):
+        ast = AtomStatusTable()
+        assert ast.active_ids() == []
+        assert not ast.is_active(0)
+
+    def test_activate_deactivate(self):
+        ast = AtomStatusTable()
+        ast.activate(5)
+        assert ast.is_active(5)
+        assert ast.active_ids() == [5]
+        ast.deactivate(5)
+        assert not ast.is_active(5)
+
+    def test_bit_independence(self):
+        ast = AtomStatusTable()
+        ast.activate(7)
+        ast.activate(8)  # adjacent byte boundary
+        ast.deactivate(7)
+        assert not ast.is_active(7)
+        assert ast.is_active(8)
+
+    def test_out_of_range_raises(self):
+        ast = AtomStatusTable(max_atoms=16)
+        with pytest.raises(UnknownAtomError):
+            ast.activate(16)
+        with pytest.raises(UnknownAtomError):
+            ast.is_active(-1)
+
+    def test_storage_is_32_bytes_at_256_atoms(self):
+        # Section 4.2: "the AST is only 32B per application".
+        assert AtomStatusTable(256).storage_bytes == 32
+
+    def test_snapshot_restore(self):
+        ast = AtomStatusTable()
+        ast.activate(3)
+        ast.activate(250)
+        snap = ast.snapshot()
+        ast.clear()
+        assert ast.active_ids() == []
+        ast.restore(snap)
+        assert ast.active_ids() == [3, 250]
+
+    def test_restore_size_mismatch(self):
+        ast = AtomStatusTable(256)
+        with pytest.raises(ConfigurationError):
+            ast.restore(b"\x00")
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            AtomStatusTable(0)
+
+    @given(st.sets(st.integers(0, 255), max_size=40))
+    def test_bitmap_matches_set_semantics(self, ids):
+        ast = AtomStatusTable()
+        for i in ids:
+            ast.activate(i)
+        assert ast.active_ids() == sorted(ids)
+
+
+class TestGlobalAttributeTable:
+    def test_install_lookup(self):
+        gat = GlobalAttributeTable()
+        attrs = make_attributes("x", reuse=3)
+        gat.install(0, attrs)
+        assert gat.lookup(0) == attrs
+        assert 0 in gat
+        assert len(gat) == 1
+
+    def test_lookup_missing_raises(self):
+        gat = GlobalAttributeTable()
+        with pytest.raises(UnknownAtomError):
+            gat.lookup(0)
+        assert gat.get(0) is None
+
+    def test_reinstall_identical_is_idempotent(self):
+        gat = GlobalAttributeTable()
+        attrs = make_attributes("x", reuse=3)
+        gat.install(0, attrs)
+        gat.install(0, make_attributes("x", reuse=3))
+        assert len(gat) == 1
+
+    def test_reinstall_different_rejected(self):
+        gat = GlobalAttributeTable()
+        gat.install(0, make_attributes("x", reuse=3))
+        with pytest.raises(ImmutableAttributeError):
+            gat.install(0, make_attributes("x", reuse=4))
+
+    def test_capacity_enforced(self):
+        gat = GlobalAttributeTable(max_atoms=4)
+        with pytest.raises(AtomCapacityError):
+            gat.install(4, make_attributes("x"))
+
+    def test_iteration_sorted(self):
+        gat = GlobalAttributeTable()
+        gat.install(2, make_attributes("b"))
+        gat.install(0, make_attributes("a"))
+        assert [i for i, _ in gat] == [0, 2]
+
+    def test_storage_bytes(self):
+        # 19 B per atom slot (Section 4.4).
+        assert GlobalAttributeTable(256).storage_bytes == 256 * 19

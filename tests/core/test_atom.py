@@ -1,0 +1,109 @@
+"""Tests for the Atom abstraction (repro.core.atom)."""
+
+from repro.core.atom import Atom, AtomState, describe_atom, resolve_overlap
+from repro.core.attributes import make_attributes
+from repro.core.ranges import AddressRange
+
+
+def make_atom(atom_id=0, name="a", **kw):
+    return Atom(atom_id, make_attributes(name, **kw))
+
+
+class TestState:
+    def test_starts_inactive(self):
+        atom = make_atom()
+        assert atom.state is AtomState.INACTIVE
+        assert not atom.is_active
+
+    def test_activate_deactivate(self):
+        atom = make_atom()
+        atom.activate()
+        assert atom.is_active
+        atom.deactivate()
+        assert not atom.is_active
+
+    def test_activation_idempotent(self):
+        atom = make_atom()
+        atom.activate()
+        atom.activate()
+        assert atom.is_active
+        atom.deactivate()
+        atom.deactivate()
+        assert not atom.is_active
+
+    def test_deactivation_preserves_mapping(self):
+        atom = make_atom()
+        atom.map_range(AddressRange(0, 100))
+        atom.deactivate()
+        assert atom.covers(50)
+        assert atom.working_set_bytes == 100
+
+
+class TestMapping:
+    def test_map_and_cover(self):
+        atom = make_atom()
+        atom.map_range(AddressRange(0x1000, 0x2000))
+        assert atom.covers(0x1000)
+        assert atom.covers(0x1fff)
+        assert not atom.covers(0x2000)
+
+    def test_noncontiguous_mapping(self):
+        atom = make_atom()
+        atom.map_range(AddressRange(0, 100))
+        atom.map_range(AddressRange(1000, 1100))
+        assert atom.covers(50)
+        assert atom.covers(1050)
+        assert not atom.covers(500)
+        assert atom.working_set_bytes == 200
+
+    def test_unmap_range(self):
+        atom = make_atom()
+        atom.map_range(AddressRange(0, 100))
+        atom.unmap_range(AddressRange(20, 40))
+        assert atom.covers(10)
+        assert not atom.covers(30)
+        assert atom.covers(50)
+        assert atom.working_set_bytes == 80
+
+    def test_unmap_all(self):
+        atom = make_atom()
+        atom.map_range(AddressRange(0, 100))
+        atom.map_range(AddressRange(200, 300))
+        atom.unmap_all()
+        assert atom.working_set_bytes == 0
+        assert list(atom.iter_ranges()) == []
+
+    def test_working_set_is_mapping_size(self):
+        # Section 3.3: working set size is inferred from the mapping.
+        atom = make_atom()
+        atom.map_range(AddressRange.from_size(0, 64 * 1024))
+        assert atom.working_set_bytes == 64 * 1024
+
+
+class TestImmutability:
+    def test_attributes_have_no_setters(self):
+        atom = make_atom(reuse=5)
+        # The Atom exposes attributes but (being a frozen dataclass) they
+        # cannot be mutated; __slots__ also prevents new attributes.
+        assert atom.reuse == 5
+        try:
+            atom.extra = 1
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("Atom should use __slots__")
+
+
+class TestMisc:
+    def test_repr_and_describe(self):
+        atom = make_atom(3, "weights", reuse=200)
+        atom.map_range(AddressRange(0x1000, 0x3000))
+        atom.activate()
+        assert "weights" in repr(atom)
+        desc = describe_atom(atom)
+        assert "0x1000" in desc
+        assert "reuse=200" in desc
+
+    def test_resolve_overlap_latest_wins(self):
+        assert resolve_overlap(None, 4) == 4
+        assert resolve_overlap(2, 4) == 4

@@ -1,0 +1,155 @@
+"""Tests for atom attributes (repro.core.attributes)."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.attributes import (
+    AccessPattern,
+    AccessProperties,
+    AtomAttributes,
+    DataLocality,
+    DataProperty,
+    DataType,
+    DataValueProperties,
+    PatternType,
+    RWChar,
+    make_attributes,
+)
+from repro.core.errors import InvalidAttributeError
+
+
+class TestDataType:
+    def test_sizes(self):
+        assert DataType.INT32.size_bytes == 4
+        assert DataType.FLOAT64.size_bytes == 8
+        assert DataType.CHAR8.size_bytes == 1
+        assert DataType.UNKNOWN.size_bytes == 0
+
+
+class TestDataValueProperties:
+    def test_default_has_nothing(self):
+        d = DataValueProperties()
+        for p in DataProperty:
+            if p is not DataProperty.NONE:
+                assert not d.has(p)
+
+    def test_bitset_composition(self):
+        d = DataValueProperties(
+            properties=DataProperty.SPARSE | DataProperty.POINTER
+        )
+        assert d.has(DataProperty.SPARSE)
+        assert d.has(DataProperty.POINTER)
+        assert not d.has(DataProperty.INDEX)
+
+
+class TestAccessPattern:
+    def test_regular_requires_stride(self):
+        with pytest.raises(InvalidAttributeError):
+            AccessPattern(pattern=PatternType.REGULAR)
+
+    def test_regular_rejects_zero_stride(self):
+        with pytest.raises(InvalidAttributeError):
+            AccessPattern(pattern=PatternType.REGULAR, stride_bytes=0)
+
+    def test_non_regular_rejects_stride(self):
+        with pytest.raises(InvalidAttributeError):
+            AccessPattern(pattern=PatternType.IRREGULAR, stride_bytes=64)
+
+    def test_prefetchability(self):
+        assert AccessPattern(PatternType.REGULAR, 64).is_prefetchable
+        assert AccessPattern(PatternType.IRREGULAR).is_prefetchable
+        assert not AccessPattern(PatternType.NON_DET).is_prefetchable
+
+    def test_negative_stride_allowed(self):
+        # Backward streaming is a valid regular pattern.
+        p = AccessPattern(PatternType.REGULAR, -64)
+        assert p.stride_bytes == -64
+
+
+class TestEightBitQuantities:
+    @pytest.mark.parametrize("value", [-1, 256, 1000])
+    def test_reuse_out_of_range(self, value):
+        with pytest.raises(InvalidAttributeError):
+            DataLocality(reuse=value)
+
+    @pytest.mark.parametrize("value", [-1, 256])
+    def test_intensity_out_of_range(self, value):
+        with pytest.raises(InvalidAttributeError):
+            AccessProperties(access_intensity=value)
+
+    @pytest.mark.parametrize("value", [0, 1, 128, 255])
+    def test_boundaries_accepted(self, value):
+        assert DataLocality(reuse=value).reuse == value
+        assert AccessProperties(access_intensity=value).access_intensity == value
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidAttributeError):
+            DataLocality(reuse=True)
+
+    def test_float_rejected(self):
+        with pytest.raises(InvalidAttributeError):
+            DataLocality(reuse=1.5)
+
+
+class TestAtomAttributes:
+    def test_frozen(self):
+        attrs = make_attributes("x")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            attrs.name = "y"
+
+    def test_nested_frozen(self):
+        attrs = make_attributes("x", reuse=10)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            attrs.locality.reuse = 20
+
+    def test_shortcuts(self):
+        attrs = make_attributes(
+            "t", pattern=PatternType.REGULAR, stride_bytes=8,
+            access_intensity=7, reuse=9,
+        )
+        assert attrs.reuse == 9
+        assert attrs.access_intensity == 7
+        assert attrs.pattern.stride_bytes == 8
+
+    def test_describe_mentions_key_fields(self):
+        attrs = make_attributes(
+            "mytile", data_type=DataType.FLOAT64,
+            properties=(DataProperty.SPARSE,),
+            pattern=PatternType.REGULAR, stride_bytes=8,
+            rw=RWChar.READ_ONLY, access_intensity=3, reuse=200,
+        )
+        text = attrs.describe()
+        assert "mytile" in text
+        assert "float64" in text
+        assert "SPARSE" in text
+        assert "read_only" in text
+        assert "reuse=200" in text
+
+    def test_equality_and_hash(self):
+        a = make_attributes("t", reuse=5)
+        b = make_attributes("t", reuse=5)
+        c = make_attributes("t", reuse=6)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_encoded_size_is_paper_value(self):
+        # Section 4.4: attributes of each atom need 19 bytes.
+        assert AtomAttributes.ENCODED_SIZE_BYTES == 19
+
+
+@given(
+    reuse=st.integers(0, 255),
+    intensity=st.integers(0, 255),
+    stride=st.integers(-4096, 4096).filter(lambda s: s != 0),
+)
+def test_make_attributes_roundtrips_values(reuse, intensity, stride):
+    attrs = make_attributes(
+        "p", pattern=PatternType.REGULAR, stride_bytes=stride,
+        access_intensity=intensity, reuse=reuse,
+    )
+    assert attrs.reuse == reuse
+    assert attrs.access_intensity == intensity
+    assert attrs.pattern.stride_bytes == stride

@@ -1,0 +1,56 @@
+"""Tests for the XMem ISA instruction objects."""
+
+import pytest
+
+from repro.core.isa import (
+    AtomMapInstruction,
+    AtomOpcode,
+    AtomStatusInstruction,
+    atom_activate,
+    atom_deactivate,
+    atom_map,
+    atom_unmap,
+)
+from repro.core.ranges import AddressRange
+
+
+class TestConstructors:
+    def test_atom_map(self):
+        instr = atom_map(3, (AddressRange(0, 4096),))
+        assert instr.opcode is AtomOpcode.ATOM_MAP
+        assert instr.atom_id == 3
+        assert instr.total_bytes == 4096
+
+    def test_atom_unmap(self):
+        instr = atom_unmap(3, (AddressRange(0, 64),))
+        assert instr.opcode is AtomOpcode.ATOM_UNMAP
+
+    def test_status_instructions(self):
+        assert atom_activate(1).opcode is AtomOpcode.ATOM_ACTIVATE
+        assert atom_deactivate(1).opcode is AtomOpcode.ATOM_DEACTIVATE
+
+    def test_multi_range_total(self):
+        instr = atom_map(0, (AddressRange(0, 64), AddressRange(128, 256)))
+        assert instr.total_bytes == 64 + 128
+
+    def test_instructions_are_immutable(self):
+        instr = atom_activate(1)
+        with pytest.raises(Exception):
+            instr.atom_id = 2
+
+    def test_instructions_hashable_and_equal(self):
+        a = atom_map(1, (AddressRange(0, 64),))
+        b = atom_map(1, (AddressRange(0, 64),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != atom_unmap(1, (AddressRange(0, 64),))
+
+    def test_empty_map(self):
+        instr = atom_map(0, ())
+        assert instr.total_bytes == 0
+        assert isinstance(instr, AtomMapInstruction)
+
+    def test_status_has_no_ranges(self):
+        instr = atom_activate(0)
+        assert isinstance(instr, AtomStatusInstruction)
+        assert not hasattr(instr, "va_ranges")

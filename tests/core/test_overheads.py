@@ -1,0 +1,56 @@
+"""Tests for the Section 4.4 overhead model."""
+
+import pytest
+
+from repro.core.aam import AAMConfig
+from repro.core.overheads import (
+    context_switch_overhead_fraction,
+    hardware_area_fraction,
+    instruction_overhead,
+    storage_overheads,
+)
+
+
+class TestStorage:
+    def test_8gb_system_matches_paper(self):
+        ov = storage_overheads(8 << 30)
+        assert ov.aam_bytes == pytest.approx(16 << 20, rel=0.05)
+        assert ov.aam_fraction == pytest.approx(0.002, rel=0.05)
+        assert ov.ast_bytes == 32
+        # GAT: 19 B/atom, a few KB at 256 atoms.
+        assert ov.gat_bytes == 256 * 19
+        assert ov.gat_bytes < 8 * 1024
+
+    def test_compact_config(self):
+        ov = storage_overheads(
+            8 << 30, AAMConfig(chunk_bytes=1024, atom_id_bits=6)
+        )
+        assert ov.aam_fraction == pytest.approx(0.00073, rel=0.05)
+
+    def test_total(self):
+        ov = storage_overheads(1 << 30)
+        assert ov.total_bytes == ov.aam_bytes + ov.ast_bytes + ov.gat_bytes
+
+
+class TestInstructionOverhead:
+    def test_zero_for_no_instructions(self):
+        assert instruction_overhead(0, 0) == 0.0
+        assert instruction_overhead(5, 0) == 0.0
+
+    def test_fraction(self):
+        assert instruction_overhead(14, 100_000) == pytest.approx(0.00014)
+
+    def test_paper_band(self):
+        # The paper's average: 0.014% additional instructions.
+        assert instruction_overhead(140, 1_000_000) == pytest.approx(1.4e-4)
+
+
+class TestAreaAndContextSwitch:
+    def test_area_fraction_near_paper(self):
+        # 0.144 mm^2 on a Xeon die: ~0.03%.
+        assert hardware_area_fraction() == pytest.approx(0.0003, rel=0.1)
+
+    def test_context_switch_overhead_small(self):
+        frac = context_switch_overhead_fraction()
+        # ~700 ns of flush on a ~4 us switch: well under 25%.
+        assert 0 < frac < 0.25

@@ -1,0 +1,149 @@
+"""Tests for PATs and the Attribute Translator (repro.core.pat)."""
+
+import pytest
+
+from repro.core.attributes import (
+    DataProperty,
+    DataType,
+    PatternType,
+    make_attributes,
+)
+from repro.core.gat import GlobalAttributeTable
+from repro.core.pat import (
+    AttributeTranslator,
+    HIGH_RBL_MAX_STRIDE,
+    make_standard_pats,
+    translate_for_cache,
+    translate_for_compression,
+    translate_for_dram,
+    translate_for_prefetcher,
+)
+
+
+def streaming_attrs(stride=8, intensity=100, reuse=0):
+    return make_attributes(
+        "stream", pattern=PatternType.REGULAR, stride_bytes=stride,
+        access_intensity=intensity, reuse=reuse,
+    )
+
+
+def irregular_attrs(intensity=50):
+    return make_attributes(
+        "graph", pattern=PatternType.IRREGULAR, access_intensity=intensity,
+    )
+
+
+class TestCacheTranslation:
+    def test_reuse_and_stride_carried(self):
+        prim = translate_for_cache(streaming_attrs(stride=64, reuse=200))
+        assert prim.reuse == 200
+        assert prim.prefetchable
+        assert prim.stride_bytes == 64
+
+    def test_non_det_not_prefetchable(self):
+        prim = translate_for_cache(make_attributes("x"))
+        assert not prim.prefetchable
+        assert prim.stride_bytes == 0
+
+
+class TestPrefetcherTranslation:
+    def test_pattern_carried(self):
+        prim = translate_for_prefetcher(streaming_attrs(stride=128))
+        assert prim.pattern is PatternType.REGULAR
+        assert prim.stride_bytes == 128
+
+    def test_irregular_has_no_stride(self):
+        prim = translate_for_prefetcher(irregular_attrs())
+        assert prim.pattern is PatternType.IRREGULAR
+        assert prim.stride_bytes == 0
+
+
+class TestDramTranslation:
+    def test_small_stride_regular_is_high_rbl(self):
+        prim = translate_for_dram(streaming_attrs(stride=8))
+        assert prim.high_rbl
+        assert not prim.irregular
+
+    def test_huge_stride_is_not_high_rbl(self):
+        # Striding across rows gets no row-buffer benefit.
+        prim = translate_for_dram(
+            streaming_attrs(stride=HIGH_RBL_MAX_STRIDE * 8)
+        )
+        assert not prim.high_rbl
+
+    def test_boundary_stride_is_high_rbl(self):
+        prim = translate_for_dram(streaming_attrs(stride=HIGH_RBL_MAX_STRIDE))
+        assert prim.high_rbl
+
+    def test_negative_stride_counts(self):
+        prim = translate_for_dram(streaming_attrs(stride=-8))
+        assert prim.high_rbl
+
+    def test_irregular_flagged(self):
+        prim = translate_for_dram(irregular_attrs(intensity=99))
+        assert prim.irregular
+        assert not prim.high_rbl
+        assert prim.intensity == 99
+
+
+class TestCompressionTranslation:
+    def test_properties_carried(self):
+        attrs = make_attributes(
+            "m", data_type=DataType.FLOAT32,
+            properties=(DataProperty.SPARSE, DataProperty.APPROXIMABLE),
+        )
+        prim = translate_for_compression(attrs)
+        assert prim.data_type is DataType.FLOAT32
+        assert prim.sparse
+        assert prim.approximable
+        assert not prim.pointer
+
+
+class TestTranslatorAndPats:
+    def test_translate_fills_all_pats(self):
+        gat = GlobalAttributeTable()
+        gat.install(0, streaming_attrs())
+        gat.install(1, irregular_attrs())
+        pats = make_standard_pats()
+        AttributeTranslator().translate(gat, pats)
+        for name, pat in pats.items():
+            assert len(pat) == 2, name
+        assert pats["dram"].lookup(0).high_rbl
+        assert pats["dram"].lookup(1).irregular
+
+    def test_translate_flushes_stale_entries(self):
+        gat = GlobalAttributeTable()
+        gat.install(0, streaming_attrs())
+        pats = make_standard_pats()
+        tr = AttributeTranslator()
+        tr.translate(gat, pats)
+        # New process: different GAT without atom 0's semantics.
+        gat2 = GlobalAttributeTable()
+        gat2.install(0, irregular_attrs())
+        tr.translate(gat2, pats)
+        assert pats["dram"].lookup(0).irregular
+
+    def test_unknown_component_fails_loud(self):
+        gat = GlobalAttributeTable()
+        pats = make_standard_pats()
+        pats["quantum"] = pats.pop("cache")
+        with pytest.raises(KeyError):
+            AttributeTranslator().translate(gat, pats)
+
+    def test_pat_lookup_missing_is_none(self):
+        pats = make_standard_pats()
+        assert pats["cache"].lookup(0) is None
+
+    def test_pat_flush(self):
+        pats = make_standard_pats()
+        pats["cache"].install(0, translate_for_cache(streaming_attrs()))
+        pats["cache"].flush()
+        assert len(pats["cache"]) == 0
+
+    def test_translation_counter(self):
+        gat = GlobalAttributeTable()
+        gat.install(0, streaming_attrs())
+        tr = AttributeTranslator()
+        pats = make_standard_pats()
+        tr.translate(gat, pats)
+        assert tr.translations_performed == len(pats)

@@ -1,0 +1,176 @@
+"""Tests for the dynamic profiler (repro.core.profiler)."""
+
+import random
+
+import pytest
+
+from repro.core.attributes import PatternType, RWChar
+from repro.core.errors import ConfigurationError
+from repro.core.profiler import AccessProfiler, RegionProfile
+from repro.core.ranges import AddressRange
+from repro.core.xmemlib import XMemLib
+from repro.cpu.trace import MemAccess, Work
+
+
+def named_profiler(*specs):
+    return AccessProfiler(regions=[(n, r) for n, r in specs])
+
+
+REGION_A = AddressRange(0, 1 << 20)
+REGION_B = AddressRange(1 << 20, 2 << 20)
+
+
+class TestPatternClassification:
+    def test_sequential_stream_is_regular(self):
+        p = named_profiler(("a", REGION_A))
+        for i in range(500):
+            p.observe(i * 8)
+        (_, prof), = p.profiles()
+        pattern, stride = prof.classify_pattern()
+        assert pattern is PatternType.REGULAR
+        assert stride == 8
+
+    def test_strided_stream_detects_stride(self):
+        p = named_profiler(("a", REGION_A))
+        for i in range(500):
+            p.observe(i * 256)
+        (_, prof), = p.profiles()
+        _, stride = prof.classify_pattern()
+        assert stride == 256
+
+    def test_negative_stride(self):
+        p = named_profiler(("a", REGION_A))
+        for i in range(500, 0, -1):
+            p.observe(i * 64)
+        (_, prof), = p.profiles()
+        pattern, stride = prof.classify_pattern()
+        assert pattern is PatternType.REGULAR
+        assert stride == -64
+
+    def test_repeated_shuffle_is_irregular(self):
+        # A graph-like walk: random order, but the SAME order each pass.
+        rng = random.Random(5)
+        lines = [i * 64 for i in range(100)]
+        rng.shuffle(lines)
+        p = named_profiler(("g", REGION_A))
+        for _pass in range(6):
+            for addr in lines:
+                p.observe(addr)
+        (_, prof), = p.profiles()
+        pattern, stride = prof.classify_pattern()
+        assert pattern is PatternType.IRREGULAR
+        assert stride is None
+
+    def test_pure_random_is_non_det(self):
+        rng = random.Random(9)
+        p = named_profiler(("r", REGION_A))
+        for _ in range(2000):
+            p.observe(rng.randrange(1 << 20) // 64 * 64)
+        (_, prof), = p.profiles()
+        pattern, _ = prof.classify_pattern()
+        assert pattern is PatternType.NON_DET
+
+
+class TestRWClassification:
+    def test_read_only(self):
+        p = named_profiler(("a", REGION_A))
+        for i in range(200):
+            p.observe(i * 64, is_write=False)
+        (_, prof), = p.profiles()
+        assert prof.classify_rw() is RWChar.READ_ONLY
+
+    def test_read_write(self):
+        p = named_profiler(("a", REGION_A))
+        for i in range(200):
+            p.observe(i * 64, is_write=(i % 5 == 0))
+        (_, prof), = p.profiles()
+        assert prof.classify_rw() is RWChar.READ_WRITE
+
+    def test_write_heavy(self):
+        p = named_profiler(("a", REGION_A))
+        for i in range(200):
+            p.observe(i * 64, is_write=(i % 2 == 0))
+        (_, prof), = p.profiles()
+        assert prof.classify_rw() is RWChar.WRITE_HEAVY
+
+
+class TestInference:
+    def two_region_profile(self):
+        p = named_profiler(("hot", REGION_A), ("cold", REGION_B))
+        # Hot region: sequential, re-walked 8 times (high reuse).
+        for _ in range(8):
+            for i in range(100):
+                p.observe(i * 64)
+        # Cold region: one sequential pass.
+        for i in range(100):
+            p.observe((1 << 20) + i * 64)
+        return p
+
+    def test_relative_intensity(self):
+        attrs = self.two_region_profile().infer_attributes()
+        assert attrs["hot"].access_intensity == 255
+        assert attrs["cold"].access_intensity < 64
+
+    def test_relative_reuse(self):
+        attrs = self.two_region_profile().infer_attributes()
+        assert attrs["hot"].reuse == 255
+        assert attrs["cold"].reuse == 0
+
+    def test_untouched_regions_excluded(self):
+        p = named_profiler(("a", REGION_A), ("b", REGION_B))
+        p.observe(0)
+        assert set(p.infer_attributes()) == {"a"}
+
+    def test_empty_profiler(self):
+        assert AccessProfiler().infer_attributes() == {}
+
+    def test_auto_regions(self):
+        p = AccessProfiler(region_bytes=4096)
+        p.observe(0)
+        p.observe(10_000)
+        names = [n for n, _ in p.profiles()]
+        assert len(names) == 2
+        assert all(n.startswith("region@") for n in names)
+
+    def test_bad_region_bytes(self):
+        with pytest.raises(ConfigurationError):
+            AccessProfiler(region_bytes=0)
+
+    def test_observe_trace_skips_non_memory(self):
+        p = AccessProfiler()
+        n = p.observe_trace([MemAccess(0), Work(5), MemAccess(64)])
+        assert n == 2
+
+
+class TestInstrumentation:
+    def test_full_profiling_path(self):
+        """Profile an unannotated trace, then auto-create the atoms."""
+        p = named_profiler(("stream", REGION_A), ("rand", REGION_B))
+        rng = random.Random(1)
+        for _ in range(4):
+            for i in range(200):
+                p.observe(i * 8)
+        for _ in range(300):
+            p.observe((1 << 20) + rng.randrange(1 << 18) // 64 * 64)
+
+        lib = XMemLib()
+        atom_ids = p.instrument(lib)
+        assert set(atom_ids) == {"stream", "rand"}
+        # The inferred atoms are live and queryable by address.
+        got = lib.process.atom_for_paddr(128)
+        assert got is not None
+        assert got.attributes.access.pattern.pattern is \
+            PatternType.REGULAR
+        rand_atom = lib.process.atom_for_paddr((1 << 20) + 64)
+        assert rand_atom is not None
+        assert rand_atom.attributes.access.pattern.pattern is \
+            PatternType.NON_DET
+
+    def test_instrumented_atoms_feed_pats(self):
+        p = named_profiler(("s", REGION_A))
+        for i in range(300):
+            p.observe(i * 8)
+        lib = XMemLib()
+        p.instrument(lib)
+        lib.process.retranslate()
+        assert lib.process.pats["dram"].lookup(0).high_rbl

@@ -1,0 +1,207 @@
+"""Tests for address-range arithmetic (repro.core.ranges)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import AddressRangeError
+from repro.core.ranges import AddressRange, RangeSet
+
+
+class TestAddressRange:
+    def test_from_size(self):
+        r = AddressRange.from_size(0x1000, 0x200)
+        assert r.start == 0x1000
+        assert r.end == 0x1200
+        assert r.size == 0x200
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(AddressRangeError):
+            AddressRange.from_size(0x1000, -1)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(AddressRangeError):
+            AddressRange(0x2000, 0x1000)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(AddressRangeError):
+            AddressRange(-1, 10)
+
+    def test_empty_range_allowed(self):
+        assert AddressRange(0x1000, 0x1000).size == 0
+
+    def test_contains(self):
+        r = AddressRange(10, 20)
+        assert 10 in r
+        assert 19 in r
+        assert 20 not in r
+        assert 9 not in r
+
+    def test_overlaps(self):
+        a = AddressRange(0, 10)
+        assert a.overlaps(AddressRange(5, 15))
+        assert a.overlaps(AddressRange(0, 1))
+        assert not a.overlaps(AddressRange(10, 20))
+        assert not a.overlaps(AddressRange(20, 30))
+
+    def test_intersection(self):
+        a = AddressRange(0, 10)
+        assert a.intersection(AddressRange(5, 15)) == AddressRange(5, 10)
+        assert a.intersection(AddressRange(20, 30)).size == 0
+
+    def test_chunks_aligned(self):
+        r = AddressRange(0, 1024)
+        assert list(r.chunks(512)) == [0, 1]
+
+    def test_chunks_unaligned(self):
+        # [100, 600) touches chunk 0 and chunk 1 at 512B granularity.
+        r = AddressRange(100, 600)
+        assert list(r.chunks(512)) == [0, 1]
+
+    def test_chunks_single_byte(self):
+        r = AddressRange(513, 514)
+        assert list(r.chunks(512)) == [1]
+
+    def test_chunks_empty_range(self):
+        assert list(AddressRange(512, 512).chunks(512)) == []
+
+    def test_chunks_bad_granularity(self):
+        with pytest.raises(AddressRangeError):
+            list(AddressRange(0, 10).chunks(0))
+
+    def test_ordering(self):
+        assert AddressRange(0, 5) < AddressRange(1, 2)
+
+
+class TestRangeSet:
+    def test_empty(self):
+        rs = RangeSet()
+        assert not rs
+        assert len(rs) == 0
+        assert rs.total_bytes == 0
+        assert 0 not in rs
+
+    def test_single_add(self):
+        rs = RangeSet()
+        rs.add(AddressRange(10, 20))
+        assert 10 in rs and 19 in rs and 20 not in rs
+        assert rs.total_bytes == 10
+
+    def test_coalesce_adjacent(self):
+        rs = RangeSet()
+        rs.add(AddressRange(0, 10))
+        rs.add(AddressRange(10, 20))
+        assert len(rs) == 1
+        assert list(rs) == [AddressRange(0, 20)]
+
+    def test_coalesce_overlapping(self):
+        rs = RangeSet()
+        rs.add(AddressRange(0, 15))
+        rs.add(AddressRange(10, 20))
+        assert list(rs) == [AddressRange(0, 20)]
+
+    def test_disjoint_stay_disjoint(self):
+        rs = RangeSet()
+        rs.add(AddressRange(0, 10))
+        rs.add(AddressRange(20, 30))
+        assert len(rs) == 2
+        assert rs.total_bytes == 20
+
+    def test_add_bridging_range(self):
+        rs = RangeSet([AddressRange(0, 10), AddressRange(20, 30)])
+        rs.add(AddressRange(5, 25))
+        assert list(rs) == [AddressRange(0, 30)]
+
+    def test_remove_middle_splits(self):
+        rs = RangeSet([AddressRange(0, 30)])
+        rs.remove(AddressRange(10, 20))
+        assert list(rs) == [AddressRange(0, 10), AddressRange(20, 30)]
+
+    def test_remove_entire(self):
+        rs = RangeSet([AddressRange(0, 30)])
+        rs.remove(AddressRange(0, 30))
+        assert not rs
+
+    def test_remove_prefix_suffix(self):
+        rs = RangeSet([AddressRange(10, 20)])
+        rs.remove(AddressRange(0, 15))
+        assert list(rs) == [AddressRange(15, 20)]
+        rs.remove(AddressRange(18, 100))
+        assert list(rs) == [AddressRange(15, 18)]
+
+    def test_remove_disjoint_noop(self):
+        rs = RangeSet([AddressRange(10, 20)])
+        rs.remove(AddressRange(30, 40))
+        assert list(rs) == [AddressRange(10, 20)]
+
+    def test_empty_add_remove_noop(self):
+        rs = RangeSet([AddressRange(10, 20)])
+        rs.add(AddressRange(5, 5))
+        rs.remove(AddressRange(15, 15))
+        assert list(rs) == [AddressRange(10, 20)]
+
+    def test_equality_is_canonical(self):
+        a = RangeSet([AddressRange(0, 10), AddressRange(10, 20)])
+        b = RangeSet([AddressRange(0, 20)])
+        assert a == b
+
+    def test_copy_is_independent(self):
+        a = RangeSet([AddressRange(0, 10)])
+        b = a.copy()
+        b.add(AddressRange(20, 30))
+        assert len(a) == 1
+        assert len(b) == 2
+
+    def test_spans(self):
+        rs = RangeSet([AddressRange(0, 10), AddressRange(20, 30)])
+        assert rs.spans() == [(0, 10), (20, 30)]
+
+
+# -- Property-based tests ------------------------------------------------
+
+ranges = st.tuples(
+    st.integers(min_value=0, max_value=2000),
+    st.integers(min_value=0, max_value=200),
+).map(lambda t: AddressRange.from_size(t[0], t[1]))
+
+
+@given(st.lists(ranges, max_size=20))
+def test_rangeset_membership_matches_naive(rngs):
+    """RangeSet membership must equal the union of the input ranges."""
+    rs = RangeSet(rngs)
+    covered = set()
+    for r in rngs:
+        covered.update(range(r.start, r.end))
+    for probe in range(0, 2300, 7):
+        assert (probe in rs) == (probe in covered)
+
+
+@given(st.lists(ranges, max_size=20))
+def test_rangeset_total_bytes_matches_naive(rngs):
+    rs = RangeSet(rngs)
+    covered = set()
+    for r in rngs:
+        covered.update(range(r.start, r.end))
+    assert rs.total_bytes == len(covered)
+
+
+@given(st.lists(ranges, max_size=12), st.lists(ranges, max_size=12))
+def test_rangeset_remove_matches_naive(adds, removes):
+    rs = RangeSet(adds)
+    covered = set()
+    for r in adds:
+        covered.update(range(r.start, r.end))
+    for r in removes:
+        rs.remove(r)
+        covered -= set(range(r.start, r.end))
+    assert rs.total_bytes == len(covered)
+    for probe in range(0, 2300, 11):
+        assert (probe in rs) == (probe in covered)
+
+
+@given(st.lists(ranges, max_size=20))
+def test_rangeset_is_sorted_and_disjoint(rngs):
+    """Internal canonical form: sorted, disjoint, non-adjacent ranges."""
+    rs = RangeSet(rngs)
+    items = list(rs)
+    for prev, cur in zip(items, items[1:]):
+        assert prev.end < cur.start  # gap required (adjacent coalesced)

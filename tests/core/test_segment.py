@@ -1,0 +1,92 @@
+"""Tests for the atom segment (repro.core.segment)."""
+
+import pytest
+
+from repro.core.attributes import (
+    DataProperty,
+    DataType,
+    PatternType,
+    RWChar,
+    make_attributes,
+)
+from repro.core.gat import GlobalAttributeTable
+from repro.core.segment import (
+    AtomSegment,
+    SegmentFormatError,
+    decode_attributes,
+    encode_attributes,
+    load_segment,
+    summarize,
+)
+
+
+def sample_attrs():
+    return make_attributes(
+        "tile", data_type=DataType.FLOAT64,
+        properties=(DataProperty.SPARSE,),
+        pattern=PatternType.REGULAR, stride_bytes=8,
+        rw=RWChar.READ_ONLY, access_intensity=12, reuse=250,
+    )
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        attrs = sample_attrs()
+        assert decode_attributes(encode_attributes(attrs)) == attrs
+
+    def test_roundtrip_defaults(self):
+        attrs = make_attributes("")
+        assert decode_attributes(encode_attributes(attrs)) == attrs
+
+    def test_unknown_fields_ignored(self):
+        entry = encode_attributes(sample_attrs())
+        entry["future_quantum_hint"] = {"qubits": 3}
+        assert decode_attributes(entry) == sample_attrs()
+
+    def test_missing_fields_use_defaults(self):
+        attrs = decode_attributes({"name": "x"})
+        assert attrs.name == "x"
+        assert attrs.reuse == 0
+
+    def test_corrupt_value_raises(self):
+        entry = encode_attributes(sample_attrs())
+        entry["reuse"] = 9999
+        with pytest.raises(SegmentFormatError):
+            decode_attributes(entry)
+
+    def test_corrupt_enum_raises(self):
+        entry = encode_attributes(sample_attrs())
+        entry["pattern"] = "zigzag"
+        with pytest.raises(SegmentFormatError):
+            decode_attributes(entry)
+
+
+class TestSummarize:
+    def test_summarize_consecutive_ids(self):
+        seg = summarize([(0, sample_attrs()), (1, make_attributes("b"))])
+        assert seg.atom_count == 2
+        assert seg.version == 1
+
+    def test_non_consecutive_rejected(self):
+        with pytest.raises(SegmentFormatError):
+            summarize([(1, sample_attrs())])
+
+
+class TestLoad:
+    def test_load_fills_gat(self):
+        seg = summarize([(0, sample_attrs()), (1, make_attributes("b"))])
+        gat = GlobalAttributeTable()
+        assert load_segment(seg, gat) == 2
+        assert gat.lookup(0) == sample_attrs()
+        assert gat.lookup(1).name == "b"
+
+    def test_unknown_version_ignored(self):
+        # "Older XMem architectures can simply ignore unknown formats."
+        seg = AtomSegment(version=99, entries=[{"name": "x"}])
+        gat = GlobalAttributeTable()
+        assert load_segment(seg, gat) == 0
+        assert len(gat) == 0
+
+    def test_empty_segment(self):
+        gat = GlobalAttributeTable()
+        assert load_segment(AtomSegment(), gat) == 0

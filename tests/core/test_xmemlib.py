@@ -1,0 +1,173 @@
+"""Tests for XMemLib, the Table 2 application interface."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import AtomCapacityError, UnknownAtomError
+from repro.core.attributes import PatternType
+from repro.core.xmemlib import XMemLib, XMemProcess
+
+
+def lib_with_tile(reuse=200, size=64 * 1024, start=0x100000):
+    lib = XMemLib()
+    atom = lib.create_atom(
+        "tile", pattern=PatternType.REGULAR, stride_bytes=8, reuse=reuse
+    )
+    lib.atom_map(atom, start, size)
+    lib.atom_activate(atom)
+    return lib, atom
+
+
+class TestCreate:
+    def test_ids_consecutive_from_zero(self):
+        lib = XMemLib()
+        assert lib.create_atom("a") == 0
+        assert lib.create_atom("b") == 1
+        assert lib.create_atom("c") == 2
+
+    def test_same_site_returns_same_id(self):
+        # Table 2: "Multiple invocations of CreateAtom [at the same
+        # static call site] always return the same Atom ID".
+        lib = XMemLib()
+        first = lib.create_atom("loop_tile", reuse=100)
+        for _ in range(10):
+            assert lib.create_atom("loop_tile", reuse=100) == first
+        assert len(lib.process.atoms) == 1
+
+    def test_different_attributes_make_new_atom(self):
+        lib = XMemLib()
+        a = lib.create_atom("x", reuse=1)
+        b = lib.create_atom("x", reuse=2)
+        assert a != b
+
+    def test_capacity_exhaustion(self):
+        lib = XMemLib(XMemProcess(max_atoms=2))
+        lib.create_atom("a")
+        lib.create_atom("b")
+        with pytest.raises(AtomCapacityError):
+            lib.create_atom("c")
+
+    def test_create_installs_in_gat(self):
+        lib = XMemLib()
+        a = lib.create_atom("a", reuse=9)
+        assert lib.process.gat.lookup(a).reuse == 9
+
+
+class TestMapUnmap:
+    def test_map_reaches_aam(self):
+        lib, atom = lib_with_tile()
+        assert lib.process.amu.lookup(0x100000) == atom
+
+    def test_unmap_clears(self):
+        lib, atom = lib_with_tile()
+        lib.atom_unmap(atom, 0x100000, 64 * 1024)
+        assert lib.process.amu.lookup(0x100000) is None
+        assert lib.process.atoms[atom].working_set_bytes == 0
+
+    def test_map_unknown_atom(self):
+        lib = XMemLib()
+        with pytest.raises(UnknownAtomError):
+            lib.atom_map(5, 0, 4096)
+
+    def test_map_2d_covers_rows_not_gaps(self):
+        lib = XMemLib()
+        atom = lib.create_atom("block")
+        # 2 rows of 512B in a structure with 8192B rows.
+        lib.atom_map_2d(atom, start=0, size_x=512, size_y=2, len_x=8192)
+        lib.atom_activate(atom)
+        a = lib.process.atoms[atom]
+        assert a.covers(0)
+        assert a.covers(8191 + 1)      # second row start
+        assert not a.covers(512)       # gap between rows
+        assert a.working_set_bytes == 1024
+
+    def test_unmap_2d_inverse(self):
+        lib = XMemLib()
+        atom = lib.create_atom("block")
+        lib.atom_map_2d(atom, 0, 512, 4, 8192)
+        lib.atom_unmap_2d(atom, 0, 512, 4, 8192)
+        assert lib.process.atoms[atom].working_set_bytes == 0
+
+    def test_map_3d(self):
+        lib = XMemLib()
+        atom = lib.create_atom("brick")
+        # 2 planes of 2 rows x 256B, rows of 1024B, 4 rows per plane.
+        lib.atom_map_3d(atom, start=0, size_x=256, size_y=2, size_z=2,
+                        len_x=1024, len_y=4)
+        a = lib.process.atoms[atom]
+        assert a.working_set_bytes == 256 * 2 * 2
+        assert a.covers(0)
+        assert a.covers(1024)          # row 1 of plane 0
+        assert a.covers(4096)          # plane 1 base
+        assert not a.covers(2048)      # untouched row
+
+    def test_remap_moves_atom(self):
+        # The Section 5.2 idiom: one atom slides across tiles.
+        lib, atom = lib_with_tile(start=0x0, size=4096)
+        lib.atom_remap(atom, 0x10000, 4096)
+        a = lib.process.atoms[atom]
+        assert not a.covers(0x0)
+        assert a.covers(0x10000)
+        assert lib.process.amu.lookup(0x10000) == atom
+        assert lib.process.amu.lookup(0x0) is None
+
+
+class TestActivation:
+    def test_activation_gates_lookup(self):
+        lib = XMemLib()
+        atom = lib.create_atom("x")
+        lib.atom_map(atom, 0, 4096)
+        assert lib.process.atom_for_paddr(0) is None
+        lib.atom_activate(atom)
+        assert lib.process.atom_for_paddr(0) is lib.process.atoms[atom]
+        lib.atom_deactivate(atom)
+        assert lib.process.atom_for_paddr(0) is None
+
+    def test_active_atoms_list(self):
+        lib = XMemLib()
+        a = lib.create_atom("a")
+        b = lib.create_atom("b")
+        lib.atom_activate(b)
+        assert [x.atom_id for x in lib.process.active_atoms()] == [b]
+        lib.atom_activate(a)
+        assert [x.atom_id for x in lib.process.active_atoms()] == [a, b]
+
+
+class TestSystemGlue:
+    def test_instruction_count(self):
+        lib, atom = lib_with_tile()          # 1 map + 1 activate
+        lib.atom_deactivate(atom)
+        assert lib.xmem_instruction_count == 3
+
+    def test_compile_segment_roundtrip(self):
+        lib = XMemLib()
+        lib.create_atom("a", reuse=1)
+        lib.create_atom("b", reuse=2)
+        seg = lib.compile_segment()
+        assert seg.atom_count == 2
+
+    def test_retranslate_fills_pats(self):
+        lib, atom = lib_with_tile(reuse=123)
+        lib.process.retranslate()
+        assert lib.process.pats["cache"].lookup(atom).reuse == 123
+
+    def test_correctness_decoupling(self):
+        """Dropping all XMem calls must not be observable functionally.
+
+        The XMem system only ever *answers queries*; it holds no program
+        data.  We assert the query interface degrades to 'no atom' and
+        nothing else differs.
+        """
+        lib = XMemLib()
+        assert lib.process.atom_for_paddr(0xDEAD) is None
+        assert lib.process.active_atoms() == []
+
+
+@given(st.integers(0, 2**30), st.integers(1, 2**20))
+def test_map_activate_lookup_roundtrip(start, size):
+    lib = XMemLib()
+    atom = lib.create_atom("t")
+    lib.atom_map(atom, start, size)
+    lib.atom_activate(atom)
+    assert lib.process.amu.lookup(start) == atom
+    assert lib.process.amu.lookup(start + size - 1) == atom

@@ -1,0 +1,78 @@
+"""Property-based tests for the FR-FCFS scheduler and DRAM system."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.mapping import DramGeometry
+from repro.dram.scheduler import FRFCFSScheduler, Request
+from repro.dram.system import DramSystem
+
+
+def small_system(**kw):
+    kw.setdefault("geometry", DramGeometry(capacity_bytes=1 << 24))
+    return DramSystem(**kw)
+
+
+requests = st.builds(
+    Request,
+    paddr=st.integers(0, (1 << 22) - 1).map(lambda a: a - a % 64),
+    arrival=st.floats(min_value=0, max_value=10_000,
+                      allow_nan=False, allow_infinity=False),
+    is_write=st.booleans(),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(requests, min_size=1, max_size=60))
+def test_every_request_serviced_exactly_once(reqs):
+    reqs = [Request(r.paddr, r.arrival, r.is_write, i)
+            for i, r in enumerate(reqs)]
+    sched = FRFCFSScheduler(small_system())
+    completions = sched.service(list(reqs))
+    assert sorted(c.request.req_id for c in completions) == \
+        sorted(r.req_id for r in reqs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(requests, min_size=1, max_size=60))
+def test_completions_causal(reqs):
+    reqs = [Request(r.paddr, r.arrival, r.is_write, i)
+            for i, r in enumerate(reqs)]
+    sched = FRFCFSScheduler(small_system())
+    for c in sched.service(list(reqs)):
+        assert c.result.completes_at > c.request.arrival
+        assert c.latency > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(requests, min_size=1, max_size=60))
+def test_stats_match_request_mix(reqs):
+    reqs = [Request(r.paddr, r.arrival, r.is_write, i)
+            for i, r in enumerate(reqs)]
+    dram = small_system()
+    FRFCFSScheduler(dram).service(list(reqs))
+    assert dram.stats.reads == sum(1 for r in reqs if not r.is_write)
+    assert dram.stats.writes == sum(1 for r in reqs if r.is_write)
+    total = (dram.stats.row_hits + dram.stats.row_closed
+             + dram.stats.row_conflicts)
+    assert total == len(reqs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, (1 << 22) - 64), min_size=2,
+                max_size=80),
+       st.floats(min_value=1.0, max_value=200.0))
+def test_monotone_now_never_breaks_system(addrs, gap):
+    """Direct DramSystem access with monotone arrivals: completions
+    are monotone per bank and latency is at least the row-hit floor."""
+    dram = small_system()
+    floor = dram.timing.row_hit_latency
+    now = 0.0
+    per_bank = {}
+    for a in addrs:
+        res = dram.access(a - a % 64, now)
+        assert res.latency >= floor - 1e-9
+        key = res.address.bank_key
+        if key in per_bank:
+            assert res.completes_at > per_bank[key] - 1e-9
+        per_bank[key] = res.completes_at
+        now += gap

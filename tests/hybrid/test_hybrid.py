@@ -1,0 +1,206 @@
+"""Tests for the hybrid DRAM+NVM substrate and placement."""
+
+import pytest
+
+from repro.core.attributes import RWChar, make_attributes
+from repro.core.errors import ConfigurationError
+from repro.hybrid import (
+    HybridCandidate,
+    HybridMemorySystem,
+    NvmDevice,
+    NvmTiming,
+    first_touch_placement,
+    layout_addresses,
+    pcm_like,
+    plan_hybrid_placement,
+)
+
+MB = 1 << 20
+
+
+def cand(atom_id, size, intensity=100, rw=RWChar.READ_WRITE,
+         name="x"):
+    return HybridCandidate(
+        atom_id=atom_id,
+        attributes=make_attributes(name, rw=rw,
+                                   access_intensity=intensity),
+        size_bytes=size,
+    )
+
+
+class TestNvmDevice:
+    def test_write_slower_than_read(self):
+        t = pcm_like()
+        assert t.write_latency > 2 * t.read_latency
+
+    def test_timing_validation(self):
+        with pytest.raises(ConfigurationError):
+            NvmTiming(read_latency=0, write_latency=1, t_burst=1)
+
+    def test_single_access_latency(self):
+        dev = NvmDevice(pcm_like())
+        done = dev.access(0, now=0.0)
+        t = pcm_like()
+        assert done == pytest.approx(t.read_latency + t.t_burst)
+
+    def test_units_give_parallelism(self):
+        narrow = NvmDevice(pcm_like(), units=1)
+        wide = NvmDevice(pcm_like(), units=4)
+        n_done = max(narrow.access(i * 64, 0.0) for i in range(4))
+        w_done = max(wide.access(i * 64, 0.0) for i in range(4))
+        assert w_done < n_done
+
+    def test_bad_units(self):
+        with pytest.raises(ConfigurationError):
+            NvmDevice(pcm_like(), units=0)
+
+    def test_stats_split(self):
+        dev = NvmDevice(pcm_like())
+        dev.access(0, 0.0, is_write=False)
+        dev.access(64, 0.0, is_write=True)
+        assert dev.stats.reads == 1
+        assert dev.stats.writes == 1
+        assert dev.stats.avg_write_latency > dev.stats.avg_read_latency
+
+
+class TestHybridSystem:
+    def make(self):
+        return HybridMemorySystem(fast_bytes=16 * MB, slow_bytes=64 * MB)
+
+    def test_routing(self):
+        h = self.make()
+        assert h.is_fast(0)
+        assert h.is_fast(16 * MB - 1)
+        assert not h.is_fast(16 * MB)
+
+    def test_fast_reads_faster(self):
+        h = self.make()
+        fast_done = h.access(0, 0.0)
+        h2 = self.make()
+        slow_done = h2.access(16 * MB, 0.0)
+        assert fast_done < slow_done
+
+    def test_out_of_range(self):
+        h = self.make()
+        with pytest.raises(ConfigurationError):
+            h.access(h.total_bytes, 0.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            HybridMemorySystem(fast_bytes=0, slow_bytes=MB)
+
+    def test_stats_split(self):
+        h = self.make()
+        h.access(0, 0.0)
+        h.access(16 * MB, 0.0)
+        assert h.stats.fast_accesses == 1
+        assert h.stats.slow_accesses == 1
+        assert h.stats.slow_share == 0.5
+
+    def test_avg_latencies_combine_tiers(self):
+        h = self.make()
+        h.access(0, 0.0)
+        h.access(16 * MB, 1000.0)
+        assert h.avg_read_latency > 0
+        h.access(64, 2000.0, is_write=True)
+        assert h.avg_write_latency > 0
+
+
+class TestPlacementPolicy:
+    def test_hot_small_wins_fast_tier(self):
+        cands = [
+            cand(0, 8 * MB, intensity=20, name="cold_big"),
+            cand(1, 2 * MB, intensity=200, name="hot_small"),
+        ]
+        p = plan_hybrid_placement(cands, fast_bytes=4 * MB)
+        assert p.tier_of(1) == "fast"
+        assert p.tier_of(0) == "slow"
+
+    def test_read_only_prefers_nvm(self):
+        # Same size and intensity: the read-only structure loses the
+        # fast tier to the written one (asymmetric NVM writes).
+        cands = [
+            cand(0, 2 * MB, intensity=100, rw=RWChar.READ_ONLY,
+                 name="ro"),
+            cand(1, 2 * MB, intensity=100, rw=RWChar.READ_WRITE,
+                 name="rw"),
+        ]
+        p = plan_hybrid_placement(cands, fast_bytes=2 * MB)
+        assert p.tier_of(1) == "fast"
+        assert p.tier_of(0) == "slow"
+
+    def test_write_heavy_outranks_read_write(self):
+        cands = [
+            cand(0, 2 * MB, intensity=100, rw=RWChar.READ_WRITE),
+            cand(1, 2 * MB, intensity=100, rw=RWChar.WRITE_HEAVY,
+                 name="wh"),
+        ]
+        p = plan_hybrid_placement(cands, fast_bytes=2 * MB)
+        assert p.tier_of(1) == "fast"
+
+    def test_knapsack_fills_capacity(self):
+        cands = [cand(i, 1 * MB, intensity=100 + i, name=f"s{i}")
+                 for i in range(6)]
+        p = plan_hybrid_placement(cands, fast_bytes=3 * MB)
+        assert len(p.fast) == 3
+        assert p.fast_bytes_used == 3 * MB
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            plan_hybrid_placement([], fast_bytes=0)
+
+    def test_first_touch_ignores_semantics(self):
+        cands = [
+            cand(0, 2 * MB, intensity=1, name="cold_first"),
+            cand(1, 2 * MB, intensity=255, name="hot_second"),
+        ]
+        p = first_touch_placement(cands, fast_bytes=2 * MB)
+        assert p.tier_of(0) == "fast"      # allocation order wins
+        assert p.tier_of(1) == "slow"
+
+    def test_layout_addresses_respect_tiers(self):
+        cands = [cand(0, 2 * MB), cand(1, 2 * MB, name="b")]
+        p = plan_hybrid_placement(cands, fast_bytes=2 * MB)
+        bases = layout_addresses(cands, p, fast_bytes=2 * MB)
+        fast_id = p.fast[0]
+        slow_id = p.slow[0]
+        assert bases[fast_id] < 2 * MB
+        assert bases[slow_id] >= 2 * MB
+
+
+class TestEndToEndBenefit:
+    def test_semantic_placement_beats_first_touch(self):
+        """The Table 1 row-8 claim, measured on the hybrid system."""
+        import random
+        rng = random.Random(11)
+        # Allocation order puts the cold read-only model first, so a
+        # first-touch policy wastes the whole fast tier on it.
+        cands = [
+            cand(0, 2 * MB, intensity=10, rw=RWChar.READ_ONLY,
+                 name="cold_model"),
+            cand(1, 2 * MB, intensity=240, rw=RWChar.WRITE_HEAVY,
+                 name="hot_updates"),
+        ]
+        accesses = []
+        for _ in range(3000):
+            if rng.random() < 0.9:
+                atom, size, wr = 1, 2 * MB, rng.random() < 0.6
+            else:
+                atom, size, wr = 0, 2 * MB, False
+            accesses.append((atom, rng.randrange(size // 64) * 64, wr))
+
+        def run(placement_fn):
+            system = HybridMemorySystem(fast_bytes=2 * MB,
+                                        slow_bytes=16 * MB)
+            placement = placement_fn(cands, 2 * MB)
+            bases = layout_addresses(cands, placement, 2 * MB)
+            done = 0.0
+            now = 0.0
+            for atom, off, wr in accesses:
+                done = system.access(bases[atom] + off, now, wr)
+                now += 20.0
+            return system.avg_read_latency + system.avg_write_latency
+
+        semantic = run(plan_hybrid_placement)
+        first_touch = run(first_touch_placement)
+        assert semantic < first_touch * 0.9

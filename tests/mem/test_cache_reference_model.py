@@ -1,0 +1,103 @@
+"""Behavioural equivalence of the LRU cache against a naive reference.
+
+A textbook reference model (per-set ordered lists) is compared against
+:class:`repro.mem.cache.Cache` under arbitrary demand streams: every
+access must agree on hit/miss, and every eviction on the victim.  This
+pins the whole lookup/fill/evict path, not just aggregate stats.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import Cache
+
+LINE = 64
+SETS = 4
+WAYS = 2
+SIZE = SETS * WAYS * LINE
+
+
+class ReferenceLRU:
+    """Dict-of-lists LRU cache, deliberately naive."""
+
+    def __init__(self):
+        self.sets = {s: [] for s in range(SETS)}  # MRU at end
+
+    @staticmethod
+    def place(line):
+        index = (line // LINE) % SETS
+        tag = line // (LINE * SETS)
+        return index, tag
+
+    def access(self, line):
+        index, tag = self.place(line)
+        ways = self.sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return True
+        return False
+
+    def fill(self, line):
+        index, tag = self.place(line)
+        ways = self.sets[index]
+        victim = None
+        if tag in ways:
+            ways.remove(tag)
+        elif len(ways) >= WAYS:
+            vtag = ways.pop(0)
+            victim = (vtag * SETS + index) * LINE
+        ways.append(tag)
+        return victim
+
+
+lines = st.integers(0, 63).map(lambda i: i * LINE)
+
+
+@settings(max_examples=60)
+@given(st.lists(lines, min_size=1, max_size=300))
+def test_lru_cache_matches_reference(stream):
+    cache = Cache("t", SIZE, WAYS, LINE, policy="lru")
+    ref = ReferenceLRU()
+    for line in stream:
+        got = cache.access(line, is_write=False).hit
+        want = ref.access(line)
+        assert got == want, f"hit/miss diverged at {line:#x}"
+        if not got:
+            cache.fill(line, dirty=True)
+            ref.fill(line)
+
+
+@settings(max_examples=60)
+@given(st.lists(lines, min_size=1, max_size=300))
+def test_lru_eviction_victims_match_reference(stream):
+    cache = Cache("t", SIZE, WAYS, LINE, policy="lru")
+    ref = ReferenceLRU()
+    for line in stream:
+        if not cache.access(line, False).hit:
+            got_victim = cache.fill(line, dirty=True)
+            want_victim = ref.fill(line)
+            assert got_victim == want_victim, (
+                f"victim diverged at {line:#x}"
+            )
+        else:
+            ref.access(line)
+
+
+@settings(max_examples=40)
+@given(st.lists(st.tuples(lines, st.booleans()), min_size=1,
+                max_size=200))
+def test_resident_set_matches_reference(stream):
+    cache = Cache("t", SIZE, WAYS, LINE, policy="lru")
+    ref = ReferenceLRU()
+    for line, _ in stream:
+        if not cache.access(line, False).hit:
+            cache.fill(line)
+            ref.fill(line)
+        else:
+            ref.access(line)
+    # The full resident sets must agree at the end.
+    want = {(t * SETS + s) * LINE
+            for s, ways in ref.sets.items() for t in ways}
+    got = {line for line in (i * LINE for i in range(64))
+           if cache.probe(line)}
+    assert got == want

@@ -1,0 +1,217 @@
+"""Tests for the DRAM cache, approximate memory, and NUCA modules."""
+
+import pytest
+
+from repro.core.attributes import DataProperty, PatternType, RWChar, \
+    make_attributes
+from repro.core.errors import ConfigurationError
+from repro.core.xmemlib import XMemLib
+from repro.mem.approx import ApproxConfig, ApproximateMemory
+from repro.mem.dram_cache import DramCache, SemanticDramCachePolicy
+from repro.mem.nuca import (
+    NucaCandidate,
+    NucaMachine,
+    hashed_placement,
+    mean_latency,
+    plan_nuca_placement,
+)
+
+
+class TestDramCache:
+    def test_latency_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            DramCache(1 << 20, hit_latency=200, miss_latency=100)
+
+    def test_hit_after_fill(self):
+        dc = DramCache(64 * 1024)
+        assert dc.access(0) == dc.miss_latency
+        assert dc.access(0) == dc.hit_latency
+        assert dc.stats.hit_rate == 0.5
+
+    def test_bypass_predicate(self):
+        dc = DramCache(64 * 1024)
+        dc.insert_predicate = lambda addr: False
+        dc.access(0)
+        assert dc.access(0) == dc.miss_latency   # never inserted
+        assert dc.stats.bypassed_fills == 2
+        assert dc.resident_lines == 0
+
+
+class TestSemanticDramCachePolicy:
+    def make(self, cache_bytes=64 * 1024):
+        lib = XMemLib()
+        dc = DramCache(cache_bytes)
+        policy = SemanticDramCachePolicy(dc, lib.process.atom_for_paddr)
+        return lib, dc, policy
+
+    def add_atom(self, lib, name, size, reuse, base=0):
+        atom = lib.create_atom(name, pattern=PatternType.REGULAR,
+                               stride_bytes=64, reuse=reuse)
+        lib.atom_map(atom, base, size)
+        lib.atom_activate(atom)
+        return atom
+
+    def test_zero_reuse_bypasses(self):
+        lib, dc, policy = self.make()
+        self.add_atom(lib, "stream", 1 << 20, reuse=0)
+        assert not policy.should_insert(0)
+
+    def test_oversized_working_set_bypasses(self):
+        lib, dc, policy = self.make(cache_bytes=64 * 1024)
+        self.add_atom(lib, "huge", 1 << 20, reuse=200)
+        assert not policy.should_insert(0)
+
+    def test_fitting_reused_data_inserts(self):
+        lib, dc, policy = self.make()
+        self.add_atom(lib, "hot", 16 * 1024, reuse=200)
+        assert policy.should_insert(0)
+
+    def test_unannotated_data_inserts(self):
+        lib, dc, policy = self.make()
+        assert policy.should_insert(1 << 30)
+
+    def test_semantics_avoid_thrash_end_to_end(self):
+        """With a huge zero-payback stream plus a hot set, the semantic
+        policy keeps the hot set resident; blind insertion thrashes."""
+        def run(semantic):
+            lib = XMemLib()
+            dc = DramCache(64 * 1024)
+            if semantic:
+                SemanticDramCachePolicy(dc, lib.process.atom_for_paddr)
+            hot = lib.create_atom("hot", pattern=PatternType.REGULAR,
+                                  stride_bytes=64, reuse=255)
+            lib.atom_map(hot, 0, 32 * 1024)
+            lib.atom_activate(hot)
+            stream = lib.create_atom("st", pattern=PatternType.REGULAR,
+                                     stride_bytes=64, reuse=0)
+            lib.atom_map(stream, 1 << 20, 1 << 21)
+            lib.atom_activate(stream)
+            total = 0.0
+            for rep in range(4):
+                for i in range(0, 32 * 1024, 64):      # hot set
+                    total += dc.access(i)
+                for i in range(0, 1 << 21, 64):        # stream sweep
+                    total += dc.access((1 << 20) + i)
+            return total
+
+        assert run(semantic=True) < run(semantic=False)
+
+
+class TestApproximateMemory:
+    @staticmethod
+    def lib_with(properties, size=4096):
+        lib = XMemLib()
+        atom = lib.create_atom("a", properties=properties)
+        lib.atom_map(atom, 0, size)
+        lib.atom_activate(atom)
+        return lib
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ApproxConfig(reliable_latency=50, approx_latency=90)
+        with pytest.raises(ConfigurationError):
+            ApproxConfig(error_rate=1.5)
+
+    def test_approximable_data_takes_fast_path(self):
+        lib = self.lib_with((DataProperty.APPROXIMABLE,))
+        mem = ApproximateMemory(lib.process.atom_for_paddr)
+        assert mem.access(0) == mem.config.approx_latency
+        assert mem.stats.approx_accesses == 1
+
+    def test_unannotated_data_never_approximated(self):
+        lib = XMemLib()
+        mem = ApproximateMemory(lib.process.atom_for_paddr)
+        for addr in (0, 4096, 1 << 20):
+            assert mem.access(addr) == mem.config.reliable_latency
+        assert mem.stats.approx_accesses == 0
+
+    def test_non_approximable_atom_reliable(self):
+        lib = self.lib_with((DataProperty.SPARSE,))
+        mem = ApproximateMemory(lib.process.atom_for_paddr)
+        assert mem.access(0) == mem.config.reliable_latency
+
+    def test_deactivation_disables_approximation(self):
+        lib = self.lib_with((DataProperty.APPROXIMABLE,))
+        mem = ApproximateMemory(lib.process.atom_for_paddr)
+        lib.atom_deactivate(0)
+        assert mem.access(0) == mem.config.reliable_latency
+
+    def test_errors_bounded_by_rate(self):
+        lib = self.lib_with((DataProperty.APPROXIMABLE,), size=1 << 20)
+        mem = ApproximateMemory(
+            lib.process.atom_for_paddr,
+            ApproxConfig(error_rate=0.1), seed=3,
+        )
+        for i in range(5000):
+            mem.access((i * 64) % (1 << 20))
+        rate = mem.stats.injected_errors / mem.stats.approx_accesses
+        assert 0.05 < rate < 0.15
+
+    def test_latency_saved(self):
+        lib = self.lib_with((DataProperty.APPROXIMABLE,))
+        mem = ApproximateMemory(lib.process.atom_for_paddr)
+        mem.access(0)
+        assert mem.mean_latency_saved == pytest.approx(
+            mem.config.reliable_latency - mem.config.approx_latency
+        )
+
+
+class TestNuca:
+    def attrs(self, name="x"):
+        return make_attributes(name)
+
+    def test_machine_latency_ring(self):
+        m = NucaMachine(slices=8, base_latency=10, hop_latency=2)
+        assert m.latency(0, 0) == 10
+        assert m.latency(0, 1) == 12
+        assert m.latency(0, 7) == 12   # ring wraps
+        assert m.latency(0, 4) == 18
+        with pytest.raises(ConfigurationError):
+            m.latency(0, 8)
+
+    def test_private_data_placed_at_owner(self):
+        m = NucaMachine(slices=4)
+        shares = (0.0, 0.0, 1.0, 0.0)
+        cand = NucaCandidate(0, self.attrs(), 1024, shares)
+        placement = plan_nuca_placement([cand], m)
+        assert placement[0] == 2
+
+    def test_shared_data_minimizes_distance(self):
+        m = NucaMachine(slices=4)
+        cand = NucaCandidate(0, self.attrs(), 1024,
+                             (0.5, 0.0, 0.5, 0.0))
+        placement = plan_nuca_placement([cand], m)
+        # Either neighbour between cores 0 and 2 is optimal on a ring.
+        assert placement[0] in (0, 1, 2, 3)
+        got = mean_latency([cand], placement, m)
+        best = min(mean_latency([cand], {0: s}, m) for s in range(4))
+        assert got == pytest.approx(best)
+
+    def test_capacity_pushes_overflow_elsewhere(self):
+        m = NucaMachine(slices=2, slice_bytes=1024)
+        a = NucaCandidate(0, self.attrs("a"), 1024, (1.0, 0.0))
+        b = NucaCandidate(1, self.attrs("b"), 1024, (1.0, 0.0))
+        placement = plan_nuca_placement([a, b], m)
+        assert sorted(placement.values()) == [0, 1]
+
+    def test_vector_length_validated(self):
+        m = NucaMachine(slices=4)
+        cand = NucaCandidate(0, self.attrs(), 1024, (1.0,))
+        with pytest.raises(ConfigurationError):
+            plan_nuca_placement([cand], m)
+
+    def test_semantic_beats_hashed(self):
+        """Row 9's claim: intensity-aware home slices beat striping."""
+        m = NucaMachine(slices=8)
+        # Owner cores deliberately misaligned with allocation order so
+        # round-robin striping lands most pools far from their owner.
+        cands = [
+            NucaCandidate(i, self.attrs(f"p{i}"), 1024,
+                          tuple(1000.0 if c == (i * 3) % 8 else 0.0
+                                for c in range(8)))
+            for i in range(8)
+        ]
+        semantic = plan_nuca_placement(cands, m)
+        hashed = hashed_placement(cands, m)
+        assert mean_latency(cands, semantic, m) < \
+            mean_latency(cands, hashed, m)

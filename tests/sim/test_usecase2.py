@@ -1,0 +1,87 @@
+"""Integration tests for the Use-Case-2 runner (Section 6)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim.usecase2 import (
+    BASELINE_MAPPING_CANDIDATES,
+    pick_baseline_mapping,
+    run_figure7,
+    run_system,
+    usecase2_config,
+)
+from repro.workloads.suite import BY_NAME
+
+#: Truncated runs keep these tests fast while exercising every path.
+FAST = 15_000
+
+
+class TestRunSystem:
+    def test_unknown_system(self):
+        with pytest.raises(ConfigurationError):
+            run_system(BY_NAME["sc"], "oracle")
+
+    def test_baseline_produces_record(self):
+        r = run_system(BY_NAME["sc"], "baseline", accesses=FAST)
+        assert r.record.system == "baseline"
+        assert r.record.cycles > 0
+        assert r.record.dram_read_latency > 0
+        assert r.placement_report is None
+
+    def test_xmem_reports_placement(self):
+        r = run_system(BY_NAME["lbm"], "xmem", accesses=FAST)
+        assert r.placement_report is not None
+        assert "isolated" in r.placement_report
+
+    def test_ideal_has_perfect_rbl(self):
+        r = run_system(BY_NAME["lbm"], "ideal", accesses=FAST)
+        assert r.record.dram_row_hit_rate == pytest.approx(1.0)
+
+    def test_mapping_honoured(self):
+        r = run_system(BY_NAME["sc"], "baseline", mapping="scheme5",
+                       accesses=FAST)
+        assert r.mapping == "scheme5"
+        assert r.record.params["mapping"] == "scheme5"
+
+
+class TestFigure7Shape:
+    def test_ideal_beats_baseline_on_streaming(self):
+        res = {
+            s: run_system(BY_NAME["GemsFDTD"], s, accesses=40_000)
+            for s in ("baseline", "ideal")
+        }
+        assert res["ideal"].cycles < res["baseline"].cycles
+
+    def test_xmem_between_baseline_and_ideal_streaming(self):
+        w = BY_NAME["lbm"]
+        base = run_system(w, "baseline", accesses=60_000)
+        xmem = run_system(w, "xmem", accesses=60_000)
+        # The multi-stream workload must benefit from isolation.
+        assert xmem.cycles < base.cycles
+        # And the gain is driven by lower read latency.
+        assert xmem.record.dram_read_latency < \
+            base.record.dram_read_latency
+
+    def test_low_headroom_workload_near_parity(self):
+        w = BY_NAME["sc"]
+        base = run_system(w, "baseline", accesses=40_000)
+        xmem = run_system(w, "xmem", accesses=40_000)
+        ratio = base.cycles / xmem.cycles
+        assert 0.9 < ratio < 1.1
+
+
+class TestMappingPick:
+    def test_pick_returns_candidate(self):
+        m = pick_baseline_mapping(BY_NAME["sc"], probe_accesses=4_000)
+        assert m in BASELINE_MAPPING_CANDIDATES
+
+    def test_run_figure7_all_three(self):
+        w = BY_NAME["histo"]
+        cfg = usecase2_config()
+        import dataclasses
+        # Shrink the trace through the workload for speed.
+        small = dataclasses.replace(w, accesses=10_000)
+        res = run_figure7(small, config=cfg, pick_mapping=False)
+        assert set(res) == {"baseline", "xmem", "ideal"}
+        for r in res.values():
+            assert r.record.cycles > 0

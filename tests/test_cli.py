@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["usecase1"])
+        assert args.kernel == "gemm"
+        assert args.n == 96
+
+    def test_usecase2_args(self):
+        args = build_parser().parse_args(
+            ["usecase2", "--workload", "mcf", "--accesses", "5000"])
+        assert args.workload == "mcf"
+        assert args.accesses == 5000
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out
+        assert "lbm" in out
+
+    def test_overheads(self, capsys):
+        assert main(["overheads"]) == 0
+        out = capsys.readouterr().out
+        assert "AAM" in out
+        assert "16 MB" in out
+
+    def test_usecase1_unknown_kernel(self, capsys):
+        assert main(["usecase1", "--kernel", "nope"]) == 2
+
+    def test_usecase2_unknown_workload(self, capsys):
+        assert main(["usecase2", "--workload", "nope"]) == 2
+
+    def test_usecase1_small_run(self, capsys):
+        rc = main(["usecase1", "--kernel", "mvt", "--n", "32",
+                   "--tile", "16", "--scale", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "XMem speedup" in out
+
+    def test_usecase2_small_run(self, capsys):
+        rc = main(["usecase2", "--workload", "sc",
+                   "--accesses", "4000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "ideal" in out

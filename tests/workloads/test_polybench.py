@@ -1,0 +1,150 @@
+"""Tests for the Polybench trace generators."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.xmemlib import XMemLib
+from repro.cpu.trace import MemAccess, XMemOp, count_events
+from repro.workloads.polybench import (
+    FIGURE4_KERNELS,
+    KERNELS,
+    Layout,
+    common,
+)
+from repro.workloads.polybench.common import (
+    Array,
+    row_segment,
+    tiles,
+)
+
+
+class TestCommon:
+    def test_layout_no_overlap(self):
+        lay = Layout()
+        a = lay.array("a", 16, 16)
+        b = lay.array("b", 16, 16)
+        assert a.base + a.bytes <= b.base
+
+    def test_layout_guard_gap(self):
+        # Arrays never share a 512B AAM chunk.
+        lay = Layout()
+        a = lay.array("a", 3, 3)
+        b = lay.array("b", 3, 3)
+        assert b.base - (a.base + a.bytes) >= 512
+
+    def test_array_addr(self):
+        arr = Array("x", 0x1000, 4, 8)
+        assert arr.addr(0, 0) == 0x1000
+        assert arr.addr(1, 2) == 0x1000 + (8 + 2) * 8
+
+    def test_row_segment_line_granular(self):
+        arr = Array("x", 0, 8, 64)
+        evs = list(row_segment(arr, 0, 0, 64))
+        # 64 elements * 8B = 512B = 8 lines.
+        assert len(evs) == 8
+        assert all(isinstance(e, MemAccess) for e in evs)
+        # Work accounts for every elided element.
+        assert sum(e.work for e in evs) == 64 * common.WORK_PER_ELEM
+
+    def test_row_segment_unaligned(self):
+        arr = Array("x", 0, 8, 64)
+        evs = list(row_segment(arr, 0, 3, 10))
+        assert sum(e.work for e in evs) == 10 * common.WORK_PER_ELEM
+
+    def test_tiles_cover_exactly(self):
+        covered = []
+        for rng in tiles(100, 32):
+            covered.extend(rng)
+        assert covered == list(range(100))
+
+    def test_check_params(self):
+        k = KERNELS["gemm"]
+        with pytest.raises(ConfigurationError):
+            list(k.build_trace(0, 1))
+        with pytest.raises(ConfigurationError):
+            list(k.build_trace(16, 32))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            common.register(KERNELS["gemm"])
+
+
+class TestKernelRegistry:
+    def test_all_twelve_registered(self):
+        assert set(FIGURE4_KERNELS) <= set(KERNELS)
+        assert len(FIGURE4_KERNELS) == 12
+
+    @pytest.mark.parametrize("name", FIGURE4_KERNELS)
+    def test_footprints_positive(self, name):
+        assert KERNELS[name].footprint(16) > 0
+
+    @pytest.mark.parametrize("name", FIGURE4_KERNELS)
+    def test_baseline_trace_has_no_xmem_ops(self, name):
+        trace = KERNELS[name].build_trace(16, 8)
+        assert all(not isinstance(ev, XMemOp) for ev in trace)
+
+    @pytest.mark.parametrize("name", FIGURE4_KERNELS)
+    def test_xmem_trace_has_ops_and_same_accesses(self, name):
+        k = KERNELS[name]
+        base_mem, base_work, _ = count_events(k.build_trace(16, 8))
+        lib = XMemLib()
+        mem, work, xmem = count_events(k.build_trace(16, 8, lib=lib))
+        # Hints are supplemental: the memory access stream is identical.
+        assert (mem, work) == (base_mem, base_work)
+        assert xmem > 0
+
+    @pytest.mark.parametrize("name", FIGURE4_KERNELS)
+    def test_total_work_independent_of_tile(self, name):
+        """The paper "ensures the total work is always the same"
+        across tile sizes; our traces must too (trmm and the stencil
+        boundary rows may differ in *memory events*, never in work)."""
+        k = KERNELS[name]
+        _, work8, _ = count_events(k.build_trace(16, 8))
+        _, work16, _ = count_events(k.build_trace(16, 16))
+        assert work8 == work16
+
+    @pytest.mark.parametrize("name", FIGURE4_KERNELS)
+    def test_addresses_within_footprint(self, name):
+        k = KERNELS[name]
+        bound = 0x10_0000 + 4 * k.footprint(16) + (1 << 20)
+        for ev in k.build_trace(16, 8):
+            if isinstance(ev, MemAccess):
+                assert 0x10_0000 <= ev.vaddr < bound
+
+    def test_xmem_ops_replayable_through_lib(self):
+        """Every XMemOp a kernel emits must execute cleanly."""
+        k = KERNELS["gemm"]
+        lib = XMemLib()
+        for ev in k.build_trace(16, 8, lib=lib):
+            if isinstance(ev, XMemOp):
+                getattr(lib, ev.method)(*ev.args)
+        assert lib.xmem_instruction_count > 0
+
+    def test_gemm_trace_deterministic(self):
+        k = KERNELS["gemm"]
+        a = [(e.vaddr, e.is_write) for e in k.build_trace(16, 8)
+             if isinstance(e, MemAccess)]
+        b = [(e.vaddr, e.is_write) for e in k.build_trace(16, 8)
+             if isinstance(e, MemAccess)]
+        assert a == b
+
+    def test_gemm_has_writes(self):
+        k = KERNELS["gemm"]
+        assert any(e.is_write for e in k.build_trace(16, 8)
+                   if isinstance(e, MemAccess))
+
+    def test_tile_reduces_unique_line_span_per_phase(self):
+        """Smaller tiles touch fewer distinct lines between remaps."""
+        k = KERNELS["gemm"]
+        lib = XMemLib()
+        spans = []
+        current = set()
+        for ev in k.build_trace(32, 8, lib=XMemLib()):
+            if isinstance(ev, XMemOp) and ev.method.startswith("atom_remap"):
+                if current:
+                    spans.append(len(current))
+                current = set()
+            elif isinstance(ev, MemAccess):
+                current.add(ev.vaddr // 64)
+        assert spans
+        assert max(spans) < 32 * 32  # bounded by the block, not N^2

@@ -1,0 +1,295 @@
+"""Tests for frame allocators, placement, heap, and the OS loader."""
+
+import pytest
+
+from repro.core.attributes import PatternType, make_attributes
+from repro.core.errors import AllocationError, ConfigurationError
+from repro.dram.mapping import DramGeometry, make_mapping
+from repro.xos.allocator import (
+    BankTargetAllocator,
+    RandomizedAllocator,
+    SequentialAllocator,
+)
+from repro.xos.loader import OperatingSystem
+from repro.xos.phys import FramePool
+from repro.xos.placement import plan_placement
+from repro.xos.vmalloc import HEAP_BASE, HeapAllocator
+
+
+def pool(capacity=1 << 24, mapping="scheme2", seed=0):
+    g = DramGeometry(capacity_bytes=capacity)
+    return FramePool(g, make_mapping(mapping, g), seed=seed)
+
+
+def streaming(intensity=100, name="s"):
+    return make_attributes(name, pattern=PatternType.REGULAR,
+                           stride_bytes=8, access_intensity=intensity)
+
+
+def irregular(intensity=100, name="g"):
+    return make_attributes(name, pattern=PatternType.IRREGULAR,
+                           access_intensity=intensity)
+
+
+class TestAllocators:
+    def test_sequential_is_contiguous(self):
+        a = SequentialAllocator(pool())
+        assert [a.allocate() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_randomized_spreads(self):
+        a = RandomizedAllocator(pool(seed=11))
+        frames = [a.allocate() for _ in range(50)]
+        assert frames != sorted(frames)
+
+    def test_bank_target_honours_assignment(self):
+        p = pool()
+        target = p.all_banks[5]
+        a = BankTargetAllocator(p, {7: [target]})
+        for _ in range(8):
+            frame = a.allocate(atom_id=7)
+            assert p.frame_banks(frame) == frozenset({target})
+
+    def test_bank_target_fallback_for_unassigned(self):
+        p = pool()
+        a = BankTargetAllocator(p, {})
+        frame = a.allocate(atom_id=None)
+        assert frame is not None
+        assert a.fallbacks == 1
+
+    def test_bank_target_fallback_when_banks_exhausted(self):
+        g = DramGeometry(capacity_bytes=1 << 17)  # 32 frames, 16 banks
+        p = FramePool(g, make_mapping("scheme2", g))
+        target = p.all_banks[0]
+        a = BankTargetAllocator(p, {1: [target]})
+        frames = [a.allocate(atom_id=1) for _ in range(6)]
+        assert len(set(frames)) == 6  # kept allocating past exhaustion
+
+
+class TestPlacement:
+    BANKS = [(c, 0, b) for c in range(2) for b in range(8)]
+
+    def test_hot_streaming_structure_isolated(self):
+        atoms = {
+            0: (streaming(intensity=200), 1 << 20),
+            1: (irregular(intensity=100), 1 << 20),
+        }
+        d = plan_placement(atoms, self.BANKS)
+        assert 0 in d.isolated
+        assert 1 not in d.isolated
+        assert d.isolated[0]
+        assert set(d.isolated[0]).isdisjoint(d.spread_banks)
+
+    def test_cold_streaming_structure_not_isolated(self):
+        # The MLP guard: isolating a barely touched structure wastes a
+        # bank.
+        atoms = {
+            0: (streaming(intensity=2), 1 << 20),
+            1: (irregular(intensity=250), 1 << 20),
+        }
+        d = plan_placement(atoms, self.BANKS)
+        assert d.isolated == {}
+        assert set(d.spread_banks) == set(self.BANKS)
+
+    def test_irregular_never_isolated(self):
+        atoms = {0: (irregular(intensity=255), 1 << 20)}
+        d = plan_placement(atoms, self.BANKS)
+        assert d.isolated == {}
+
+    def test_isolation_budget_respected(self):
+        atoms = {
+            i: (streaming(intensity=200, name=f"s{i}"), 1 << 20)
+            for i in range(6)
+        }
+        d = plan_placement(atoms, self.BANKS)
+        iso_banks = sum(len(v) for v in d.isolated.values())
+        assert iso_banks <= len(self.BANKS) // 2
+        assert d.spread_banks  # MLP pool never empty
+
+    def test_hotter_gets_more_banks(self):
+        atoms = {
+            0: (streaming(intensity=240, name="hot"), 1 << 20),
+            1: (streaming(intensity=60, name="warm"), 1 << 20),
+        }
+        d = plan_placement(atoms, self.BANKS)
+        warm_banks = len(d.isolated.get(1, []))
+        assert len(d.isolated[0]) >= max(warm_banks, 1)
+
+    def test_bank_share_proportional_to_total_intensity(self):
+        # A lukewarm stream next to a very hot irregular structure must
+        # not soak up the whole isolation budget.
+        atoms = {
+            0: (streaming(intensity=40, name="warm"), 1 << 20),
+            1: (irregular(intensity=230, name="hot_table"), 1 << 20),
+        }
+        d = plan_placement(atoms, self.BANKS)
+        assert len(d.isolated[0]) <= 3
+        assert len(d.spread_banks) >= len(self.BANKS) - 3
+
+    def test_spread_banks_alternate_channels(self):
+        atoms = {0: (irregular(), 1 << 20)}
+        d = plan_placement(atoms, self.BANKS)
+        channels = [b[0] for b in d.spread_banks[:2]]
+        assert channels == [0, 1]
+
+    def test_banks_for(self):
+        atoms = {
+            0: (streaming(intensity=200), 1 << 20),
+            1: (irregular(intensity=50), 1 << 20),
+        }
+        d = plan_placement(atoms, self.BANKS)
+        assert d.banks_for(0) == d.isolated[0]
+        assert d.banks_for(1) == d.spread_banks
+        assert d.banks_for(None) == d.spread_banks
+
+    def test_empty_atoms(self):
+        d = plan_placement({}, self.BANKS)
+        assert d.isolated == {}
+        assert set(d.spread_banks) == set(self.BANKS)
+
+
+class TestHeap:
+    @staticmethod
+    def make_heap():
+        pages = []
+        heap = HeapAllocator(lambda vp, aid: pages.append((vp, aid)))
+        return heap, pages
+
+    def test_malloc_page_aligned(self):
+        heap, pages = self.make_heap()
+        va = heap.malloc(100)
+        assert va == HEAP_BASE
+        assert va % 4096 == 0
+        assert len(pages) == 1
+
+    def test_malloc_backs_every_page(self):
+        heap, pages = self.make_heap()
+        heap.malloc(3 * 4096 + 1, atom_id=4)
+        assert len(pages) == 4
+        assert all(aid == 4 for _, aid in pages)
+
+    def test_malloc_zero_rejected(self):
+        heap, _ = self.make_heap()
+        with pytest.raises(AllocationError):
+            heap.malloc(0)
+
+    def test_static_atom_map_recorded(self):
+        heap, _ = self.make_heap()
+        va = heap.malloc(4096, atom_id=9)
+        heap.malloc(4096)  # no atom: not recorded
+        assert len(heap.static_atom_map) == 1
+        assert heap.atom_of_range(va + 5) == 9
+
+    def test_free(self):
+        heap, _ = self.make_heap()
+        va = heap.malloc(4096)
+        alloc = heap.free(va)
+        assert alloc.size == 4096
+        with pytest.raises(AllocationError):
+            heap.free(va)
+
+    def test_live_bytes(self):
+        heap, _ = self.make_heap()
+        heap.malloc(4096)
+        va = heap.malloc(8192)
+        assert heap.live_bytes == 12288
+        heap.free(va)
+        assert heap.live_bytes == 4096
+
+
+class TestOperatingSystem:
+    def test_process_translate_through_heap(self):
+        osys = OperatingSystem(DramGeometry(capacity_bytes=1 << 24))
+        proc = osys.create_process()
+        va = proc.malloc(8192)
+        pa0 = proc.translate(va)
+        pa1 = proc.translate(va + 4096)
+        assert pa0 % 4096 == 0
+        assert pa0 != pa1
+
+    def test_unknown_allocator(self):
+        with pytest.raises(ConfigurationError):
+            OperatingSystem(allocator="telepathic")
+
+    def test_atom_map_translates_via_mmu(self):
+        osys = OperatingSystem(DramGeometry(capacity_bytes=1 << 24))
+        proc = osys.create_process()
+        lib = proc.xmemlib
+        aid = lib.create_atom("x", reuse=5)
+        va = proc.malloc_mapped(8192, aid)
+        pa = proc.translate(va)
+        assert proc.xmem.amu.lookup(pa) == aid
+        # The VA itself is NOT in the (PA-indexed) AAM unless it
+        # happens to coincide.
+        assert proc.xmem.atoms[aid].covers(va)
+
+    def test_load_program_fills_gat(self):
+        osys = OperatingSystem(DramGeometry(capacity_bytes=1 << 24))
+        proc = osys.create_process()
+        lib = proc.xmemlib
+        lib.create_atom("a", reuse=3)
+        seg = lib.compile_segment()
+        fresh = osys.create_process()
+        assert osys.load_program(fresh, seg) == 1
+        assert fresh.xmem.gat.lookup(0).reuse == 3
+        assert fresh.xmem.pats["cache"].lookup(0).reuse == 3
+
+    def test_placement_requires_bank_allocator(self):
+        osys = OperatingSystem(DramGeometry(capacity_bytes=1 << 24))
+        proc = osys.create_process()
+        with pytest.raises(ConfigurationError):
+            osys.apply_placement(proc)
+
+    def test_end_to_end_placement(self):
+        osys = OperatingSystem(DramGeometry(capacity_bytes=1 << 24),
+                               allocator="bank_target")
+        proc = osys.create_process()
+        lib = proc.xmemlib
+        hot = lib.create_atom("stream", pattern=PatternType.REGULAR,
+                              stride_bytes=8, access_intensity=200)
+        cold = lib.create_atom("graph", pattern=PatternType.IRREGULAR,
+                               access_intensity=100)
+        osys.load_program(proc, lib.compile_segment())
+        assert proc.placement is not None
+        assert hot in proc.placement.isolated
+        # Pages of the hot atom land only in its isolated banks.
+        va = proc.malloc(4 * 4096, atom_id=hot)
+        iso = set(proc.placement.isolated[hot])
+        for i in range(4):
+            frame = proc.page_table.frame_of((va // 4096) + i)
+            assert osys.pool.frame_banks(frame) <= iso
+        # Pages of the cold atom avoid the isolated banks.
+        va2 = proc.malloc(4 * 4096, atom_id=cold)
+        for i in range(4):
+            frame = proc.page_table.frame_of((va2 // 4096) + i)
+            assert osys.pool.frame_banks(frame).isdisjoint(iso)
+
+    def test_two_processes_share_pool(self):
+        osys = OperatingSystem(DramGeometry(capacity_bytes=1 << 20))
+        p1 = osys.create_process()
+        p2 = osys.create_process()
+        va1 = p1.malloc(4096)
+        va2 = p2.malloc(4096)
+        assert p1.translate(va1) != p2.translate(va2)
+
+
+class TestGroupedPlacement:
+    BANKS = [(c, 0, b) for c in range(2) for b in range(8)]
+    GROUPS = [frozenset({(0, 0, b), (1, 0, b)}) for b in range(8)]
+
+    def test_isolated_atoms_get_whole_groups(self):
+        atoms = {
+            0: (streaming(intensity=200), 1 << 20),
+            1: (irregular(intensity=100), 1 << 20),
+        }
+        d = plan_placement(atoms, self.BANKS, groups=self.GROUPS)
+        chosen = d.isolated[0]
+        # Whole cross-channel pairs, never half a group.
+        bank_idx = {b[2] for b in chosen}
+        assert len(chosen) == 2 * len(bank_idx)
+        assert {b[0] for b in chosen} == {0, 1}
+
+    def test_spread_keeps_remaining_groups(self):
+        atoms = {0: (streaming(intensity=200), 1 << 20)}
+        d = plan_placement(atoms, self.BANKS, groups=self.GROUPS)
+        taken = set(d.isolated[0])
+        assert set(d.spread_banks) == set(self.BANKS) - taken

@@ -1,0 +1,105 @@
+"""Tests for NUMA placement (repro.xos.numa)."""
+
+import pytest
+
+from repro.core.attributes import RWChar, make_attributes
+from repro.core.errors import ConfigurationError
+from repro.xos.numa import (
+    NumaCandidate,
+    NumaMachine,
+    NumaTrafficModel,
+    REPLICATED,
+    first_touch_numa,
+    plan_numa_placement,
+)
+
+
+def cand(atom_id, shares, rw=RWChar.READ_WRITE, name="x"):
+    return NumaCandidate(atom_id, make_attributes(name, rw=rw), shares)
+
+
+class TestMachine:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NumaMachine(nodes=0)
+        with pytest.raises(ConfigurationError):
+            NumaMachine(local_latency=100, remote_latency=50)
+
+
+class TestCandidates:
+    def test_dominant_node(self):
+        assert cand(0, (10.0, 90.0)).dominant_node == 1
+
+    def test_shared_detection(self):
+        assert cand(0, (50.0, 50.0)).shared
+        assert not cand(0, (90.0, 10.0)).shared
+
+    def test_bad_distribution(self):
+        with pytest.raises(ConfigurationError):
+            cand(0, ())
+        with pytest.raises(ConfigurationError):
+            cand(0, (-1.0, 2.0))
+
+
+class TestPlacement:
+    M = NumaMachine(nodes=2)
+
+    def test_private_data_colocated(self):
+        c = cand(0, (5.0, 95.0))
+        assert plan_numa_placement([c], self.M)[0] == 1
+
+    def test_shared_read_only_replicated(self):
+        c = cand(0, (50.0, 50.0), rw=RWChar.READ_ONLY)
+        assert plan_numa_placement([c], self.M)[0] == REPLICATED
+
+    def test_shared_writable_not_replicated(self):
+        c = cand(0, (50.0, 50.0), rw=RWChar.READ_WRITE)
+        assert plan_numa_placement([c], self.M)[0] in (0, 1)
+
+    def test_private_read_only_not_replicated(self):
+        # Replication buys nothing if only one node reads the data.
+        c = cand(0, (100.0, 0.0), rw=RWChar.READ_ONLY)
+        assert plan_numa_placement([c], self.M)[0] == 0
+
+    def test_node_count_validated(self):
+        c = cand(0, (1.0, 1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            plan_numa_placement([c], self.M)
+
+    def test_first_touch_puts_everything_on_one_node(self):
+        cands = [cand(0, (0.0, 100.0)), cand(1, (100.0, 0.0), name="b")]
+        placement = first_touch_numa(cands, self.M)
+        assert set(placement.values()) == {0}
+
+
+class TestTrafficModel:
+    M = NumaMachine(nodes=2, local_latency=100, remote_latency=300)
+
+    def test_local_placement_latency(self):
+        model = NumaTrafficModel(self.M)
+        c = cand(0, (100.0, 0.0))
+        assert model.atom_latency(c, 0) == 100
+        assert model.atom_latency(c, 1) == 300
+
+    def test_replicated_always_local(self):
+        model = NumaTrafficModel(self.M)
+        c = cand(0, (50.0, 50.0), rw=RWChar.READ_ONLY)
+        assert model.atom_latency(c, REPLICATED) == 100
+
+    def test_semantic_beats_first_touch(self):
+        """The Table 1 row-7 claim on a partitioned + shared-RO mix."""
+        cands = [
+            cand(0, (100.0, 0.0), name="node0_part"),
+            cand(1, (0.0, 100.0), name="node1_part"),
+            cand(2, (50.0, 50.0), rw=RWChar.READ_ONLY, name="model"),
+        ]
+        model = NumaTrafficModel(self.M)
+        semantic = model.mean_latency(
+            cands, plan_numa_placement(cands, self.M))
+        baseline = model.mean_latency(
+            cands, first_touch_numa(cands, self.M))
+        assert semantic == pytest.approx(100.0)   # everything local
+        assert baseline > semantic
+
+    def test_empty(self):
+        assert NumaTrafficModel(self.M).mean_latency([], {}) == 0.0

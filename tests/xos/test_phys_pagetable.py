@@ -1,0 +1,215 @@
+"""Tests for the frame pool and page table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import (
+    AllocationError,
+    ConfigurationError,
+    TranslationError,
+)
+from repro.core.ranges import AddressRange
+from repro.dram.mapping import DramGeometry, make_mapping
+from repro.xos.page_table import PageTable
+from repro.xos.phys import FramePool
+
+
+def small_pool(mapping="scheme2", capacity=1 << 24, seed=0):
+    g = DramGeometry(capacity_bytes=capacity)
+    return FramePool(g, make_mapping(mapping, g), seed=seed)
+
+
+class TestFramePool:
+    def test_frame_count(self):
+        pool = small_pool()
+        assert pool.num_frames == (1 << 24) // 4096
+        assert pool.free_frames == pool.num_frames
+
+    def test_bad_page_size(self):
+        g = DramGeometry()
+        with pytest.raises(ConfigurationError):
+            FramePool(g, make_mapping("scheme2", g), page_bytes=100)
+
+    def test_alloc_sequential(self):
+        pool = small_pool()
+        assert pool.alloc_any() == 0
+        assert pool.alloc_any() == 1
+        assert pool.free_frames == pool.num_frames - 2
+
+    def test_alloc_random_unique(self):
+        pool = small_pool(seed=7)
+        frames = {pool.alloc_any(randomize=True) for _ in range(100)}
+        assert len(frames) == 100
+
+    def test_free_and_realloc(self):
+        pool = small_pool()
+        f = pool.alloc_any()
+        pool.free(f)
+        assert pool.alloc_any() == f
+
+    def test_double_free_rejected(self):
+        pool = small_pool()
+        f = pool.alloc_any()
+        pool.free(f)
+        with pytest.raises(AllocationError):
+            pool.free(f)
+
+    def test_bogus_free_rejected(self):
+        pool = small_pool()
+        with pytest.raises(AllocationError):
+            pool.free(10**9)
+
+    def test_exhaustion(self):
+        g = DramGeometry(capacity_bytes=1 << 17)  # 32 frames
+        pool = FramePool(g, make_mapping("scheme2", g))
+        for _ in range(pool.num_frames):
+            pool.alloc_any()
+        with pytest.raises(AllocationError):
+            pool.alloc_any()
+
+    def test_scheme2_frames_single_bank(self):
+        # Under the row-interleaved scheme a 4KB page sits in one bank.
+        pool = small_pool("scheme2")
+        for frame in range(32):
+            assert len(pool.frame_banks(frame)) == 1
+
+    def test_scheme5_frames_span_channels(self):
+        pool = small_pool("scheme5")
+        banks = pool.frame_banks(0)
+        assert len({b[0] for b in banks}) == 2  # both channels
+
+    def test_alloc_in_banks_confines(self):
+        pool = small_pool("scheme2")
+        target = pool.all_banks[3]
+        for _ in range(10):
+            frame = pool.alloc_in_banks([target])
+            assert frame is not None
+            assert pool.frame_banks(frame) == frozenset({target})
+
+    def test_alloc_in_banks_disjoint_from_other_allocs(self):
+        pool = small_pool("scheme2")
+        a = pool.alloc_in_banks([pool.all_banks[0]])
+        b = pool.alloc_in_banks([pool.all_banks[1]])
+        assert a != b
+        assert pool.frame_banks(a) != pool.frame_banks(b)
+
+    def test_all_banks_complete(self):
+        pool = small_pool()
+        g = pool.geometry
+        assert len(pool.all_banks) == g.total_banks
+        assert len(set(pool.all_banks)) == g.total_banks
+
+    def test_randomized_bank_alloc_stays_in_banks(self):
+        pool = small_pool("scheme2", seed=3)
+        targets = pool.all_banks[:2]
+        for _ in range(20):
+            frame = pool.alloc_in_banks(targets, randomize=True)
+            assert pool.frame_banks(frame) <= set(targets)
+
+
+class TestPageTable:
+    def test_translate(self):
+        pt = PageTable()
+        pt.map_page(5, 99)
+        assert pt.translate(5 * 4096 + 123) == 99 * 4096 + 123
+
+    def test_unmapped_raises(self):
+        pt = PageTable()
+        with pytest.raises(TranslationError):
+            pt.translate(0)
+
+    def test_is_mapped_and_frame_of(self):
+        pt = PageTable()
+        pt.map_page(2, 7)
+        assert pt.is_mapped(2 * 4096)
+        assert not pt.is_mapped(3 * 4096)
+        assert pt.frame_of(2) == 7
+        assert pt.frame_of(3) is None
+
+    def test_unmap(self):
+        pt = PageTable()
+        pt.map_page(1, 3)
+        assert pt.unmap_page(1) == 3
+        assert pt.unmap_page(1) is None
+        assert not pt.is_mapped(4096)
+
+    def test_translate_range_contiguous_frames_coalesce(self):
+        pt = PageTable()
+        pt.map_page(0, 10)
+        pt.map_page(1, 11)
+        ranges = pt.translate_range(AddressRange(0, 8192))
+        assert ranges == (AddressRange(10 * 4096, 12 * 4096),)
+
+    def test_translate_range_scattered_frames_split(self):
+        pt = PageTable()
+        pt.map_page(0, 10)
+        pt.map_page(1, 50)
+        ranges = pt.translate_range(AddressRange(0, 8192))
+        assert len(ranges) == 2
+        assert ranges[0] == AddressRange(10 * 4096, 11 * 4096)
+        assert ranges[1] == AddressRange(50 * 4096, 51 * 4096)
+
+    def test_translate_range_partial_pages(self):
+        pt = PageTable()
+        pt.map_page(0, 10)
+        ranges = pt.translate_range(AddressRange(100, 300))
+        assert ranges == (AddressRange(10 * 4096 + 100, 10 * 4096 + 300),)
+
+    def test_translate_range_empty(self):
+        pt = PageTable()
+        assert pt.translate_range(AddressRange(0, 0)) == ()
+
+    def test_translate_range_unmapped_raises(self):
+        pt = PageTable()
+        pt.map_page(0, 10)
+        with pytest.raises(TranslationError):
+            pt.translate_range(AddressRange(0, 3 * 4096))
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 1023)),
+                    min_size=1, max_size=30))
+    def test_translate_matches_per_byte(self, mappings):
+        pt = PageTable()
+        table = {}
+        for vpage, pframe in mappings:
+            pt.map_page(vpage, pframe)
+            table[vpage] = pframe
+        for vpage, pframe in table.items():
+            for off in (0, 1, 4095):
+                assert pt.translate(vpage * 4096 + off) == \
+                    pframe * 4096 + off
+
+    @given(st.integers(0, 60), st.integers(1, 5 * 4096))
+    def test_translate_range_covers_exact_bytes(self, start_page, size):
+        pt = PageTable()
+        for vp in range(70):
+            pt.map_page(vp, 1000 + vp * 3)  # scattered frames
+        rng = AddressRange.from_size(start_page * 4096 + 17, size)
+        ranges = pt.translate_range(rng)
+        assert sum(r.size for r in ranges) == size
+        # First byte translates consistently.
+        assert ranges[0].start == pt.translate(rng.start)
+
+
+class TestBankGroups:
+    def test_scheme2_groups_are_singleton_banks(self):
+        pool = small_pool("scheme2")
+        groups = pool.bank_groups()
+        assert len(groups) == pool.geometry.total_banks
+        assert all(len(g) == 1 for g in groups)
+
+    def test_xmem_interleaved_groups_are_channel_pairs(self):
+        pool = small_pool("xmem_interleaved")
+        groups = pool.bank_groups()
+        assert len(groups) == pool.geometry.banks_per_rank
+        for g in groups:
+            assert len(g) == 2
+            channels = {b[0] for b in g}
+            banks = {b[2] for b in g}
+            assert channels == {0, 1}
+            assert len(banks) == 1
+
+    def test_groups_cover_all_banks(self):
+        pool = small_pool("scheme5")
+        groups = pool.bank_groups()
+        covered = {b for g in groups for b in g}
+        assert covered == set(pool.all_banks)

@@ -1,0 +1,105 @@
+"""Tests for XMem under virtualization (Section 4.3)."""
+
+import pytest
+
+from repro.core.errors import AllocationError
+from repro.xos.virt import Hypervisor
+
+
+def vm_with_process(host_frames=256):
+    hyp = Hypervisor(host_frames)
+    vm = hyp.create_vm()
+    return hyp, vm, vm.create_guest_process()
+
+
+class TestTwoStageTranslation:
+    def test_composed_walk(self):
+        hyp, vm, proc = vm_with_process()
+        gva = proc.malloc(8192)
+        hpa0 = proc.translate(gva)
+        hpa1 = proc.translate(gva + 4096)
+        assert hpa0 % 4096 == 0
+        assert hpa0 != hpa1
+
+    def test_translation_stable(self):
+        hyp, vm, proc = vm_with_process()
+        gva = proc.malloc(4096)
+        assert proc.translate(gva + 5) == proc.translate(gva) + 5
+        assert proc.translate(gva) == proc.translate(gva)
+
+    def test_vms_get_disjoint_host_frames(self):
+        hyp = Hypervisor(256)
+        p1 = hyp.create_vm().create_guest_process()
+        p2 = hyp.create_vm().create_guest_process()
+        h1 = {proc_t // 4096 for proc_t in
+              (p1.translate(p1.malloc(4096)),)}
+        h2 = {p2.translate(p2.malloc(4096)) // 4096}
+        assert h1.isdisjoint(h2)
+
+    def test_host_frame_exhaustion(self):
+        hyp, vm, proc = vm_with_process(host_frames=2)
+        gva = proc.malloc(3 * 4096)
+        proc.translate(gva)
+        proc.translate(gva + 4096)
+        with pytest.raises(AllocationError):
+            proc.translate(gva + 2 * 4096)
+
+    def test_bad_malloc(self):
+        hyp, vm, proc = vm_with_process()
+        with pytest.raises(AllocationError):
+            proc.malloc(0)
+
+
+class TestXMemUnchangedUnderVirtualization:
+    """The Section 4.3 claim: the XMem components work as-is."""
+
+    def test_aam_indexed_by_host_pa(self):
+        hyp, vm, proc = vm_with_process()
+        lib = proc.xmemlib
+        atom = lib.create_atom("gdata", reuse=7)
+        gva = proc.malloc(8192)
+        lib.atom_map(atom, gva, 8192)
+        lib.atom_activate(atom)
+        # Lookups by HOST physical address resolve the atom.
+        for off in (0, 4096, 8191):
+            hpa = proc.translate(gva + off)
+            assert proc.xmem.amu.lookup(hpa) == atom
+        # The guest-virtual address itself is not an AAM key.
+        assert proc.xmem.amu.lookup_raw(gva) != atom or \
+            proc.translate(gva) == gva
+
+    def test_two_vm_processes_isolated(self):
+        hyp = Hypervisor(512)
+        p1 = hyp.create_vm().create_guest_process()
+        p2 = hyp.create_vm().create_guest_process()
+        a1 = p1.xmemlib.create_atom("vm1", reuse=1)
+        g1 = p1.malloc(4096)
+        p1.xmemlib.atom_map(a1, g1, 4096)
+        p1.xmemlib.atom_activate(a1)
+        a2 = p2.xmemlib.create_atom("vm2", reuse=2)
+        g2 = p2.malloc(4096)
+        p2.xmemlib.atom_map(a2, g2, 4096)
+        p2.xmemlib.atom_activate(a2)
+        # Each VM's XMem view resolves only its own host frames.
+        assert p1.xmem.amu.lookup(p1.translate(g1)) == a1
+        assert p1.xmem.amu.lookup(p2.translate(g2)) is None
+
+    def test_guest_gat_and_pats_fill_normally(self):
+        hyp, vm, proc = vm_with_process()
+        lib = proc.xmemlib
+        lib.create_atom("x", reuse=3, access_intensity=9)
+        proc.xmem.retranslate()
+        assert proc.xmem.pats["cache"].lookup(0).reuse == 3
+        assert proc.xmem.pats["dram"].lookup(0).intensity == 9
+
+    def test_remap_inside_vm(self):
+        hyp, vm, proc = vm_with_process()
+        lib = proc.xmemlib
+        atom = lib.create_atom("slide", reuse=5)
+        gva1 = proc.malloc(4096)
+        gva2 = proc.malloc(4096)
+        lib.atom_map(atom, gva1, 4096)
+        lib.atom_activate(atom)
+        lib.atom_remap(atom, gva2, 4096)
+        assert proc.xmem.amu.lookup(proc.translate(gva2)) == atom
+        assert proc.xmem.amu.lookup(proc.translate(gva1)) is None
