@@ -4,6 +4,14 @@ Scale knobs (environment variables):
 
 * ``REPRO_BENCH_N``        -- Polybench problem size (default 96)
 * ``REPRO_BENCH_ACCESSES`` -- Use-Case-2 trace length (default 100000)
+* ``REPRO_JOBS``           -- worker processes for the figure sweeps
+  (default: all cores; ``1`` forces serial in-process execution).
+  The sweeps fan out over :mod:`repro.sim.runner`, which guarantees
+  parallel results are bit-identical to serial ones.
+* ``REPRO_TRACE_CACHE``    -- trace-recording cache directory
+  (default ``~/.cache/repro/traces``; ``off`` disables it).  Repeat
+  bench invocations replay cached kernel traces instead of
+  regenerating them.
 
 Each benchmark writes its printed table into ``benchmarks/results/``
 so EXPERIMENTS.md can quote the measured rows.

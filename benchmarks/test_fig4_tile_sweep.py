@@ -8,6 +8,10 @@ large part of the thrashing loss via pinning + semantic prefetching.
 This bench sweeps tile = n/8 .. n for every kernel on the scaled
 machine and prints, per kernel, execution time normalized to the
 kernel's best baseline tile.
+
+The sweep runs on :mod:`repro.sim.runner`: the per-tile points fan out
+over ``REPRO_JOBS`` worker processes, and Baseline/XMem replay one
+shared trace recording per tile (cached on disk across invocations).
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from __future__ import annotations
 import pytest
 
 from _bench_utils import bench_n, save_result
-from repro.sim import build_baseline, build_xmem, format_table, scaled_config
+from repro.sim import SimPoint, format_table, scaled_config, sweep
 from repro.workloads.polybench import FIGURE4_KERNELS, KERNELS
 
 #: Machine: 32 KB LLC slice so tile = n thrashes (n^2 * 8 B >> LLC).
@@ -31,23 +35,14 @@ def tile_points(n: int):
 
 
 def run_kernel(name: str, n: int):
-    cfg = scaled_config(SCALE_FACTOR)
-    kernel = KERNELS[name]
-    rows = []
-    base_times = {}
-    xmem_times = {}
-    for tile in tile_points(n):
-        baseline = build_baseline(cfg)
-        b = baseline.run(kernel.build_trace(n, tile))
-        xmem = build_xmem(cfg)
-        x = xmem.run(kernel.build_trace(n, tile, lib=xmem.xmemlib))
-        base_times[tile] = b.cycles
-        xmem_times[tile] = x.cycles
+    points = [SimPoint(kernel=name, n=n, tile=tile, scale=SCALE_FACTOR)
+              for tile in tile_points(n)]
+    results = sweep(points)
+    base_times = {r.point.tile: r.cycles("baseline") for r in results}
+    xmem_times = {r.point.tile: r.cycles("xmem") for r in results}
     best = min(base_times.values())
-    for tile in tile_points(n):
-        rows.append([name, tile,
-                     base_times[tile] / best,
-                     xmem_times[tile] / best])
+    rows = [[name, tile, base_times[tile] / best, xmem_times[tile] / best]
+            for tile in tile_points(n)]
     return rows, base_times, xmem_times
 
 

@@ -7,7 +7,9 @@ Baseline degrades by 55% on average; XMem by only 6%.
 
 We reproduce the protocol at scale: the tile is tuned for the scaled
 "big" LLC (so its working set is ~75% of it), and the same trace runs
-on the big, half, and quarter LLC.
+on the big, half, and quarter LLC.  All (kernel, LLC) points go
+through :mod:`repro.sim.runner` in a single sweep, so the three cache
+sizes literally replay one recorded trace per kernel.
 """
 
 from __future__ import annotations
@@ -17,13 +19,7 @@ import math
 import pytest
 
 from _bench_utils import bench_n, save_result
-from repro.sim import (
-    build_baseline,
-    build_xmem,
-    format_table,
-    geomean,
-    scaled_config,
-)
+from repro.sim import SimPoint, format_table, geomean, sweep
 from repro.workloads.polybench import FIGURE4_KERNELS, KERNELS
 
 #: The "2 MB-analog" machine: LLC = 64 KB (paper machine / 32).
@@ -54,36 +50,37 @@ def tuned_tile(kernel: str, n: int, llc_bytes: int) -> int:
     return max(4, min(n, tile))
 
 
-def run_portability(kernel_name: str, n: int):
-    tile = tuned_tile(kernel_name, n, BIG_LLC)
-    kernel = KERNELS[kernel_name]
-    base_cycles = {}
-    xmem_cycles = {}
-    for llc in CACHE_POINTS:
-        cfg = scaled_config(SCALE_FACTOR).with_llc(llc)
-        baseline = build_baseline(cfg)
-        base_cycles[llc] = baseline.run(kernel.build_trace(n, tile)).cycles
-        xmem = build_xmem(cfg)
-        xmem_cycles[llc] = xmem.run(
-            kernel.build_trace(n, tile, lib=xmem.xmemlib)
-        ).cycles
-    ref = base_cycles[BIG_LLC]
-    return tile, max(base_cycles.values()) / ref, \
-        max(xmem_cycles.values()) / ref
+def portability_points(n: int):
+    """One SimPoint per (kernel, LLC size), tile tuned for the big LLC."""
+    points = []
+    for name in FIGURE4_KERNELS:
+        kn = SMALL_N_KERNELS.get(name, n)
+        tile = tuned_tile(name, kn, BIG_LLC)
+        for llc in CACHE_POINTS:
+            points.append(SimPoint(kernel=name, n=kn, tile=tile,
+                                   scale=SCALE_FACTOR, llc_bytes=llc))
+    return points
 
 
 def test_fig5_portability(benchmark, results_dir):
     n = bench_n()
 
-    def sweep():
+    def run_all():
+        points = portability_points(n)
+        results = {r.point: r for r in sweep(points)}
         rows = []
         for name in FIGURE4_KERNELS:
-            kn = SMALL_N_KERNELS.get(name, n)
-            tile, base_worst, xmem_worst = run_portability(name, kn)
-            rows.append([name, tile, base_worst, xmem_worst])
+            kernel_pts = [p for p in points if p.kernel == name]
+            ref = results[kernel_pts[0]].cycles("baseline")
+            base_worst = max(
+                results[p].cycles("baseline") for p in kernel_pts) / ref
+            xmem_worst = max(
+                results[p].cycles("xmem") for p in kernel_pts) / ref
+            rows.append([name, kernel_pts[0].tile, base_worst,
+                         xmem_worst])
         return rows
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     base_mean = geomean([r[2] for r in rows])
     xmem_mean = geomean([r[3] for r in rows])

@@ -9,7 +9,8 @@ pinning *removes* memory traffic while prefetching only hides it.
 
 We sweep bandwidth scales {1.0, 0.5, 0.25} at tile = n on a subset of
 kernels that thrash (the regime the figure studies) and report
-geomean speedups over Baseline.
+geomean speedups over Baseline.  Each (kernel, bandwidth) point runs
+all three systems off one recorded trace via :mod:`repro.sim.runner`.
 """
 
 from __future__ import annotations
@@ -17,14 +18,7 @@ from __future__ import annotations
 import pytest
 
 from _bench_utils import bench_n, save_result
-from repro.sim import (
-    build_baseline,
-    build_xmem,
-    build_xmem_pref,
-    format_table,
-    geomean,
-    scaled_config,
-)
+from repro.sim import SimPoint, format_table, geomean, sweep
 from repro.workloads.polybench import KERNELS
 
 SCALE_FACTOR = 32
@@ -33,36 +27,38 @@ KERNEL_SET = ("gemm", "syrk", "trmm", "jacobi2d", "seidel2d", "fdtd2d")
 BANDWIDTH_POINTS = (1.0, 0.5, 0.25)
 
 
-def run_point(kernel_name: str, n: int, bw: float):
-    cfg = scaled_config(SCALE_FACTOR).with_bandwidth(bw)
-    kernel = KERNELS[kernel_name]
-    tile = n
-    base = build_baseline(cfg).run(kernel.build_trace(n, tile)).cycles
-    pref_handle = build_xmem_pref(cfg)
-    pref = pref_handle.run(
-        kernel.build_trace(n, tile, lib=pref_handle.xmemlib)
-    ).cycles
-    full_handle = build_xmem(cfg)
-    full = full_handle.run(
-        kernel.build_trace(n, tile, lib=full_handle.xmemlib)
-    ).cycles
-    return base / pref, base / full
+def bandwidth_points(n: int):
+    return [
+        SimPoint(kernel=k, n=n, tile=n, scale=SCALE_FACTOR,
+                 bandwidth=bw,
+                 systems=("baseline", "xmem-pref", "xmem"))
+        for bw in BANDWIDTH_POINTS for k in KERNEL_SET
+    ]
 
 
 def test_fig6_bandwidth(benchmark, results_dir):
     n = bench_n()
 
-    def sweep():
+    def run_all():
+        results = {r.point: r for r in sweep(bandwidth_points(n))}
         out = {}
         for bw in BANDWIDTH_POINTS:
-            speedups = [run_point(k, n, bw) for k in KERNEL_SET]
+            speedups = []
+            for k in KERNEL_SET:
+                r = results[SimPoint(
+                    kernel=k, n=n, tile=n, scale=SCALE_FACTOR,
+                    bandwidth=bw,
+                    systems=("baseline", "xmem-pref", "xmem"))]
+                base = r.cycles("baseline")
+                speedups.append((base / r.cycles("xmem-pref"),
+                                 base / r.cycles("xmem")))
             out[bw] = (
                 geomean([s[0] for s in speedups]),
                 geomean([s[1] for s in speedups]),
             )
         return out
 
-    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     rows = [[f"{bw:.2f}x", pref, full, full / pref]
             for bw, (pref, full) in out.items()]

@@ -15,13 +15,10 @@ two shapes.
 
 from __future__ import annotations
 
-import dataclasses
-
 import pytest
 
 from _bench_utils import bench_accesses, save_result
-from repro.sim import amean, format_table
-from repro.sim.usecase2 import run_figure7
+from repro.sim import UC2Point, amean, format_table, uc2_sweep
 from repro.workloads.suite import (
     LOW_HEADROOM,
     RANDOM_DOMINATED,
@@ -32,14 +29,18 @@ _cache = {}
 
 
 def run_suite():
-    """Run all 27 workloads x 3 systems once; memoized."""
+    """Run all 27 workloads x 3 systems once; memoized.
+
+    The per-workload points fan out over ``REPRO_JOBS`` worker
+    processes via :mod:`repro.sim.runner`.
+    """
     if "results" in _cache:
         return _cache["results"]
     accesses = bench_accesses()
-    results = {}
-    for workload in SUITE:
-        scaled = dataclasses.replace(workload, accesses=accesses)
-        results[workload.name] = run_figure7(scaled, pick_mapping=False)
+    points = [UC2Point(workload=w.name, accesses=accesses)
+              for w in SUITE]
+    out = uc2_sweep(points)
+    results = {p.workload: r for p, r in zip(points, out)}
     _cache["results"] = results
     return results
 

@@ -5,6 +5,7 @@ Examples::
     python -m repro list
     python -m repro usecase1 --kernel gemm --n 96 --tile 96
     python -m repro usecase2 --workload lbm --accesses 60000
+    python -m repro sweep --kernels gemm,syrk --n 96 --jobs 4
     python -m repro overheads
 """
 
@@ -104,6 +105,72 @@ def cmd_usecase2(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Run a (kernel x tile) sweep on the parallel experiment runner."""
+    from repro.sim.runner import (
+        SYSTEM_BUILDERS,
+        SimPoint,
+        jobs_from_env,
+        sweep,
+    )
+
+    if args.kernels == "all":
+        kernels = list(FIGURE4_KERNELS)
+    else:
+        kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
+    unknown = [k for k in kernels if k not in KERNELS]
+    if unknown:
+        print(f"unknown kernels {unknown}; see `repro list`",
+              file=sys.stderr)
+        return 2
+    systems = tuple(s.strip() for s in args.systems.split(",")
+                    if s.strip())
+    bad_systems = [s for s in systems if s not in SYSTEM_BUILDERS]
+    if bad_systems:
+        print(f"unknown systems {bad_systems}; "
+              f"choices: {sorted(SYSTEM_BUILDERS)}", file=sys.stderr)
+        return 2
+    if args.tiles:
+        try:
+            tile_list = [int(t) for t in args.tiles.split(",")]
+        except ValueError:
+            print(f"--tiles must be comma-separated integers, "
+                  f"got {args.tiles!r}", file=sys.stderr)
+            return 2
+    else:
+        n = args.n
+        tile_list = sorted({max(4, n // 8), n // 4, n // 2, n})
+    points = [
+        SimPoint(kernel=k, n=args.n, tile=t, scale=args.scale,
+                 systems=systems)
+        for k in kernels for t in tile_list
+    ]
+    jobs = args.jobs if args.jobs else jobs_from_env()
+    results = sweep(points, jobs=jobs)
+
+    rows = []
+    for res in results:
+        row = [res.point.kernel, res.point.tile]
+        for system in systems:
+            row.append(f"{res.runs[system].cycles:.0f}")
+        if "baseline" in systems:
+            base = res.runs["baseline"].cycles
+            for system in systems:
+                if system != "baseline":
+                    row.append(
+                        f"{base / res.runs[system].cycles:.3f}x")
+        rows.append(row)
+    headers = ["kernel", "tile"] + [f"{s} cycles" for s in systems]
+    if "baseline" in systems:
+        headers += [f"{s} speedup" for s in systems if s != "baseline"]
+    print(format_table(
+        headers, rows,
+        title=(f"sweep: {len(points)} points, N={args.n}, "
+               f"scale={args.scale}, jobs={jobs}"),
+    ))
+    return 0
+
+
 def cmd_overheads(_args) -> int:
     """Print the Section 4.4 overhead summary for an 8 GB machine."""
     ov = storage_overheads(8 << 30)
@@ -147,6 +214,22 @@ def build_parser() -> argparse.ArgumentParser:
     uc2.add_argument("--pick-mapping", action="store_true",
                      help="probe mappings for the strongest baseline")
 
+    sw = sub.add_parser(
+        "sweep",
+        help="parallel (kernel x tile) sweep on the experiment runner")
+    sw.add_argument("--kernels", default="gemm",
+                    help="comma-separated kernel names, or 'all'")
+    sw.add_argument("--n", type=int, default=96)
+    sw.add_argument("--tiles", default=None,
+                    help="comma-separated tile sizes "
+                         "(default: n/8, n/4, n/2, n)")
+    sw.add_argument("--scale", type=int, default=32)
+    sw.add_argument("--systems", default="baseline,xmem",
+                    help="comma-separated: baseline,xmem,xmem-pref")
+    sw.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: REPRO_JOBS or "
+                         "all cores; 1 = serial)")
+
     sub.add_parser("overheads", help="Section 4.4 overhead summary")
     return parser
 
@@ -155,6 +238,7 @@ COMMANDS = {
     "list": cmd_list,
     "usecase1": cmd_usecase1,
     "usecase2": cmd_usecase2,
+    "sweep": cmd_sweep,
     "overheads": cmd_overheads,
 }
 

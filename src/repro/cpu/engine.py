@@ -83,46 +83,61 @@ class TraceEngine:
 
     def run(self, trace: Trace) -> EngineStats:
         """Execute ``trace`` to completion; returns the statistics."""
-        stats = EngineStats()
+        # The interpreter loop runs once per trace event (millions per
+        # experiment): every attribute lookup it would repeat -- stats
+        # fields, PIPELINED_LATENCY, bound methods -- is hoisted into a
+        # local, counters accumulate in plain ints/floats and are
+        # written back once, and the hit fast path (the overwhelmingly
+        # common case) touches nothing but `now`.
         now = 0.0
         issue = self.issue_width
+        slot = 1.0 / issue
+        pipelined = self.PIPELINED_LATENCY
         translate = self.translate
-        memory = self.memory
+        memory_access = self.memory.access
         mshr = self.mshr
+        reserve = mshr.reserve
+        xmemlib = self.xmemlib
+        instructions = 0
+        mem_accesses = 0
+        xmem_instructions = 0
+        misses_to_memory = 0
+        stall_cycles = 0.0
         for ev in trace:
-            if type(ev) is MemAccess:
-                if ev.work:
-                    now += ev.work / issue
-                    stats.instructions += ev.work
-                stats.instructions += 1
-                stats.mem_accesses += 1
-                paddr = translate(ev.vaddr) if translate else ev.vaddr
-                completes_at, to_memory = memory.access(
-                    paddr, ev.is_write, now
+            kind = type(ev)
+            if kind is MemAccess:
+                work = ev.work
+                if work:
+                    now += work / issue
+                    instructions += work
+                instructions += 1
+                mem_accesses += 1
+                vaddr = ev.vaddr
+                completes_at, to_memory = memory_access(
+                    translate(vaddr) if translate else vaddr,
+                    ev.is_write, now,
                 )
                 if to_memory:
-                    stats.misses_to_memory += 1
-                latency = completes_at - now
-                if latency > self.PIPELINED_LATENCY:
+                    misses_to_memory += 1
+                if completes_at - now > pipelined:
                     # Long access: overlap it within the window; stall
                     # only when the window is full.
-                    start = mshr.reserve(now, completes_at)
+                    start = reserve(now, completes_at)
                     if start > now:
-                        stats.stall_cycles += start - now
+                        stall_cycles += start - now
                         now = start
-                    now += 1.0 / issue
-                else:
-                    # First-level hit: fully pipelined.
-                    now += 1.0 / issue
-            elif type(ev) is Work:
+                # Either way the access itself takes one issue slot
+                # (first-level hits are fully pipelined).
+                now += slot
+            elif kind is Work:
                 now += ev.count / issue
-                stats.instructions += ev.count
-            elif type(ev) is XMemOp:
-                stats.instructions += 1
-                stats.xmem_instructions += 1
-                now += 1.0 / issue
-                if self.xmemlib is not None:
-                    getattr(self.xmemlib, ev.method)(*ev.args)
+                instructions += ev.count
+            elif kind is XMemOp:
+                instructions += 1
+                xmem_instructions += 1
+                now += slot
+                if xmemlib is not None:
+                    getattr(xmemlib, ev.method)(*ev.args)
             else:
                 raise TypeError(f"not a trace event: {ev!r}")
         # Drain the window: execution ends when the last miss lands.
@@ -130,5 +145,11 @@ class TraceEngine:
         if tail is not None and tail > now:
             now = tail
         mshr.flush()
-        stats.cycles = now
-        return stats
+        return EngineStats(
+            cycles=now,
+            instructions=instructions,
+            mem_accesses=mem_accesses,
+            xmem_instructions=xmem_instructions,
+            misses_to_memory=misses_to_memory,
+            stall_cycles=stall_cycles,
+        )

@@ -40,6 +40,9 @@ class MemAccess:
                 and (self.vaddr, self.is_write, self.work)
                 == (other.vaddr, other.is_write, other.work))
 
+    def __hash__(self) -> int:
+        return hash((MemAccess, self.vaddr, self.is_write, self.work))
+
 
 class Work:
     """``count`` non-memory instructions."""
@@ -54,6 +57,9 @@ class Work:
 
     def __eq__(self, other) -> bool:
         return isinstance(other, Work) and self.count == other.count
+
+    def __hash__(self) -> int:
+        return hash((Work, self.count))
 
 
 class XMemOp:
@@ -77,6 +83,9 @@ class XMemOp:
     def __eq__(self, other) -> bool:
         return (isinstance(other, XMemOp)
                 and (self.method, self.args) == (other.method, other.args))
+
+    def __hash__(self) -> int:
+        return hash((XMemOp, self.method, self.args))
 
 
 TraceEvent = Union[MemAccess, Work, XMemOp]

@@ -63,6 +63,13 @@ class AccessResult:
     was_prefetched: bool = False
 
 
+#: Shared immutable results for the three demand-access outcomes --
+#: one access per trace event makes per-access allocation measurable.
+_HIT = AccessResult(hit=True)
+_HIT_PREFETCHED = AccessResult(hit=True, was_prefetched=True)
+_MISS = AccessResult(hit=False)
+
+
 class Cache:
     """A single cache level.
 
@@ -99,11 +106,30 @@ class Cache:
         self.policy: ReplacementPolicy = make_policy(
             policy, self.num_sets, ways
         )
+        self._policy_is_drrip = isinstance(self.policy, DRRIPPolicy)
+        # Address decomposition is on every access path: precompute
+        # shift/mask forms (line_bytes is a power of two in every
+        # shipped configuration; num_sets is asserted above).
+        if line_bytes & (line_bytes - 1):
+            self._line_shift = None
+            self._set_mask = self.num_sets - 1
+        else:
+            self._line_shift = line_bytes.bit_length() - 1
+            self._set_mask = self.num_sets - 1
+            self._tag_shift = (self._line_shift
+                               + self.num_sets.bit_length() - 1)
         self.pin_quota = pin_quota
         self._max_pinned_ways = max(0, int(ways * pin_quota))
         self._sets: List[List[CacheLine]] = [
             [CacheLine() for _ in range(ways)] for _ in range(self.num_sets)
         ]
+        # Per-set occupancy caches so the allocate path need not scan:
+        # number of valid lines (skip the free-way search once a set is
+        # full -- the steady state) and number of pinned lines (skip
+        # building a candidate list while nothing is pinned).
+        self._valid_counts: List[int] = [0] * self.num_sets
+        self._pinned_counts: List[int] = [0] * self.num_sets
+        self._all_ways: List[int] = list(range(ways))
         #: Prefetch tags remembered until first demand hit, for stats.
         self._prefetched_tags = set()
         self.stats = CacheStats()
@@ -115,9 +141,13 @@ class Cache:
         return addr - (addr % self.line_bytes)
 
     def _index(self, addr: int) -> int:
+        if self._line_shift is not None:
+            return (addr >> self._line_shift) & self._set_mask
         return (addr // self.line_bytes) % self.num_sets
 
     def _tag(self, addr: int) -> int:
+        if self._line_shift is not None:
+            return addr >> self._tag_shift
         return addr // (self.line_bytes * self.num_sets)
 
     # -- Lookup / fill ------------------------------------------------------
@@ -135,26 +165,39 @@ class Cache:
     def access(self, addr: int, is_write: bool) -> AccessResult:
         """A demand access.  On a miss the caller is responsible for
         fetching the line from the next level and calling :meth:`fill`.
+
+        The returned :class:`AccessResult` is a shared immutable
+        instance on the common paths -- callers must treat it as
+        read-only (they all do: it is consumed immediately).
         """
-        self.stats.accesses += 1
-        set_idx = self._index(addr)
-        tag = self._tag(addr)
-        way = self._find(set_idx, tag)
-        if way is not None:
-            self.stats.hits += 1
-            line = self._sets[set_idx][way]
-            if is_write:
-                line.dirty = True
-            self.policy.on_hit(set_idx, way)
-            was_pf = (set_idx, tag) in self._prefetched_tags
-            if was_pf:
-                self.stats.prefetch_hits += 1
-                self._prefetched_tags.discard((set_idx, tag))
-            return AccessResult(hit=True, was_prefetched=was_pf)
-        self.stats.misses += 1
-        if isinstance(self.policy, DRRIPPolicy):
+        stats = self.stats
+        stats.accesses += 1
+        if self._line_shift is not None:
+            set_idx = (addr >> self._line_shift) & self._set_mask
+            tag = addr >> self._tag_shift
+        else:
+            set_idx = self._index(addr)
+            tag = self._tag(addr)
+        lines = self._sets[set_idx]
+        way = 0
+        for line in lines:
+            if line.valid and line.tag == tag:
+                stats.hits += 1
+                if is_write:
+                    line.dirty = True
+                self.policy.on_hit(set_idx, way)
+                if self._prefetched_tags:
+                    key = (set_idx, tag)
+                    if key in self._prefetched_tags:
+                        stats.prefetch_hits += 1
+                        self._prefetched_tags.discard(key)
+                        return _HIT_PREFETCHED
+                return _HIT
+            way += 1
+        stats.misses += 1
+        if self._policy_is_drrip:
             self.policy.record_miss(set_idx)
-        return AccessResult(hit=False)
+        return _MISS
 
     def fill(self, addr: int, *, dirty: bool = False,
              pinned: bool = False, prefetch: bool = False
@@ -166,13 +209,19 @@ class Cache:
         present, the flags are merged instead (a prefetch racing a
         demand fill).
         """
-        set_idx = self._index(addr)
-        tag = self._tag(addr)
+        if self._line_shift is not None:
+            set_idx = (addr >> self._line_shift) & self._set_mask
+            tag = addr >> self._tag_shift
+        else:
+            set_idx = self._index(addr)
+            tag = self._tag(addr)
         way = self._find(set_idx, tag)
         if way is not None:
             line = self._sets[set_idx][way]
             line.dirty = line.dirty or dirty
-            line.pinned = line.pinned or (pinned and self._pin_ok(set_idx))
+            if pinned and not line.pinned and self._pin_ok(set_idx):
+                line.pinned = True
+                self._pinned_counts[set_idx] += 1
             return None
 
         way, writeback = self._allocate(set_idx)
@@ -186,6 +235,7 @@ class Cache:
         line.pinned = want_pin
         if want_pin:
             self.stats.pinned_fills += 1
+            self._pinned_counts[set_idx] += 1
         if prefetch:
             self.stats.prefetch_fills += 1
             self._prefetched_tags.add((set_idx, tag))
@@ -193,20 +243,25 @@ class Cache:
         return writeback
 
     def _pin_ok(self, set_idx: int) -> bool:
-        pinned_ways = sum(1 for l in self._sets[set_idx] if l.valid
-                          and l.pinned)
-        return pinned_ways < self._max_pinned_ways
+        return self._pinned_counts[set_idx] < self._max_pinned_ways
 
     def _allocate(self, set_idx: int):
         lines = self._sets[set_idx]
-        for way, line in enumerate(lines):
-            if not line.valid:
-                return way, None
-        candidates = [w for w, l in enumerate(lines) if not l.pinned]
-        if not candidates:
-            # Quota guarantees this cannot happen with quota < 1.0, but
-            # a controller bug must degrade gracefully, not deadlock.
-            candidates = list(range(self.ways))
+        if self._valid_counts[set_idx] < self.ways:
+            for way, line in enumerate(lines):
+                if not line.valid:
+                    # The caller installs into this way immediately.
+                    self._valid_counts[set_idx] += 1
+                    return way, None
+        if self._pinned_counts[set_idx]:
+            candidates = [w for w, l in enumerate(lines) if not l.pinned]
+            if not candidates:
+                # Quota guarantees this cannot happen with quota < 1.0,
+                # but a controller bug must degrade gracefully, not
+                # deadlock.
+                candidates = self._all_ways
+        else:
+            candidates = self._all_ways
         victim = self.policy.victim(set_idx, candidates)
         line = lines[victim]
         self.stats.evictions += 1
@@ -214,9 +269,12 @@ class Cache:
         if line.dirty:
             self.stats.writebacks += 1
             writeback = self._victim_addr(set_idx, line.tag)
-        self._prefetched_tags.discard((set_idx, line.tag))
+        if self._prefetched_tags:
+            self._prefetched_tags.discard((set_idx, line.tag))
         line.valid = False
-        line.pinned = False
+        if line.pinned:
+            line.pinned = False
+            self._pinned_counts[set_idx] -= 1
         line.dirty = False
         self.policy.on_invalidate(set_idx, victim)
         return victim, writeback
@@ -240,6 +298,7 @@ class Cache:
                 if line.valid and line.pinned:
                     line.pinned = False
                     count += 1
+            self._pinned_counts[set_idx] = 0
         return count
 
     @property
@@ -261,6 +320,8 @@ class Cache:
                     line.pinned = False
                     self.policy.on_invalidate(set_idx, way)
                     count += 1
+            self._valid_counts[set_idx] = 0
+            self._pinned_counts[set_idx] = 0
         self._prefetched_tags.clear()
         return count
 

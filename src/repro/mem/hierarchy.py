@@ -59,6 +59,11 @@ class CacheHierarchy:
         if not levels:
             raise ConfigurationError("hierarchy needs at least one level")
         self.line_bytes = line_bytes
+        #: Mask form of line alignment (None when line_bytes is not a
+        #: power of two and the modulo fallback must be used).
+        self._line_mask = (~(line_bytes - 1)
+                           if not (line_bytes & (line_bytes - 1))
+                           else None)
         self.levels: List[Cache] = [
             Cache(cfg.name, cfg.size_bytes, cfg.ways,
                   line_bytes=line_bytes, policy=cfg.policy)
@@ -74,29 +79,41 @@ class CacheHierarchy:
 
     def line_addr(self, addr: int) -> int:
         """Line-align an address."""
+        if self._line_mask is not None:
+            return addr & self._line_mask
         return addr - (addr % self.line_bytes)
 
     # -- Demand path ----------------------------------------------------
 
     def access(self, addr: int, is_write: bool) -> HierarchyOutcome:
         """One demand access, with all fills and writebacks applied."""
-        line = self.line_addr(addr)
-        outcome = HierarchyOutcome(hit_level=None)
+        # Hot path: every trace event lands here.  Accumulate in locals
+        # and build the outcome object once, fully populated.
+        line = (addr & self._line_mask if self._line_mask is not None
+                else addr - (addr % self.line_bytes))
+        levels = self.levels
+        latencies = self.latencies
+        num_levels = len(levels)
+        lookup = 0
         hit_level: Optional[int] = None
-        for i, cache in enumerate(self.levels):
-            outcome.lookup_latency += self.latencies[i]
-            result = cache.access(line, is_write and i == 0)
+        llc_prefetch_hit = False
+        for i in range(num_levels):
+            lookup += latencies[i]
+            result = levels[i].access(line, is_write and i == 0)
             if result.hit:
                 hit_level = i
-                if i == len(self.levels) - 1:
-                    outcome.llc_prefetch_hit = result.was_prefetched
+                if i == num_levels - 1:
+                    llc_prefetch_hit = result.was_prefetched
                 break
-        outcome.hit_level = hit_level
+        outcome = HierarchyOutcome(hit_level=hit_level,
+                                   lookup_latency=lookup,
+                                   llc_prefetch_hit=llc_prefetch_hit)
         # Fill the levels above the hit point (or all levels on a full
         # miss -- the caller charges the DRAM read).
-        top = hit_level if hit_level is not None else len(self.levels)
-        self._fill_upper(line, upto_level=top, dirty=is_write,
-                         outcome=outcome)
+        if hit_level != 0:
+            top = hit_level if hit_level is not None else num_levels
+            self._fill_upper(line, upto_level=top, dirty=is_write,
+                             outcome=outcome)
         return outcome
 
     def _fill_upper(self, line: int, upto_level: int, dirty: bool,
@@ -106,10 +123,10 @@ class CacheHierarchy:
         L1 gets the dirty bit on a write (write-allocate); inner copies
         stay clean.  Victim writebacks ripple downwards.
         """
+        last = len(self.levels) - 1
         for i in range(upto_level - 1, -1, -1):
             cache = self.levels[i]
-            pinned = (i == len(self.levels) - 1
-                      and self.pin_predicate(line))
+            pinned = i == last and self.pin_predicate(line)
             wb = cache.fill(line, dirty=(dirty and i == 0), pinned=pinned)
             if wb is not None:
                 self._writeback(i + 1, wb, outcome)

@@ -1,0 +1,553 @@
+"""Parallel experiment execution with trace record/replay caching.
+
+Every figure in the paper is a sweep over independent (workload,
+configuration, system) points, so the experiment drivers were paying
+twice for the same work: each point regenerated the identical memory
+trace for every system it compared, and the points ran strictly
+serially.  This module fixes both:
+
+* **Trace record/replay.**  :func:`get_recording` walks a kernel's
+  loop nest once and materializes the event stream into a
+  :class:`TraceRecording`.  The recording is replayed for every system
+  of the point: XMem machines get the setup calls re-applied and the
+  full stream; baseline machines consume the same stream through
+  :func:`~repro.cpu.trace.strip_xmem` (hints are supplemental, so the
+  stripped stream *is* the baseline binary).  Recordings are also
+  cached on disk, keyed by a hash of (kernel, n, tile,
+  instrumentation), so repeated bench invocations skip generation
+  entirely.  Entries carry a content digest; corrupted or stale files
+  are detected and silently regenerated, never replayed.
+
+* **Process fan-out.**  :func:`sweep` (and the generic
+  :func:`run_parallel`) distribute points over a
+  ``ProcessPoolExecutor``.  The worker count comes from the
+  ``REPRO_JOBS`` environment variable (default ``os.cpu_count()``);
+  ``jobs=1`` runs serially in-process -- the debugging path.  Results
+  are returned in submission order, so parallel output is
+  bit-identical to serial output.
+
+Environment knobs:
+
+* ``REPRO_JOBS``        -- worker processes for sweeps (default: all
+  cores; ``1`` = serial in-process execution).
+* ``REPRO_TRACE_CACHE`` -- trace cache directory; ``0``/``off``
+  disables the on-disk layer (the in-memory layer still shares one
+  generation across the systems of a point).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.xmemlib import XMemLib
+from repro.cpu.engine import EngineStats
+from repro.cpu.trace import MemAccess, TraceEvent, Work, XMemOp
+from repro.sim.config import SimConfig, scaled_config
+from repro.sim.system import (
+    SystemHandle,
+    build_baseline,
+    build_xmem,
+    build_xmem_pref,
+)
+
+#: Bump when the payload layout or trace semantics change; old cache
+#: entries then key-miss instead of replaying stale streams.
+TRACE_FORMAT_VERSION = 1
+
+#: The three machine builders a point may compare.
+SYSTEM_BUILDERS: Dict[str, Callable[..., SystemHandle]] = {
+    "baseline": build_baseline,
+    "xmem": build_xmem,
+    "xmem-pref": build_xmem_pref,
+}
+
+
+# ---------------------------------------------------------------------------
+# Job-count resolution
+# ---------------------------------------------------------------------------
+
+def jobs_from_env(default: Optional[int] = None) -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else ``default``/cpu_count."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from None
+        if jobs <= 0:
+            raise ConfigurationError(f"REPRO_JOBS must be > 0: {jobs}")
+        return jobs
+    if default is not None:
+        return default
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Trace recording
+# ---------------------------------------------------------------------------
+
+class SetupRecorder:
+    """A stand-in XMemLib that logs the calls a kernel's setup makes.
+
+    Kernels call ``lib.create_atom(...)`` / ``lib.atom_activate(...)``
+    at trace-build time -- live side effects on the library.  To make a
+    recorded trace replayable on a *fresh* machine, the recorder
+    forwards every call to a throwaway :class:`XMemLib` (so atom IDs
+    are allocated with the real dedup semantics) and logs
+    ``(method, args, kwargs, result)`` for later re-application.
+    """
+
+    def __init__(self) -> None:
+        self._lib = XMemLib()
+        self.log: List[Tuple[str, tuple, dict, object]] = []
+
+    def __getattr__(self, name: str):
+        target = getattr(self._lib, name)
+        if not callable(target):
+            return target
+
+        def record_call(*args, **kwargs):
+            result = target(*args, **kwargs)
+            self.log.append((name, args, kwargs, result))
+            return result
+
+        return record_call
+
+
+class StaleRecordingError(Exception):
+    """A cached recording no longer matches the live library semantics."""
+
+
+def apply_setup(lib: XMemLib, log: Sequence[Tuple[str, tuple, dict,
+                                                  object]]) -> None:
+    """Re-apply a recorded setup log to a fresh library.
+
+    The returned values (atom IDs) must match the recording -- the
+    trace's :class:`XMemOp` events have those IDs baked in.  A mismatch
+    means the recording predates a library change and must be
+    regenerated.
+    """
+    for method, args, kwargs, expected in log:
+        got = getattr(lib, method)(*args, **kwargs)
+        if expected is not None and got != expected:
+            raise StaleRecordingError(
+                f"setup replay of {method} returned {got!r}, "
+                f"recording expects {expected!r}"
+            )
+
+
+@dataclass
+class TraceRecording:
+    """One kernel invocation's event stream, materialized."""
+
+    kernel: str
+    n: int
+    tile: int
+    instrumented: bool
+    setup: List[Tuple[str, tuple, dict, object]] = field(
+        default_factory=list)
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def replay(self, lib: Optional[XMemLib] = None) -> List[TraceEvent]:
+        """The event stream, with setup re-applied when a lib is given.
+
+        Returns the shared event list (events are immutable in
+        practice: the engine only reads them), so replay costs nothing
+        beyond iteration.  Pass the stream to a baseline
+        :class:`~repro.sim.system.SystemHandle` directly -- its ``run``
+        strips the XMem operations itself.
+        """
+        if lib is not None:
+            apply_setup(lib, self.setup)
+        return self.events
+
+    # -- Compact disk form ------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Encode into plain tuples (compact, version-tagged)."""
+        encoded: List[tuple] = []
+        append = encoded.append
+        for ev in self.events:
+            kind = type(ev)
+            if kind is MemAccess:
+                append((0, ev.vaddr, 1 if ev.is_write else 0, ev.work))
+            elif kind is Work:
+                append((1, ev.count))
+            elif kind is XMemOp:
+                append((2, ev.method, ev.args))
+            else:
+                raise TypeError(f"not a trace event: {ev!r}")
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "kernel": self.kernel,
+            "n": self.n,
+            "tile": self.tile,
+            "instrumented": self.instrumented,
+            "setup": self.setup,
+            "events": encoded,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TraceRecording":
+        """Decode a :meth:`to_payload` dict back into event objects."""
+        if payload.get("version") != TRACE_FORMAT_VERSION:
+            raise StaleRecordingError(
+                f"trace format {payload.get('version')} != "
+                f"{TRACE_FORMAT_VERSION}"
+            )
+        events: List[TraceEvent] = []
+        append = events.append
+        for item in payload["events"]:
+            code = item[0]
+            if code == 0:
+                append(MemAccess(item[1], bool(item[2]), item[3]))
+            elif code == 1:
+                append(Work(item[1]))
+            elif code == 2:
+                append(XMemOp(item[1], *item[2]))
+            else:
+                raise StaleRecordingError(f"unknown event code {code}")
+        return cls(
+            kernel=payload["kernel"],
+            n=payload["n"],
+            tile=payload["tile"],
+            instrumented=payload["instrumented"],
+            setup=list(payload["setup"]),
+            events=events,
+        )
+
+
+def record_trace(kernel_name: str, n: int, tile: int,
+                 instrument: bool = True) -> TraceRecording:
+    """Walk a kernel's loop nest once and materialize its trace."""
+    from repro.workloads.polybench import KERNELS
+    try:
+        kernel = KERNELS[kernel_name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel {kernel_name!r}"
+        ) from None
+    recorder = SetupRecorder() if instrument else None
+    events = list(kernel.build_trace(n, tile, lib=recorder))
+    return TraceRecording(
+        kernel=kernel_name, n=n, tile=tile, instrumented=instrument,
+        setup=recorder.log if recorder is not None else [],
+        events=events,
+    )
+
+
+# ---------------------------------------------------------------------------
+# On-disk trace cache
+# ---------------------------------------------------------------------------
+
+def trace_key(kernel: str, n: int, tile: int, instrumented: bool) -> str:
+    """Stable hash identifying one recording."""
+    text = (f"v{TRACE_FORMAT_VERSION}:{kernel}:{n}:{tile}:"
+            f"{int(instrumented)}")
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def default_cache_dir() -> Optional[Path]:
+    """The trace-cache directory, or None when disabled.
+
+    ``REPRO_TRACE_CACHE`` overrides the location; the values ``0``,
+    ``off``, and ``none`` disable the on-disk layer entirely.
+    """
+    raw = os.environ.get("REPRO_TRACE_CACHE", "").strip()
+    if raw.lower() in ("0", "off", "none", "false"):
+        return None
+    if raw:
+        return Path(raw).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro" / "traces"
+
+
+class TraceCache:
+    """Content-verified pickle cache of :class:`TraceRecording` files.
+
+    Each entry stores the payload bytes together with their SHA-256
+    digest and the entry key.  ``load`` re-hashes on read: a mismatch
+    (bit rot, a partial write, a stale format) deletes the entry and
+    returns None so the caller regenerates -- a bad entry is never
+    replayed.
+    """
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = root if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether an on-disk layer is configured."""
+        return self.root is not None
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.trace"
+
+    def load(self, key: str) -> Optional[TraceRecording]:
+        """The cached recording, or None (missing/corrupt/stale)."""
+        if self.root is None:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                wrapper = pickle.load(fh)
+            blob = wrapper["blob"]
+            if (wrapper["key"] != key
+                    or hashlib.sha256(blob).hexdigest()
+                    != wrapper["digest"]):
+                raise StaleRecordingError("digest mismatch")
+            recording = TraceRecording.from_payload(pickle.loads(blob))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (StaleRecordingError, KeyError, TypeError, ValueError,
+                EOFError, pickle.UnpicklingError, IndexError):
+            # Corrupt or stale: purge so the regenerated entry replaces
+            # it, and report a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return recording
+
+    def store(self, key: str, recording: TraceRecording) -> None:
+        """Persist a recording (atomic rename; concurrent-writer safe)."""
+        if self.root is None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(recording.to_payload(), protocol=4)
+        wrapper = {
+            "key": key,
+            "digest": hashlib.sha256(blob).hexdigest(),
+            "blob": blob,
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(self.root),
+                                   suffix=".trace.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(wrapper, fh, protocol=4)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+#: In-process memo of recently used recordings (shared across the
+#: systems of a point and across points of the same kernel).  Small:
+#: recordings run to millions of events.
+_MEMO: Dict[str, TraceRecording] = {}
+_MEMO_LIMIT = 4
+
+
+def get_recording(kernel: str, n: int, tile: int,
+                  instrument: bool = True,
+                  cache: Optional[TraceCache] = None) -> TraceRecording:
+    """One recording, via memo -> disk cache -> fresh generation."""
+    key = trace_key(kernel, n, tile, instrument)
+    recording = _MEMO.get(key)
+    if recording is not None:
+        return recording
+    if cache is None:
+        cache = TraceCache()
+    recording = cache.load(key)
+    if recording is None:
+        recording = record_trace(kernel, n, tile, instrument)
+        cache.store(key, recording)
+    while len(_MEMO) >= _MEMO_LIMIT:
+        _MEMO.pop(next(iter(_MEMO)))
+    _MEMO[key] = recording
+    return recording
+
+
+# ---------------------------------------------------------------------------
+# Simulation points
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One independent Use-Case-1 simulation point.
+
+    Everything here is plain data so points pickle cleanly into worker
+    processes.  ``systems`` selects which machines to compare (any of
+    ``baseline``/``xmem``/``xmem-pref``); all of them replay the same
+    recording.
+    """
+
+    kernel: str
+    n: int
+    tile: int
+    scale: int = 32
+    llc_bytes: Optional[int] = None
+    bandwidth: float = 1.0
+    systems: Tuple[str, ...] = ("baseline", "xmem")
+
+    def config(self) -> SimConfig:
+        """The machine configuration this point runs on."""
+        cfg = scaled_config(self.scale)
+        if self.llc_bytes is not None:
+            cfg = cfg.with_llc(self.llc_bytes)
+        if self.bandwidth != 1.0:
+            cfg = cfg.with_bandwidth(self.bandwidth)
+        return cfg
+
+
+@dataclass
+class SystemRun:
+    """What one (point, system) execution measured."""
+
+    system: str
+    stats: EngineStats
+    llc_miss_rate: float
+    llc_accesses: int
+    dram_reads: int
+    dram_row_hit_rate: float
+
+    @property
+    def cycles(self) -> float:
+        """Execution time in CPU cycles."""
+        return self.stats.cycles
+
+
+@dataclass
+class PointResult:
+    """All systems of one point, plus the point itself."""
+
+    point: SimPoint
+    runs: Dict[str, SystemRun]
+
+    def cycles(self, system: str) -> float:
+        """Shorthand: one system's cycle count."""
+        return self.runs[system].cycles
+
+
+def run_point(point: SimPoint,
+              cache: Optional[TraceCache] = None) -> PointResult:
+    """Execute every system of one point from one shared recording."""
+    cfg = point.config()
+    recording = get_recording(point.kernel, point.n, point.tile,
+                              instrument=True, cache=cache)
+    runs: Dict[str, SystemRun] = {}
+    for system in point.systems:
+        try:
+            build = SYSTEM_BUILDERS[system]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown system {system!r}; "
+                f"choices: {sorted(SYSTEM_BUILDERS)}"
+            ) from None
+        handle = build(cfg)
+        try:
+            trace = recording.replay(handle.xmemlib)
+        except StaleRecordingError:
+            # The recording no longer re-applies cleanly (library
+            # semantics moved): regenerate once and refresh the caches.
+            recording = record_trace(point.kernel, point.n, point.tile)
+            key = trace_key(point.kernel, point.n, point.tile, True)
+            if cache is None:
+                cache = TraceCache()
+            cache.store(key, recording)
+            _MEMO[key] = recording
+            handle = build(cfg)
+            trace = recording.replay(handle.xmemlib)
+        stats = handle.run(trace)
+        runs[system] = SystemRun(
+            system=system,
+            stats=stats,
+            llc_miss_rate=handle.llc.stats.miss_rate,
+            llc_accesses=handle.llc.stats.accesses,
+            dram_reads=handle.dram.stats.reads,
+            dram_row_hit_rate=handle.dram.stats.row_hit_rate,
+        )
+    return PointResult(point=point, runs=runs)
+
+
+# ---------------------------------------------------------------------------
+# Fan-out
+# ---------------------------------------------------------------------------
+
+def run_parallel(fn: Callable, items: Sequence,
+                 jobs: Optional[int] = None) -> List:
+    """Map ``fn`` over ``items`` with deterministic result ordering.
+
+    ``fn`` must be a module-level callable and every item picklable.
+    ``jobs`` resolves explicit argument -> ``REPRO_JOBS`` ->
+    ``os.cpu_count()``; 1 means serial in-process execution (no pool,
+    full tracebacks -- the debugging path).  Results always come back
+    in item order, so parallel runs are bit-identical to serial ones.
+    """
+    items = list(items)
+    if jobs is None:
+        jobs = jobs_from_env()
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(jobs, len(items))
+    chunksize = max(1, len(items) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+
+def sweep(points: Sequence[SimPoint],
+          jobs: Optional[int] = None) -> List[PointResult]:
+    """Run independent simulation points, fanned out over processes."""
+    return run_parallel(run_point, points, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# Use-Case-2 points (Figures 7/8)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UC2Point:
+    """One independent Use-Case-2 (workload, three-system) point."""
+
+    workload: str
+    accesses: Optional[int] = None
+    pick_mapping: bool = False
+
+
+def run_uc2_point(point: UC2Point):
+    """All three Figure 7/8 systems for one workload.
+
+    Returns the :func:`repro.sim.usecase2.run_figure7` dict
+    (system name -> ``UseCase2Result``); everything in it is plain
+    data, so results travel cleanly back from worker processes.
+    """
+    import dataclasses
+
+    from repro.sim.usecase2 import run_figure7
+    from repro.workloads.suite import BY_NAME
+
+    try:
+        workload = BY_NAME[point.workload]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {point.workload!r}"
+        ) from None
+    if point.accesses is not None:
+        workload = dataclasses.replace(workload,
+                                       accesses=point.accesses)
+    return run_figure7(workload, pick_mapping=point.pick_mapping)
+
+
+def uc2_sweep(points: Sequence[UC2Point],
+              jobs: Optional[int] = None) -> List[dict]:
+    """Run independent Use-Case-2 points, fanned out over processes."""
+    return run_parallel(run_uc2_point, points, jobs=jobs)

@@ -54,6 +54,7 @@ class MemorySystem:
         self.dram = dram
         self.stride_prefetcher = stride_prefetcher
         self.xmem_prefetcher = xmem_prefetcher
+        self._llc_level = len(hierarchy.levels) - 1
         #: line -> DRAM completion time of an in-flight prefetch; a
         #: demand hit to a line that has not arrived yet waits for it
         #: (prefetch timeliness).
@@ -68,10 +69,11 @@ class MemorySystem:
     def access(self, paddr: int, is_write: bool,
                now: float) -> Tuple[float, bool]:
         """One demand access; returns (completion time, went-to-DRAM)."""
-        out = self.hierarchy.access(paddr, is_write)
+        hierarchy = self.hierarchy
+        out = hierarchy.access(paddr, is_write)
         t_lookup = now + out.lookup_latency
-        line = self.hierarchy.line_addr(paddr)
-        if out.memory_read:
+        line = hierarchy.line_addr(paddr)
+        if out.hit_level is None:
             res = self.dram.access(line, t_lookup, is_write=False)
             completes = res.completes_at
             self._prefetch_ready.pop(line, None)
@@ -86,10 +88,18 @@ class MemorySystem:
                 # The prefetch was issued but its data has not arrived:
                 # the demand access waits for it (a late prefetch).
                 completes = ready
-        for wb in out.memory_writebacks:
-            self._buffer_write(wb, t_lookup)
-        self._run_prefetchers(paddr, out, now)
-        return completes, out.memory_read
+        if out.memory_writebacks:
+            for wb in out.memory_writebacks:
+                self._buffer_write(wb, t_lookup)
+        # Prefetcher preconditions checked inline: most accesses hit
+        # above the LLC and trigger neither engine.
+        memory_read = out.hit_level is None
+        reached_llc = memory_read or out.hit_level >= self._llc_level
+        if (self.stride_prefetcher is not None and reached_llc) or (
+                self.xmem_prefetcher is not None
+                and (memory_read or out.llc_prefetch_hit)):
+            self._run_prefetchers(paddr, line, out, now)
+        return completes, memory_read
 
     def _buffer_write(self, line: int, now: float) -> None:
         self.stats.writebacks += 1
@@ -114,10 +124,10 @@ class MemorySystem:
             self.dram.access(line, now, is_write=True)
         self._write_buffer.clear()
 
-    def _run_prefetchers(self, paddr: int, out, now: float) -> None:
+    def _run_prefetchers(self, paddr: int, line: int, out,
+                         now: float) -> None:
         llc_level = len(self.hierarchy.levels) - 1
         reached_llc = out.hit_level is None or out.hit_level >= llc_level
-        line = self.hierarchy.line_addr(paddr)
         if self.stride_prefetcher is not None and reached_llc:
             for target in self.stride_prefetcher.observe(line):
                 self._prefetch(target, now)

@@ -77,14 +77,25 @@ def row_segment(arr: Array, i: int, j0: int, width: int,
                 work_per_elem: int = WORK_PER_ELEM
                 ) -> Iterator[MemAccess]:
     """Stream elements [i][j0 : j0+width) at line granularity."""
-    start = arr.addr(i, j0)
-    end = arr.addr(i, j0 + width)
+    # Hot path of trace generation: compute the row base once and keep
+    # everything in locals; full interior lines all carry the same
+    # work, so their event parameters are loop-invariant.
+    row_base = arr.base + i * arr.cols * ELEM
+    start = row_base + j0 * ELEM
+    end = start + width * ELEM
     addr = start - (start % LINE)
+    full_work = EPL * work_per_elem
+    mem_access = MemAccess
     while addr < end:
-        lo = max(addr, start)
-        hi = min(addr + LINE, end)
-        elems = (hi - lo) // ELEM
-        yield MemAccess(lo, write, work=elems * work_per_elem)
+        lo = addr if addr > start else start
+        hi = addr + LINE
+        if lo == addr and hi <= end:
+            yield mem_access(addr, write, work=full_work)
+        else:
+            if hi > end:
+                hi = end
+            yield mem_access(lo, write,
+                             work=((hi - lo) // ELEM) * work_per_elem)
         addr += LINE
 
 
@@ -94,8 +105,14 @@ def col_segment(arr: Array, j: int, i0: int, height: int,
                 ) -> Iterator[MemAccess]:
     """Walk a column: one access per element (each its own line when
     cols*ELEM >= LINE, which holds for all our kernels)."""
-    for i in range(i0, i0 + height):
-        yield MemAccess(arr.addr(i, j), write, work=work_per_elem)
+    # Column walks advance by one full row per element: fold the
+    # arr.addr() recomputation into a running address.
+    row_bytes = arr.cols * ELEM
+    addr = arr.base + (i0 * arr.cols + j) * ELEM
+    mem_access = MemAccess
+    for _ in range(height):
+        yield mem_access(addr, write, work=work_per_elem)
+        addr += row_bytes
 
 
 def tiles(n: int, tile: int) -> Iterator[range]:

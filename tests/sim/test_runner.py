@@ -1,0 +1,321 @@
+"""The parallel experiment runner: record/replay, caching, fan-out.
+
+Three properties matter and are each pinned here:
+
+1. A replayed recording is *indistinguishable* from walking the kernel
+   fresh -- same engine stats on baseline and XMem machines.
+2. A parallel sweep returns bit-identical results to a serial one, in
+   the same order.
+3. The disk cache never replays a bad entry: corruption and stale
+   recordings are detected and regenerated.
+"""
+
+import os
+import pickle
+
+import pytest
+
+import repro.sim.runner as runner_mod
+from repro.core.errors import ConfigurationError
+from repro.cpu.trace import MemAccess, Work, XMemOp
+from repro.sim import (
+    SimPoint,
+    TraceCache,
+    TraceRecording,
+    UC2Point,
+    build_baseline,
+    build_xmem,
+    get_recording,
+    jobs_from_env,
+    record_trace,
+    run_parallel,
+    run_point,
+    run_uc2_point,
+    scaled_config,
+    sweep,
+    uc2_sweep,
+)
+from repro.sim.runner import (
+    SetupRecorder,
+    StaleRecordingError,
+    apply_setup,
+    trace_key,
+)
+from repro.workloads.polybench import KERNELS
+
+N = 24
+TILE = 12
+
+
+@pytest.fixture(autouse=True)
+def clean_memo():
+    """Each test starts with an empty in-process recording memo."""
+    runner_mod._MEMO.clear()
+    yield
+    runner_mod._MEMO.clear()
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    return TraceCache(root=tmp_path / "traces")
+
+
+def fresh_stats(kernel_name, with_xmem):
+    """Reference run: build the trace live, no recording involved."""
+    cfg = scaled_config(32)
+    kernel = KERNELS[kernel_name]
+    if with_xmem:
+        handle = build_xmem(cfg)
+        return handle.run(kernel.build_trace(N, TILE, lib=handle.xmemlib))
+    handle = build_baseline(cfg)
+    return handle.run(kernel.build_trace(N, TILE))
+
+
+# ---------------------------------------------------------------------------
+# Record / replay correctness
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kernel", ["gemm", "jacobi2d"])
+def test_replay_matches_fresh_generation(kernel, disk_cache):
+    point = SimPoint(kernel=kernel, n=N, tile=TILE)
+    result = run_point(point, cache=disk_cache)
+    assert result.runs["baseline"].stats == fresh_stats(kernel, False)
+    assert result.runs["xmem"].stats == fresh_stats(kernel, True)
+
+
+@pytest.mark.parametrize("kernel", ["gemm", "jacobi2d"])
+def test_disk_cache_hit_replays_identically(kernel, disk_cache):
+    point = SimPoint(kernel=kernel, n=N, tile=TILE)
+    first = run_point(point, cache=disk_cache)
+    assert disk_cache.misses == 1 and disk_cache.hits == 0
+
+    # Drop the in-process memo so the second run *must* hit the disk.
+    runner_mod._MEMO.clear()
+    second = run_point(point, cache=disk_cache)
+    assert disk_cache.hits == 1
+    for system in point.systems:
+        assert (second.runs[system].stats
+                == first.runs[system].stats)
+
+
+def test_setup_recorder_logs_and_replays():
+    recorder = SetupRecorder()
+    events = list(KERNELS["gemm"].build_trace(N, TILE, lib=recorder))
+    assert recorder.log, "gemm instruments atoms at trace-build time"
+    assert any(isinstance(ev, XMemOp) for ev in events)
+
+    from repro.core.xmemlib import XMemLib
+    apply_setup(XMemLib(), recorder.log)  # IDs must match -> no raise
+
+
+def test_stale_setup_log_raises():
+    from repro.core.xmemlib import XMemLib
+    recorder = SetupRecorder()
+    list(KERNELS["gemm"].build_trace(N, TILE, lib=recorder))
+    # Claim an atom call returned a different ID than it will now.
+    method, args, kwargs, result = recorder.log[0]
+    stale = [(method, args, kwargs, 9999)] + recorder.log[1:]
+    with pytest.raises(StaleRecordingError):
+        apply_setup(XMemLib(), stale)
+
+
+def test_payload_roundtrip():
+    recording = record_trace("gemm", N, TILE)
+    clone = TraceRecording.from_payload(recording.to_payload())
+    assert clone.events == recording.events
+    assert clone.setup == recording.setup
+    assert (clone.kernel, clone.n, clone.tile) == ("gemm", N, TILE)
+
+
+def test_payload_version_mismatch_is_stale():
+    payload = record_trace("gemm", N, TILE).to_payload()
+    payload["version"] = -1
+    with pytest.raises(StaleRecordingError):
+        TraceRecording.from_payload(payload)
+
+
+# ---------------------------------------------------------------------------
+# Disk cache integrity
+# ---------------------------------------------------------------------------
+
+def test_corrupted_cache_entry_detected_and_regenerated(disk_cache):
+    point = SimPoint(kernel="gemm", n=N, tile=TILE)
+    reference = run_point(point, cache=disk_cache)
+
+    # Flip bytes in the middle of the stored blob.
+    key = trace_key("gemm", N, TILE, True)
+    path = disk_cache._path(key)
+    blob = bytearray(path.read_bytes())
+    mid = len(blob) // 2
+    blob[mid] ^= 0xFF
+    blob[mid + 1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+    runner_mod._MEMO.clear()
+    misses_before = disk_cache.misses
+    assert disk_cache.load(key) is None, "corruption must read as a miss"
+    assert disk_cache.misses == misses_before + 1
+    assert not path.exists(), "corrupt entry must be purged"
+
+    # End to end: the corrupt entry regenerates and results still match.
+    path.write_bytes(bytes(blob))
+    runner_mod._MEMO.clear()
+    again = run_point(point, cache=disk_cache)
+    assert again.runs["xmem"].stats == reference.runs["xmem"].stats
+    assert path.exists(), "regenerated entry must be stored back"
+
+
+def test_truncated_cache_entry_detected(disk_cache):
+    point = SimPoint(kernel="gemm", n=N, tile=TILE)
+    run_point(point, cache=disk_cache)
+    key = trace_key("gemm", N, TILE, True)
+    path = disk_cache._path(key)
+    path.write_bytes(path.read_bytes()[:40])
+    runner_mod._MEMO.clear()
+    assert disk_cache.load(key) is None
+    assert not path.exists()
+
+
+def test_wrong_key_entry_detected(disk_cache):
+    """An entry renamed to another key's filename must not replay."""
+    run_point(SimPoint(kernel="gemm", n=N, tile=TILE), cache=disk_cache)
+    src = disk_cache._path(trace_key("gemm", N, TILE, True))
+    dst = disk_cache._path(trace_key("jacobi2d", N, TILE, True))
+    os.replace(src, dst)
+    runner_mod._MEMO.clear()
+    assert disk_cache.load(trace_key("jacobi2d", N, TILE, True)) is None
+
+
+def test_stale_recording_regenerates_in_run_point(disk_cache):
+    """A cached setup log with wrong atom IDs regenerates transparently."""
+    point = SimPoint(kernel="gemm", n=N, tile=TILE)
+    reference = run_point(point, cache=disk_cache)
+
+    key = trace_key("gemm", N, TILE, True)
+    recording = disk_cache.load(key)
+    method, args, kwargs, _ = recording.setup[0]
+    recording.setup[0] = (method, args, kwargs, 9999)
+    disk_cache.store(key, recording)
+
+    runner_mod._MEMO.clear()
+    again = run_point(point, cache=disk_cache)
+    assert again.runs["xmem"].stats == reference.runs["xmem"].stats
+    # The refreshed entry must now replay cleanly.
+    runner_mod._MEMO.clear()
+    healed = disk_cache.load(key)
+    from repro.core.xmemlib import XMemLib
+    apply_setup(XMemLib(), healed.setup)
+
+
+def test_cache_disabled_by_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+    cache = TraceCache()
+    assert not cache.enabled
+    assert cache.load("whatever") is None
+    cache.store("whatever", record_trace("gemm", N, TILE))  # no-op
+
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "alt"))
+    cache = TraceCache()
+    assert cache.root == tmp_path / "alt"
+
+
+# ---------------------------------------------------------------------------
+# Parallel fan-out determinism
+# ---------------------------------------------------------------------------
+
+def sweep_points():
+    return [
+        SimPoint(kernel="gemm", n=N, tile=t) for t in (6, 12, 24)
+    ] + [
+        SimPoint(kernel="jacobi2d", n=N, tile=t) for t in (6, 24)
+    ]
+
+
+def test_parallel_sweep_matches_serial(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "tc"))
+    points = sweep_points()
+    serial = sweep(points, jobs=1)
+    runner_mod._MEMO.clear()
+    parallel = sweep(points, jobs=2)
+    assert len(serial) == len(parallel) == len(points)
+    for s, p, point in zip(serial, parallel, points):
+        assert s.point == p.point == point
+        for system in point.systems:
+            assert s.runs[system].stats == p.runs[system].stats
+            assert (s.runs[system].llc_miss_rate
+                    == p.runs[system].llc_miss_rate)
+            assert s.runs[system].dram_reads == p.runs[system].dram_reads
+
+
+def test_uc2_parallel_matches_serial(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "tc"))
+    points = [UC2Point(workload="lbm", accesses=2000),
+              UC2Point(workload="mcf", accesses=2000)]
+    serial = uc2_sweep(points, jobs=1)
+    parallel = uc2_sweep(points, jobs=2)
+    for s, p in zip(serial, parallel):
+        for system in ("baseline", "xmem", "ideal"):
+            assert s[system].cycles == p[system].cycles
+            assert (s[system].record.dram_row_hit_rate
+                    == p[system].record.dram_row_hit_rate)
+
+
+def test_run_parallel_preserves_order():
+    out = run_parallel(_negate, list(range(20)), jobs=4)
+    assert out == [-i for i in range(20)]
+
+
+def _negate(x):
+    return -x
+
+
+# ---------------------------------------------------------------------------
+# Knobs and validation
+# ---------------------------------------------------------------------------
+
+def test_jobs_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert jobs_from_env() == 3
+    monkeypatch.setenv("REPRO_JOBS", "")
+    assert jobs_from_env(default=2) == 2
+    assert jobs_from_env() >= 1
+    monkeypatch.setenv("REPRO_JOBS", "zero")
+    with pytest.raises(ConfigurationError):
+        jobs_from_env()
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    with pytest.raises(ConfigurationError):
+        jobs_from_env()
+
+
+def test_unknown_kernel_and_system_rejected():
+    with pytest.raises(ConfigurationError):
+        record_trace("nope", N, TILE)
+    with pytest.raises(ConfigurationError):
+        run_point(SimPoint(kernel="gemm", n=N, tile=TILE,
+                           systems=("warp-drive",)),
+                  cache=TraceCache(root=None))
+    with pytest.raises(ConfigurationError):
+        run_uc2_point(UC2Point(workload="nope"))
+
+
+def test_simpoint_config_applies_knobs():
+    cfg = SimPoint(kernel="gemm", n=N, tile=TILE, scale=32,
+                   llc_bytes=16384, bandwidth=0.5).config()
+    assert cfg.llc_bytes == 16384
+    base = scaled_config(32)
+    assert cfg.llc_bytes != base.llc_bytes or base.llc_bytes == 16384
+
+
+def test_points_pickle():
+    for point in (SimPoint(kernel="gemm", n=N, tile=TILE),
+                  UC2Point(workload="lbm", accesses=100)):
+        assert pickle.loads(pickle.dumps(point)) == point
+
+
+def test_event_hashes_are_value_based():
+    assert hash(MemAccess(64, False, 1)) == hash(MemAccess(64, False, 1))
+    assert hash(Work(3)) == hash(Work(3))
+    assert hash(XMemOp("atom_map", 1, 2)) == hash(XMemOp("atom_map",
+                                                         1, 2))
+    assert MemAccess(64, False, 1) != Work(3)
+    assert hash(MemAccess(64, False, 1)) != hash(MemAccess(65, False, 1))

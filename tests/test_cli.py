@@ -21,6 +21,13 @@ class TestParser:
         assert args.workload == "mcf"
         assert args.accesses == 5000
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.kernels == "gemm"
+        assert args.n == 96
+        assert args.systems == "baseline,xmem"
+        assert args.jobs is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -54,3 +61,23 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "baseline" in out and "ideal" in out
+
+    def test_sweep_unknown_kernel(self, capsys):
+        assert main(["sweep", "--kernels", "nope"]) == 2
+
+    def test_sweep_unknown_system(self, capsys):
+        assert main(["sweep", "--systems", "warp"]) == 2
+        assert "choices" in capsys.readouterr().err
+
+    def test_sweep_bad_tiles(self, capsys):
+        assert main(["sweep", "--tiles", "8,abc"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_sweep_small_run(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        rc = main(["sweep", "--kernels", "mvt", "--n", "32",
+                   "--tiles", "8,32", "--jobs", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mvt" in out
+        assert "xmem speedup" in out
