@@ -138,6 +138,28 @@ class AtomManagementUnit:
         self.alb = AtomLookasideBuffer(alb_entries)
         self.translate: TranslateFn = translate or (lambda rng: (rng,))
         self.stats = AMUStats()
+        # ``lookup`` runs once per prefetcher probe (hot path): shift/
+        # mask forms of the address split (page_bytes and chunk_bytes
+        # are powers of two in every shipped config; fall back to the
+        # div/mod path otherwise) and pre-bound methods so the per-call
+        # cost is not attribute-chain traversal.  All of alb/aam/ast
+        # mutate in place (flush/restore included), so the bindings
+        # stay valid for the unit's lifetime.
+        cfg = self.aam.config
+        page = cfg.page_bytes
+        chunk = cfg.chunk_bytes
+        if page & (page - 1) == 0 and chunk & (chunk - 1) == 0:
+            self._page_shift: Optional[int] = page.bit_length() - 1
+            self._chunk_shift = chunk.bit_length() - 1
+            self._page_mask = page - 1
+        else:
+            self._page_shift = None
+            self._chunk_shift = 0
+            self._page_mask = 0
+        self._alb_lookup = self.alb.lookup
+        self._alb_fill = self.alb.fill
+        self._aam_lookup_page = self.aam.lookup_page
+        self._ast_is_active = self.ast.is_active
 
     # -- Instruction interpretation -------------------------------------
 
@@ -200,15 +222,20 @@ class AtomManagementUnit:
         mapped to any atom or the mapped atom is inactive.
         """
         self.stats.lookups += 1
-        cfg = self.aam.config
-        page_index = paddr // cfg.page_bytes
-        data = self.alb.lookup(page_index)
+        page_shift = self._page_shift
+        if page_shift is not None:
+            page_index = paddr >> page_shift
+            chunk_in_page = (paddr & self._page_mask) >> self._chunk_shift
+        else:
+            cfg = self.aam.config
+            page_index = paddr // cfg.page_bytes
+            chunk_in_page = (paddr % cfg.page_bytes) // cfg.chunk_bytes
+        data = self._alb_lookup(page_index)
         if data is None:
-            data = self.aam.lookup_page(page_index)
-            self.alb.fill(page_index, data)
-        chunk_in_page = (paddr % cfg.page_bytes) // cfg.chunk_bytes
+            data = self._aam_lookup_page(page_index)
+            self._alb_fill(page_index, data)
         atom_id = data[chunk_in_page]
-        if atom_id is None or not self.ast.is_active(atom_id):
+        if atom_id is None or not self._ast_is_active(atom_id):
             return None
         return atom_id
 

@@ -3,7 +3,9 @@
 from repro.cpu.engine import EngineStats, TraceEngine
 from repro.cpu.trace import (
     MemAccess,
+    PackedTrace,
     Trace,
+    TraceBuilder,
     TraceEvent,
     Work,
     XMemOp,
@@ -14,7 +16,9 @@ from repro.cpu.trace import (
 __all__ = [
     "EngineStats",
     "MemAccess",
+    "PackedTrace",
     "Trace",
+    "TraceBuilder",
     "TraceEngine",
     "TraceEvent",
     "Work",

@@ -21,10 +21,11 @@ optional MMU hook and forwards physical accesses to a memory system
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Callable, Optional
 
 from repro.core.errors import ConfigurationError
-from repro.cpu.trace import MemAccess, Trace, Work, XMemOp
+from repro.cpu.trace import MemAccess, PackedTrace, Trace, Work, XMemOp
 from repro.mem.mshr import MSHRFile
 
 
@@ -82,7 +83,13 @@ class TraceEngine:
     PIPELINED_LATENCY = 4.0
 
     def run(self, trace: Trace) -> EngineStats:
-        """Execute ``trace`` to completion; returns the statistics."""
+        """Execute ``trace`` to completion; returns the statistics.
+
+        A :class:`PackedTrace` is routed to :meth:`run_packed` -- same
+        statistics, no per-event object materialization.
+        """
+        if type(trace) is PackedTrace:
+            return self.run_packed(trace)
         # The interpreter loop runs once per trace event (millions per
         # experiment): every attribute lookup it would repeat -- stats
         # fields, PIPELINED_LATENCY, bound methods -- is hoisted into a
@@ -141,6 +148,84 @@ class TraceEngine:
             else:
                 raise TypeError(f"not a trace event: {ev!r}")
         # Drain the window: execution ends when the last miss lands.
+        tail = mshr.latest_completion()
+        if tail is not None and tail > now:
+            now = tail
+        mshr.flush()
+        return EngineStats(
+            cycles=now,
+            instructions=instructions,
+            mem_accesses=mem_accesses,
+            xmem_instructions=xmem_instructions,
+            misses_to_memory=misses_to_memory,
+            stall_cycles=stall_cycles,
+        )
+
+    def run_packed(self, trace: PackedTrace) -> EngineStats:
+        """Execute a packed trace; statistics are bit-identical to
+        :meth:`run` over ``trace.events()``.
+
+        The zero-object fast path: the dense stream is consumed as
+        (vaddr, flag-word) integer pairs straight from the columns --
+        no event objects, no ``type()`` dispatch -- and the sparse
+        XMemOp side-table partitions it into segments, each drained
+        with one ``islice`` pass.  Every arithmetic expression mirrors
+        :meth:`run` exactly so float accumulation is unchanged.
+        """
+        now = 0.0
+        issue = self.issue_width
+        slot = 1.0 / issue
+        pipelined = self.PIPELINED_LATENCY
+        translate = self.translate
+        memory_access = self.memory.access
+        mshr = self.mshr
+        reserve = mshr.reserve
+        xmemlib = self.xmemlib
+        instructions = 0
+        mem_accesses = 0
+        xmem_instructions = 0
+        misses_to_memory = 0
+        stall_cycles = 0.0
+        # Segment the dense stream at the side-table positions; one
+        # shared zip iterator walks the columns exactly once.
+        pairs = zip(trace.vaddr, trace.meta)
+        segments = []
+        done = 0
+        for idx, op in trace.xmem:
+            segments.append((idx - done, op))
+            done = idx
+        segments.append((len(trace.vaddr) - done, None))
+        for seg_len, op in segments:
+            for vaddr, m in islice(pairs, seg_len):
+                if m & 2:                       # Work block
+                    count = m >> 2
+                    now += count / issue
+                    instructions += count
+                    continue
+                work = m >> 2                   # MemAccess
+                if work:
+                    now += work / issue
+                    instructions += work
+                instructions += 1
+                mem_accesses += 1
+                completes_at, to_memory = memory_access(
+                    translate(vaddr) if translate else vaddr,
+                    m & 1, now,
+                )
+                if to_memory:
+                    misses_to_memory += 1
+                if completes_at - now > pipelined:
+                    start = reserve(now, completes_at)
+                    if start > now:
+                        stall_cycles += start - now
+                        now = start
+                now += slot
+            if op is not None:
+                instructions += 1
+                xmem_instructions += 1
+                now += slot
+                if xmemlib is not None:
+                    getattr(xmemlib, op.method)(*op.args)
         tail = mshr.latest_completion()
         if tail is not None and tail > now:
             now = tail

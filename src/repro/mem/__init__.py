@@ -3,7 +3,7 @@ plus the Table-1 component models (compression, DRAM cache, NUCA,
 approximate memory)."""
 
 from repro.mem.approx import ApproxConfig, ApproximateMemory
-from repro.mem.cache import AccessResult, Cache, CacheLine, CacheStats
+from repro.mem.cache import AccessResult, Cache, CacheStats
 from repro.mem.compression import (
     BaseDeltaCompressor,
     CompressedLine,
@@ -64,7 +64,6 @@ __all__ = [
     "plan_nuca_placement",
     "Cache",
     "CacheHierarchy",
-    "CacheLine",
     "CacheStats",
     "DRRIPPolicy",
     "HierarchyOutcome",

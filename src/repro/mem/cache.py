@@ -6,6 +6,14 @@ the cache never selects a pinned line as victim while a non-pinned
 candidate exists, and the cache controller (``repro.policies.
 cache_mgmt``) bounds pinning to 75% of the ways per set and ages pins
 when the active-atom list changes (Section 5.2(3)).
+
+Line state is stored columnar -- per-set parallel lists of tags, dirty
+bits, and pin bits -- rather than as per-line objects.  The tag match
+on the access path is then a single C-speed ``list.index`` instead of
+a Python loop over line objects; with one access per trace event this
+is the difference between the cache model and the interpreter loop
+dominating a run.  An invalid way holds tag ``-1`` (physical tags are
+non-negative), so validity needs no separate column.
 """
 
 from __future__ import annotations
@@ -16,15 +24,8 @@ from typing import List, Optional
 from repro.core.errors import ConfigurationError
 from repro.mem.replacement import DRRIPPolicy, ReplacementPolicy, make_policy
 
-
-@dataclass
-class CacheLine:
-    """One cache line's bookkeeping state."""
-
-    tag: int = -1
-    valid: bool = False
-    dirty: bool = False
-    pinned: bool = False
+#: Tag stored in an invalid way (no physical tag is negative).
+INVALID_TAG = -1
 
 
 @dataclass
@@ -107,6 +108,12 @@ class Cache:
             policy, self.num_sets, ways
         )
         self._policy_is_drrip = isinstance(self.policy, DRRIPPolicy)
+        # Bound-method hoists for the per-access hooks (the policy is
+        # fixed after construction).
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_on_fill = self.policy.on_fill
+        self._policy_victim = self.policy.victim
+        self._policy_on_invalidate = self.policy.on_invalidate
         # Address decomposition is on every access path: precompute
         # shift/mask forms (line_bytes is a power of two in every
         # shipped configuration; num_sets is asserted above).
@@ -120,8 +127,15 @@ class Cache:
                                + self.num_sets.bit_length() - 1)
         self.pin_quota = pin_quota
         self._max_pinned_ways = max(0, int(ways * pin_quota))
-        self._sets: List[List[CacheLine]] = [
-            [CacheLine() for _ in range(ways)] for _ in range(self.num_sets)
+        # Columnar line state: parallel per-set lists.
+        self._tags: List[List[int]] = [
+            [INVALID_TAG] * ways for _ in range(self.num_sets)
+        ]
+        self._dirty: List[List[bool]] = [
+            [False] * ways for _ in range(self.num_sets)
+        ]
+        self._pinned: List[List[bool]] = [
+            [False] * ways for _ in range(self.num_sets)
         ]
         # Per-set occupancy caches so the allocate path need not scan:
         # number of valid lines (skip the free-way search once a set is
@@ -153,14 +167,14 @@ class Cache:
     # -- Lookup / fill ------------------------------------------------------
 
     def _find(self, set_idx: int, tag: int) -> Optional[int]:
-        for way, line in enumerate(self._sets[set_idx]):
-            if line.valid and line.tag == tag:
-                return way
-        return None
+        try:
+            return self._tags[set_idx].index(tag)
+        except ValueError:
+            return None
 
     def probe(self, addr: int) -> bool:
         """Non-destructive presence check (no stats, no policy update)."""
-        return self._find(self._index(addr), self._tag(addr)) is not None
+        return self._tag(addr) in self._tags[self._index(addr)]
 
     def access(self, addr: int, is_write: bool) -> AccessResult:
         """A demand access.  On a miss the caller is responsible for
@@ -178,26 +192,26 @@ class Cache:
         else:
             set_idx = self._index(addr)
             tag = self._tag(addr)
-        lines = self._sets[set_idx]
-        way = 0
-        for line in lines:
-            if line.valid and line.tag == tag:
-                stats.hits += 1
-                if is_write:
-                    line.dirty = True
-                self.policy.on_hit(set_idx, way)
-                if self._prefetched_tags:
-                    key = (set_idx, tag)
-                    if key in self._prefetched_tags:
-                        stats.prefetch_hits += 1
-                        self._prefetched_tags.discard(key)
-                        return _HIT_PREFETCHED
-                return _HIT
-            way += 1
-        stats.misses += 1
-        if self._policy_is_drrip:
-            self.policy.record_miss(set_idx)
-        return _MISS
+        tags = self._tags[set_idx]
+        # Membership test before index: both scans run in C, and the
+        # miss path (the majority at L2/L3) avoids raising ValueError.
+        if tag not in tags:
+            stats.misses += 1
+            if self._policy_is_drrip:
+                self.policy.record_miss(set_idx)
+            return _MISS
+        way = tags.index(tag)
+        stats.hits += 1
+        if is_write:
+            self._dirty[set_idx][way] = True
+        self._policy_on_hit(set_idx, way)
+        if self._prefetched_tags:
+            key = (set_idx, tag)
+            if key in self._prefetched_tags:
+                stats.prefetch_hits += 1
+                self._prefetched_tags.discard(key)
+                return _HIT_PREFETCHED
+        return _HIT
 
     def fill(self, addr: int, *, dirty: bool = False,
              pinned: bool = False, prefetch: bool = False
@@ -207,7 +221,7 @@ class Cache:
         Returns the line address of a dirty victim that must be written
         back to the next level, or None.  If the line is already
         present, the flags are merged instead (a prefetch racing a
-        demand fill).
+        demand fill, or a writeback landing on a resident copy).
         """
         if self._line_shift is not None:
             set_idx = (addr >> self._line_shift) & self._set_mask
@@ -217,67 +231,82 @@ class Cache:
             tag = self._tag(addr)
         way = self._find(set_idx, tag)
         if way is not None:
-            line = self._sets[set_idx][way]
-            line.dirty = line.dirty or dirty
-            if pinned and not line.pinned and self._pin_ok(set_idx):
-                line.pinned = True
+            if dirty:
+                self._dirty[set_idx][way] = True
+            if pinned and not self._pinned[set_idx][way] \
+                    and self._pin_ok(set_idx):
+                self._pinned[set_idx][way] = True
                 self._pinned_counts[set_idx] += 1
             return None
+        return self.fill_absent(addr, dirty=dirty, pinned=pinned,
+                                prefetch=prefetch)
 
-        way, writeback = self._allocate(set_idx)
-        line = self._sets[set_idx][way]
-        line.tag = tag
-        line.valid = True
-        line.dirty = dirty
+    def fill_absent(self, addr: int, *, dirty: bool = False,
+                    pinned: bool = False, prefetch: bool = False
+                    ) -> Optional[int]:
+        """:meth:`fill` for a line the caller knows is not resident.
+
+        The demand-fill path always qualifies: the hierarchy only fills
+        a level after that level reported a miss for the same line, so
+        the presence re-scan :meth:`fill` starts with is pure overhead
+        there.  Behaviour is otherwise identical to :meth:`fill`, and
+        :meth:`fill` delegates here once absence is established.
+        """
+        if self._line_shift is not None:
+            set_idx = (addr >> self._line_shift) & self._set_mask
+            tag = addr >> self._tag_shift
+        else:
+            set_idx = self._index(addr)
+            tag = self._tag(addr)
+        # Allocation is fused in (one call per miss adds up): free way
+        # first, else evict a victim among the non-pinned ways.
+        tags = self._tags[set_idx]
+        writeback = None
+        if self._valid_counts[set_idx] < self.ways:
+            # First invalid way, exactly like the historical scan.
+            way = tags.index(INVALID_TAG)
+            self._valid_counts[set_idx] += 1
+        else:
+            pinned_row = self._pinned[set_idx]
+            if self._pinned_counts[set_idx]:
+                candidates = [w for w in self._all_ways
+                              if not pinned_row[w]]
+                if not candidates:
+                    # Quota guarantees this cannot happen with quota
+                    # < 1.0, but a controller bug must degrade
+                    # gracefully, not deadlock.
+                    candidates = self._all_ways
+            else:
+                candidates = self._all_ways
+            way = self._policy_victim(set_idx, candidates)
+            self.stats.evictions += 1
+            victim_tag = tags[way]
+            if self._dirty[set_idx][way]:
+                self.stats.writebacks += 1
+                writeback = self._victim_addr(set_idx, victim_tag)
+            if self._prefetched_tags:
+                self._prefetched_tags.discard((set_idx, victim_tag))
+            if pinned_row[way]:
+                pinned_row[way] = False
+                self._pinned_counts[set_idx] -= 1
+            self._policy_on_invalidate(set_idx, way)
+        tags[way] = tag
+        self._dirty[set_idx][way] = dirty
         want_pin = pinned and self._pin_ok(set_idx)
         if pinned and not want_pin:
             self.stats.pin_refusals += 1
-        line.pinned = want_pin
+        self._pinned[set_idx][way] = want_pin
         if want_pin:
             self.stats.pinned_fills += 1
             self._pinned_counts[set_idx] += 1
         if prefetch:
             self.stats.prefetch_fills += 1
             self._prefetched_tags.add((set_idx, tag))
-        self.policy.on_fill(set_idx, way, high_priority=want_pin)
+        self._policy_on_fill(set_idx, way, high_priority=want_pin)
         return writeback
 
     def _pin_ok(self, set_idx: int) -> bool:
         return self._pinned_counts[set_idx] < self._max_pinned_ways
-
-    def _allocate(self, set_idx: int):
-        lines = self._sets[set_idx]
-        if self._valid_counts[set_idx] < self.ways:
-            for way, line in enumerate(lines):
-                if not line.valid:
-                    # The caller installs into this way immediately.
-                    self._valid_counts[set_idx] += 1
-                    return way, None
-        if self._pinned_counts[set_idx]:
-            candidates = [w for w, l in enumerate(lines) if not l.pinned]
-            if not candidates:
-                # Quota guarantees this cannot happen with quota < 1.0,
-                # but a controller bug must degrade gracefully, not
-                # deadlock.
-                candidates = self._all_ways
-        else:
-            candidates = self._all_ways
-        victim = self.policy.victim(set_idx, candidates)
-        line = lines[victim]
-        self.stats.evictions += 1
-        writeback = None
-        if line.dirty:
-            self.stats.writebacks += 1
-            writeback = self._victim_addr(set_idx, line.tag)
-        if self._prefetched_tags:
-            self._prefetched_tags.discard((set_idx, line.tag))
-        line.valid = False
-        if line.pinned:
-            line.pinned = False
-            self._pinned_counts[set_idx] -= 1
-        line.dirty = False
-        self.policy.on_invalidate(set_idx, victim)
-        return victim, writeback
 
     def _victim_addr(self, set_idx: int, tag: int) -> int:
         return (tag * self.num_sets + set_idx) * self.line_bytes
@@ -293,33 +322,31 @@ class Cache:
         of lines unpinned.
         """
         count = 0
-        for set_idx, lines in enumerate(self._sets):
-            for way, line in enumerate(lines):
-                if line.valid and line.pinned:
-                    line.pinned = False
-                    count += 1
-            self._pinned_counts[set_idx] = 0
+        for set_idx, pinned_count in enumerate(self._pinned_counts):
+            if pinned_count:
+                self._pinned[set_idx] = [False] * self.ways
+                self._pinned_counts[set_idx] = 0
+                count += pinned_count
         return count
 
     @property
     def pinned_lines(self) -> int:
-        """Number of currently pinned lines."""
-        return sum(1 for lines in self._sets for l in lines
-                   if l.valid and l.pinned)
+        """Number of currently pinned lines (maintained count)."""
+        return sum(self._pinned_counts)
 
     # -- Maintenance ---------------------------------------------------------
 
     def invalidate_all(self) -> int:
         """Drop every line (no writebacks -- test helper)."""
         count = 0
-        for set_idx, lines in enumerate(self._sets):
-            for way, line in enumerate(lines):
-                if line.valid:
-                    line.valid = False
-                    line.dirty = False
-                    line.pinned = False
+        for set_idx, tags in enumerate(self._tags):
+            for way in range(self.ways):
+                if tags[way] != INVALID_TAG:
+                    tags[way] = INVALID_TAG
                     self.policy.on_invalidate(set_idx, way)
                     count += 1
+            self._dirty[set_idx] = [False] * self.ways
+            self._pinned[set_idx] = [False] * self.ways
             self._valid_counts[set_idx] = 0
             self._pinned_counts[set_idx] = 0
         self._prefetched_tags.clear()
@@ -327,8 +354,8 @@ class Cache:
 
     @property
     def resident_lines(self) -> int:
-        """Number of valid lines currently resident."""
-        return sum(1 for lines in self._sets for l in lines if l.valid)
+        """Number of valid lines currently resident (maintained count)."""
+        return sum(self._valid_counts)
 
     def __repr__(self) -> str:
         return (f"Cache({self.name}, {self.size_bytes // 1024}KB, "

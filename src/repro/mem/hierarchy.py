@@ -71,6 +71,12 @@ class CacheHierarchy:
         ]
         self.latencies: List[int] = [cfg.latency for cfg in levels]
         self.pin_predicate: Callable[[int], bool] = lambda addr: False
+        # Hot-path hoists (the level list is fixed after construction):
+        # bound per-level access methods and the level count, so
+        # access_flat does no len()/getattr work per trace event.
+        self._num_levels = len(self.levels)
+        self._last_level = self._num_levels - 1
+        self._level_access = [c.access for c in self.levels]
 
     @property
     def llc(self) -> Cache:
@@ -87,60 +93,74 @@ class CacheHierarchy:
 
     def access(self, addr: int, is_write: bool) -> HierarchyOutcome:
         """One demand access, with all fills and writebacks applied."""
-        # Hot path: every trace event lands here.  Accumulate in locals
-        # and build the outcome object once, fully populated.
+        hit_level, lookup, llc_prefetch_hit, wbs = self.access_flat(
+            addr, is_write)
+        return HierarchyOutcome(
+            hit_level=hit_level,
+            memory_writebacks=wbs if wbs is not None else [],
+            lookup_latency=lookup,
+            llc_prefetch_hit=llc_prefetch_hit,
+        )
+
+    def access_flat(self, addr: int, is_write: bool):
+        """:meth:`access` without the outcome object -- the engine's
+        zero-object fast path.
+
+        Returns ``(hit_level, lookup_latency, llc_prefetch_hit,
+        memory_writebacks)`` where the writeback list is None unless a
+        dirty LLC victim was produced, so the dominant hit path
+        allocates nothing at all.
+        """
+        # Hot path: every trace event lands here.
         line = (addr & self._line_mask if self._line_mask is not None
                 else addr - (addr % self.line_bytes))
-        levels = self.levels
         latencies = self.latencies
-        num_levels = len(levels)
+        level_access = self._level_access
+        num_levels = self._num_levels
+        last = self._last_level
         lookup = 0
         hit_level: Optional[int] = None
         llc_prefetch_hit = False
         for i in range(num_levels):
             lookup += latencies[i]
-            result = levels[i].access(line, is_write and i == 0)
+            result = level_access[i](line, is_write and i == 0)
             if result.hit:
                 hit_level = i
-                if i == num_levels - 1:
+                if i == last:
                     llc_prefetch_hit = result.was_prefetched
                 break
-        outcome = HierarchyOutcome(hit_level=hit_level,
-                                   lookup_latency=lookup,
-                                   llc_prefetch_hit=llc_prefetch_hit)
+        if hit_level == 0:
+            return 0, lookup, llc_prefetch_hit, None
         # Fill the levels above the hit point (or all levels on a full
-        # miss -- the caller charges the DRAM read).
-        if hit_level != 0:
-            top = hit_level if hit_level is not None else num_levels
-            self._fill_upper(line, upto_level=top, dirty=is_write,
-                             outcome=outcome)
-        return outcome
-
-    def _fill_upper(self, line: int, upto_level: int, dirty: bool,
-                    outcome: HierarchyOutcome) -> None:
-        """Install ``line`` into every level above ``upto_level``.
-
-        L1 gets the dirty bit on a write (write-allocate); inner copies
-        stay clean.  Victim writebacks ripple downwards.
-        """
-        last = len(self.levels) - 1
-        for i in range(upto_level - 1, -1, -1):
-            cache = self.levels[i]
-            pinned = i == last and self.pin_predicate(line)
-            wb = cache.fill(line, dirty=(dirty and i == 0), pinned=pinned)
+        # miss -- the caller charges the DRAM read).  L1 gets the dirty
+        # bit on a write (write-allocate); inner copies stay clean.
+        # Every level above the hit point just missed in the lookup
+        # scan, so the fills use :meth:`Cache.fill_absent`; the
+        # downward victim ripple -- which may land on a resident
+        # line -- pays for the presence check via :meth:`Cache.fill`.
+        # Dirty LLC victims are collected for the caller (None when
+        # there are none -- the common case, kept allocation-free).
+        levels = self.levels
+        top = hit_level if hit_level is not None else num_levels
+        pin_predicate = self.pin_predicate
+        mem_wbs: Optional[List[int]] = None
+        for i in range(top - 1, -1, -1):
+            pinned = i == last and pin_predicate(line)
+            wb = levels[i].fill_absent(line, dirty=(is_write and i == 0),
+                                       pinned=pinned)
             if wb is not None:
-                self._writeback(i + 1, wb, outcome)
-
-    def _writeback(self, level: int, line: int,
-                   outcome: HierarchyOutcome) -> None:
-        """Deliver a dirty victim from ``level - 1`` into ``level``."""
-        if level >= len(self.levels):
-            outcome.memory_writebacks.append(line)
-            return
-        cache = self.levels[level]
-        wb = cache.fill(line, dirty=True)
-        if wb is not None:
-            self._writeback(level + 1, wb, outcome)
+                j = i + 1
+                while True:
+                    if j > last:
+                        if mem_wbs is None:
+                            mem_wbs = []
+                        mem_wbs.append(wb)
+                        break
+                    wb = levels[j].fill(wb, dirty=True)
+                    if wb is None:
+                        break
+                    j += 1
+        return hit_level, lookup, llc_prefetch_hit, mem_wbs
 
     # -- Prefetch path ----------------------------------------------------
 
@@ -153,7 +173,7 @@ class CacheHierarchy:
         outcome = HierarchyOutcome(hit_level=None)
         llc = self.llc
         if llc.probe(line):
-            outcome.hit_level = len(self.levels) - 1
+            outcome.hit_level = self._last_level
             return outcome
         pinned = self.pin_predicate(line)
         wb = llc.fill(line, pinned=pinned, prefetch=True)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import List, Optional
 
 from repro.core.errors import ConfigurationError
@@ -49,12 +50,14 @@ class MSHRFile:
         made: ``now`` if a slot was free, otherwise the completion time
         of the oldest outstanding miss (the stall the core experiences).
         """
-        self.drain_until(now)
+        completions = self._completions
+        while completions and completions[0] <= now:   # drain_until
+            heappop(completions)
         start = now
-        if len(self._completions) >= self.entries:
-            start = heapq.heappop(self._completions)
+        if len(completions) >= self.entries:
+            start = heappop(completions)
             self.stats.full_stalls += 1
-        heapq.heappush(self._completions, completes_at)
+        heappush(completions, completes_at)
         self.stats.reservations += 1
         return start
 

@@ -25,7 +25,7 @@ from repro.core.pat import PrefetcherPrimitives
 from repro.core.attributes import PatternType
 
 
-@dataclass
+@dataclass(slots=True)
 class _Stream:
     """One tracked access stream of the multi-stride engine."""
 
@@ -57,6 +57,11 @@ class MultiStridePrefetcher:
         self.degree = degree
         self.line_bytes = line_bytes
         self.region_bytes = region_bytes
+        # Shift form of the per-access region split (None when
+        # region_bytes is not a power of two).
+        self._region_shift = (region_bytes.bit_length() - 1
+                              if not (region_bytes & (region_bytes - 1))
+                              else None)
         self._streams: Dict[int, _Stream] = {}
         self._clock = 0
         self.stats = PrefetchStats()
@@ -64,7 +69,9 @@ class MultiStridePrefetcher:
     def observe(self, addr: int) -> List[int]:
         """Train on a demand access; return line addresses to prefetch."""
         self._clock += 1
-        region = addr // self.region_bytes
+        region = (addr >> self._region_shift
+                  if self._region_shift is not None
+                  else addr // self.region_bytes)
         stream = self._streams.get(region)
         if stream is None:
             self._allocate(region, addr)

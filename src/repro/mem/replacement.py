@@ -69,20 +69,22 @@ class LRUPolicy(ReplacementPolicy):
         self._stamp = [[0] * ways for _ in range(num_sets)]
         self._clock = 0
 
-    def _touch(self, set_idx: int, way: int) -> None:
+    # on_hit/on_fill run once per cache access/fill: the stamp update
+    # is written out in both rather than shared through a helper call.
+
+    def on_hit(self, set_idx: int, way: int) -> None:
         self._clock += 1
         self._stamp[set_idx][way] = self._clock
 
-    def on_hit(self, set_idx: int, way: int) -> None:
-        self._touch(set_idx, way)
-
     def on_fill(self, set_idx: int, way: int,
                 high_priority: bool = False) -> None:
-        self._touch(set_idx, way)
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
 
     def victim(self, set_idx: int, candidates: Sequence[int]) -> int:
-        stamps = self._stamp[set_idx]
-        return min(candidates, key=lambda w: stamps[w])
+        # list.__getitem__ as the key stays in C; a lambda here shows
+        # up as the single most-called Python frame of a whole run.
+        return min(candidates, key=self._stamp[set_idx].__getitem__)
 
     def on_invalidate(self, set_idx: int, way: int) -> None:
         self._stamp[set_idx][way] = 0
@@ -195,6 +197,7 @@ class DRRIPPolicy(_RRIPBase):
         super().__init__(num_sets, ways)
         self._psel = (1 << self.PSEL_BITS) // 2
         self._psel_max = (1 << self.PSEL_BITS) - 1
+        self._psel_half = self._psel_max // 2
         self._brrip = BRRIPPolicy(num_sets, ways)
 
     def _leader(self, set_idx: int) -> Optional[str]:
@@ -205,14 +208,20 @@ class DRRIPPolicy(_RRIPBase):
             return "brrip"
         return None
 
+    # record_miss and _insert_rrpv fire on every miss/fill of an L2/L3
+    # access: both spell out the leader phase instead of going through
+    # _leader/_use_brrip (kept above as the readable specification).
+
     def record_miss(self, set_idx: int) -> None:
         """Called by the cache on a miss, to train the duel."""
-        leader = self._leader(set_idx)
-        if leader == "srrip":
+        phase = set_idx % self.DUEL_PERIOD
+        if phase == 0:
             # SRRIP leader missed: vote toward BRRIP.
-            self._psel = min(self._psel_max, self._psel + 1)
-        elif leader == "brrip":
-            self._psel = max(0, self._psel - 1)
+            if self._psel < self._psel_max:
+                self._psel += 1
+        elif phase == 1:
+            if self._psel > 0:
+                self._psel -= 1
 
     def _use_brrip(self, set_idx: int) -> bool:
         leader = self._leader(set_idx)
@@ -220,11 +229,16 @@ class DRRIPPolicy(_RRIPBase):
             return False
         if leader == "brrip":
             return True
-        return self._psel > (self._psel_max // 2)
+        return self._psel > self._psel_half
 
     def _insert_rrpv(self, set_idx: int) -> int:
-        if self._use_brrip(set_idx):
-            return self._brrip._insert_rrpv(set_idx)
+        phase = set_idx % self.DUEL_PERIOD
+        if phase == 1 or (phase != 0 and self._psel > self._psel_half):
+            brrip = self._brrip
+            brrip._fill_count += 1
+            if brrip._fill_count % brrip.LONG_INTERVAL_PERIOD == 0:
+                return RRPV_LONG
+            return RRPV_MAX
         return RRPV_LONG
 
 

@@ -7,16 +7,22 @@ trace for every system it compared, and the points ran strictly
 serially.  This module fixes both:
 
 * **Trace record/replay.**  :func:`get_recording` walks a kernel's
-  loop nest once and materializes the event stream into a
-  :class:`TraceRecording`.  The recording is replayed for every system
-  of the point: XMem machines get the setup calls re-applied and the
-  full stream; baseline machines consume the same stream through
-  :func:`~repro.cpu.trace.strip_xmem` (hints are supplemental, so the
-  stripped stream *is* the baseline binary).  Recordings are also
+  loop nest once and materializes the stream into a
+  :class:`TraceRecording` holding a packed columnar
+  :class:`~repro.cpu.trace.PackedTrace` (parallel ``array('q')``
+  columns + an XMemOp side-table; no per-event objects).  The
+  recording is replayed for every system of the point: XMem machines
+  get the setup calls re-applied and the full packed trace; baseline
+  machines consume the same columns with the side-table dropped
+  (``strip_xmem`` is O(1) on a packed trace -- hints are supplemental,
+  so the dense stream *is* the baseline binary).  Recordings are also
   cached on disk, keyed by a hash of (kernel, n, tile,
-  instrumentation), so repeated bench invocations skip generation
-  entirely.  Entries carry a content digest; corrupted or stale files
-  are detected and silently regenerated, never replayed.
+  instrumentation); the columns serialize via ``tobytes()``/
+  ``frombytes()`` -- a memcpy, not a per-event pickle -- and the blob
+  is zlib-compressed on disk (strided address columns compress well).
+  Entries carry
+  a content digest; corrupted or stale files are detected and
+  silently regenerated, never replayed.
 
 * **Process fan-out.**  :func:`sweep` (and the generic
   :func:`run_parallel`) distribute points over a
@@ -41,6 +47,8 @@ import hashlib
 import os
 import pickle
 import tempfile
+import zlib
+from array import array
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,7 +57,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.errors import ConfigurationError
 from repro.core.xmemlib import XMemLib
 from repro.cpu.engine import EngineStats
-from repro.cpu.trace import MemAccess, TraceEvent, Work, XMemOp
+from repro.cpu.trace import PackedTrace, TraceEvent, XMemOp
 from repro.sim.config import SimConfig, scaled_config
 from repro.sim.system import (
     SystemHandle,
@@ -60,7 +68,9 @@ from repro.sim.system import (
 
 #: Bump when the payload layout or trace semantics change; old cache
 #: entries then key-miss instead of replaying stale streams.
-TRACE_FORMAT_VERSION = 1
+#: v2: packed columnar payload (raw column bytes + XMemOp side-table)
+#: replacing the v1 per-event tuple list.
+TRACE_FORMAT_VERSION = 2
 
 #: The three machine builders a point may compare.
 SYSTEM_BUILDERS: Dict[str, Callable[..., SystemHandle]] = {
@@ -148,7 +158,7 @@ def apply_setup(lib: XMemLib, log: Sequence[Tuple[str, tuple, dict,
 
 @dataclass
 class TraceRecording:
-    """One kernel invocation's event stream, materialized."""
+    """One kernel invocation's stream, materialized in packed form."""
 
     kernel: str
     n: int
@@ -156,37 +166,31 @@ class TraceRecording:
     instrumented: bool
     setup: List[Tuple[str, tuple, dict, object]] = field(
         default_factory=list)
-    events: List[TraceEvent] = field(default_factory=list)
+    packed: PackedTrace = field(default_factory=PackedTrace)
 
-    def replay(self, lib: Optional[XMemLib] = None) -> List[TraceEvent]:
-        """The event stream, with setup re-applied when a lib is given.
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The stream as event objects (debug/compat; materializes)."""
+        return list(self.packed.events())
 
-        Returns the shared event list (events are immutable in
-        practice: the engine only reads them), so replay costs nothing
-        beyond iteration.  Pass the stream to a baseline
-        :class:`~repro.sim.system.SystemHandle` directly -- its ``run``
-        strips the XMem operations itself.
+    def replay(self, lib: Optional[XMemLib] = None) -> PackedTrace:
+        """The packed trace, with setup re-applied when a lib is given.
+
+        Returns the shared packed trace (the engine only reads it), so
+        replay costs nothing beyond the setup calls.  Pass it to a
+        baseline :class:`~repro.sim.system.SystemHandle` directly --
+        its ``run`` drops the XMemOp side-table itself (O(1) on a
+        packed trace).
         """
         if lib is not None:
             apply_setup(lib, self.setup)
-        return self.events
+        return self.packed
 
     # -- Compact disk form ------------------------------------------------
 
     def to_payload(self) -> dict:
-        """Encode into plain tuples (compact, version-tagged)."""
-        encoded: List[tuple] = []
-        append = encoded.append
-        for ev in self.events:
-            kind = type(ev)
-            if kind is MemAccess:
-                append((0, ev.vaddr, 1 if ev.is_write else 0, ev.work))
-            elif kind is Work:
-                append((1, ev.count))
-            elif kind is XMemOp:
-                append((2, ev.method, ev.args))
-            else:
-                raise TypeError(f"not a trace event: {ev!r}")
+        """Encode into raw column bytes (compact, version-tagged)."""
+        packed = self.packed
         return {
             "version": TRACE_FORMAT_VERSION,
             "kernel": self.kernel,
@@ -194,42 +198,53 @@ class TraceRecording:
             "tile": self.tile,
             "instrumented": self.instrumented,
             "setup": self.setup,
-            "events": encoded,
+            "events": len(packed),
+            "itemsize": packed.vaddr.itemsize,
+            "vaddr": packed.vaddr.tobytes(),
+            "meta": packed.meta.tobytes(),
+            "xmem": [(idx, op.method, op.args)
+                     for idx, op in packed.xmem],
         }
 
     @classmethod
     def from_payload(cls, payload: dict) -> "TraceRecording":
-        """Decode a :meth:`to_payload` dict back into event objects."""
+        """Decode a :meth:`to_payload` dict back into a packed trace."""
         if payload.get("version") != TRACE_FORMAT_VERSION:
             raise StaleRecordingError(
                 f"trace format {payload.get('version')} != "
                 f"{TRACE_FORMAT_VERSION}"
             )
-        events: List[TraceEvent] = []
-        append = events.append
-        for item in payload["events"]:
-            code = item[0]
-            if code == 0:
-                append(MemAccess(item[1], bool(item[2]), item[3]))
-            elif code == 1:
-                append(Work(item[1]))
-            elif code == 2:
-                append(XMemOp(item[1], *item[2]))
-            else:
-                raise StaleRecordingError(f"unknown event code {code}")
+        vaddr = array("q")
+        if payload.get("itemsize") != vaddr.itemsize:
+            # 'q' width is platform-dependent in principle; refuse to
+            # reinterpret columns written with a different one.
+            raise StaleRecordingError(
+                f"column itemsize {payload.get('itemsize')} != "
+                f"{vaddr.itemsize}"
+            )
+        meta = array("q")
+        vaddr.frombytes(payload["vaddr"])
+        meta.frombytes(payload["meta"])
+        if len(vaddr) != payload["events"] or len(meta) != len(vaddr):
+            raise StaleRecordingError(
+                f"column length mismatch: {len(vaddr)}/{len(meta)} "
+                f"vs {payload['events']} events"
+            )
+        xmem = tuple((idx, XMemOp(method, *args))
+                     for idx, method, args in payload["xmem"])
         return cls(
             kernel=payload["kernel"],
             n=payload["n"],
             tile=payload["tile"],
             instrumented=payload["instrumented"],
             setup=list(payload["setup"]),
-            events=events,
+            packed=PackedTrace(vaddr, meta, xmem),
         )
 
 
 def record_trace(kernel_name: str, n: int, tile: int,
                  instrument: bool = True) -> TraceRecording:
-    """Walk a kernel's loop nest once and materialize its trace."""
+    """Walk a kernel's loop nest once and pack its trace."""
     from repro.workloads.polybench import KERNELS
     try:
         kernel = KERNELS[kernel_name]
@@ -238,11 +253,11 @@ def record_trace(kernel_name: str, n: int, tile: int,
             f"unknown kernel {kernel_name!r}"
         ) from None
     recorder = SetupRecorder() if instrument else None
-    events = list(kernel.build_trace(n, tile, lib=recorder))
+    packed = kernel.build_packed(n, tile, lib=recorder)
     return TraceRecording(
         kernel=kernel_name, n=n, tile=tile, instrumented=instrument,
         setup=recorder.log if recorder is not None else [],
-        events=events,
+        packed=packed,
     )
 
 
@@ -309,12 +324,14 @@ class TraceCache:
                     or hashlib.sha256(blob).hexdigest()
                     != wrapper["digest"]):
                 raise StaleRecordingError("digest mismatch")
-            recording = TraceRecording.from_payload(pickle.loads(blob))
+            recording = TraceRecording.from_payload(
+                pickle.loads(zlib.decompress(blob)))
         except FileNotFoundError:
             self.misses += 1
             return None
         except (StaleRecordingError, KeyError, TypeError, ValueError,
-                EOFError, pickle.UnpicklingError, IndexError):
+                EOFError, pickle.UnpicklingError, IndexError,
+                zlib.error):
             # Corrupt or stale: purge so the regenerated entry replaces
             # it, and report a miss.
             try:
@@ -331,7 +348,12 @@ class TraceCache:
         if self.root is None:
             return
         self.root.mkdir(parents=True, exist_ok=True)
-        blob = pickle.dumps(recording.to_payload(), protocol=4)
+        # The columns compress well (regular address deltas, repeated
+        # flag words); zlib is stdlib and decompression is a small
+        # fraction of a cold trace walk.  Uncompressed v1/v2 entries
+        # fail zlib.decompress on load and purge like any stale entry.
+        blob = zlib.compress(
+            pickle.dumps(recording.to_payload(), protocol=4), 6)
         wrapper = {
             "key": key,
             "digest": hashlib.sha256(blob).hexdigest(),

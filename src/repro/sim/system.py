@@ -55,6 +55,12 @@ class MemorySystem:
         self.stride_prefetcher = stride_prefetcher
         self.xmem_prefetcher = xmem_prefetcher
         self._llc_level = len(hierarchy.levels) - 1
+        # Per-access bound-method hoists: `access` runs once per trace
+        # event and these attribute chains dominate its fixed cost.
+        self._hier_access_flat = hierarchy.access_flat
+        self._line_addr = hierarchy.line_addr
+        self._line_mask = hierarchy._line_mask
+        self._dram_access = dram.access
         #: line -> DRAM completion time of an in-flight prefetch; a
         #: demand hit to a line that has not arrived yet waits for it
         #: (prefetch timeliness).
@@ -69,36 +75,40 @@ class MemorySystem:
     def access(self, paddr: int, is_write: bool,
                now: float) -> Tuple[float, bool]:
         """One demand access; returns (completion time, went-to-DRAM)."""
-        hierarchy = self.hierarchy
-        out = hierarchy.access(paddr, is_write)
-        t_lookup = now + out.lookup_latency
-        line = hierarchy.line_addr(paddr)
-        if out.hit_level is None:
-            res = self.dram.access(line, t_lookup, is_write=False)
+        hit_level, lookup, llc_prefetch_hit, wbs = self._hier_access_flat(
+            paddr, is_write)
+        t_lookup = now + lookup
+        mask = self._line_mask
+        line = paddr & mask if mask is not None else self._line_addr(paddr)
+        memory_read = hit_level is None
+        if memory_read:
+            res = self._dram_access(line, t_lookup, is_write=False)
             completes = res.completes_at
-            self._prefetch_ready.pop(line, None)
+            if self._prefetch_ready:
+                self._prefetch_ready.pop(line, None)
             if is_write:
                 self.stats.demand_writes += 1
             else:
                 self.stats.demand_reads += 1
         else:
             completes = t_lookup
-            ready = self._prefetch_ready.pop(line, None)
-            if ready is not None and ready > completes:
-                # The prefetch was issued but its data has not arrived:
-                # the demand access waits for it (a late prefetch).
-                completes = ready
-        if out.memory_writebacks:
-            for wb in out.memory_writebacks:
+            if self._prefetch_ready:
+                ready = self._prefetch_ready.pop(line, None)
+                if ready is not None and ready > completes:
+                    # The prefetch was issued but its data has not
+                    # arrived: the demand access waits (late prefetch).
+                    completes = ready
+        if wbs is not None:
+            for wb in wbs:
                 self._buffer_write(wb, t_lookup)
         # Prefetcher preconditions checked inline: most accesses hit
         # above the LLC and trigger neither engine.
-        memory_read = out.hit_level is None
-        reached_llc = memory_read or out.hit_level >= self._llc_level
+        reached_llc = memory_read or hit_level >= self._llc_level
         if (self.stride_prefetcher is not None and reached_llc) or (
                 self.xmem_prefetcher is not None
-                and (memory_read or out.llc_prefetch_hit)):
-            self._run_prefetchers(paddr, line, out, now)
+                and (memory_read or llc_prefetch_hit)):
+            self._run_prefetchers(paddr, line, memory_read, reached_llc,
+                                  llc_prefetch_hit, now)
         return completes, memory_read
 
     def _buffer_write(self, line: int, now: float) -> None:
@@ -124,15 +134,14 @@ class MemorySystem:
             self.dram.access(line, now, is_write=True)
         self._write_buffer.clear()
 
-    def _run_prefetchers(self, paddr: int, line: int, out,
+    def _run_prefetchers(self, paddr: int, line: int, memory_read: bool,
+                         reached_llc: bool, llc_prefetch_hit: bool,
                          now: float) -> None:
-        llc_level = len(self.hierarchy.levels) - 1
-        reached_llc = out.hit_level is None or out.hit_level >= llc_level
         if self.stride_prefetcher is not None and reached_llc:
             for target in self.stride_prefetcher.observe(line):
                 self._prefetch(target, now)
         if self.xmem_prefetcher is not None and (
-                out.memory_read or out.llc_prefetch_hit):
+                memory_read or llc_prefetch_hit):
             # A miss to a pinned atom starts the stream; a demand hit on
             # a prefetched line keeps it running ahead.
             for target in self.xmem_prefetcher.on_demand_miss(paddr):

@@ -16,6 +16,8 @@ from repro.workloads.polybench.common import (
     col_segment,
     map_range,
     map_tile_2d,
+    pack_col,
+    pack_row,
     register,
     row_segment,
     tiles,
@@ -48,6 +50,8 @@ __all__ = [
     "col_segment",
     "map_range",
     "map_tile_2d",
+    "pack_col",
+    "pack_row",
     "register",
     "row_segment",
     "tiles",

@@ -9,18 +9,18 @@ a zero-reuse streaming atom, letting the cache deprioritize it -- the
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict
 
 from repro.core.attributes import PatternType
-from repro.cpu.trace import MemAccess, TraceEvent, XMemOp
+from repro.cpu.trace import TraceBuilder, XMemOp
 from repro.workloads.polybench.common import (
     ELEM,
     Kernel,
     Layout,
     map_range,
     map_tile_2d,
+    pack_row,
     register,
-    row_segment,
     tiles,
 )
 
@@ -41,8 +41,8 @@ def _setup_vec(lib) -> Dict[str, int]:
     return {"vec": vec, "stream": stream}
 
 
-def _mvt_trace(n: int, tile: int, atoms: Dict[str, int]
-               ) -> Iterator[TraceEvent]:
+def _mvt_trace(n: int, tile: int, atoms: Dict[str, int],
+               out: TraceBuilder) -> None:
     lay = Layout()
     a = lay.array("A", n, n)
     x1 = lay.array("x1", n)
@@ -52,34 +52,32 @@ def _mvt_trace(n: int, tile: int, atoms: Dict[str, int]
     vec = atoms.get("vec")
     stream = atoms.get("stream")
     if stream is not None:
-        yield XMemOp("atom_map", stream, a.base, a.bytes)
+        out.op(XMemOp("atom_map", stream, a.base, a.bytes))
     # Phase 1: x1 += A . y1, blocked over columns so y1[jt] is reused.
     for jt in tiles(n, tile):
         if vec is not None:
-            yield map_range(vec, y1, jt.start, len(jt))
+            out.op(map_range(vec, y1, jt.start, len(jt)))
         for i in range(n):
-            yield from row_segment(a, i, jt.start, len(jt))
+            pack_row(out, a, i, jt.start, len(jt))
             # Vector re-reads and the accumulator update are redundant
             # per-block traffic: no arithmetic work attached.
-            yield from row_segment(y1, 0, jt.start, len(jt),
-                                   work_per_elem=0)
-            yield MemAccess(x1.addr(0, i), True, work=0)
+            pack_row(out, y1, 0, jt.start, len(jt), work_per_elem=0)
+            out.access(x1.addr(0, i), True)
     # Phase 2: x2 += A^T . y2 -- a column walk of A.
     for jt in tiles(n, tile):
         if vec is not None:
-            yield map_range(vec, y2, jt.start, len(jt))
+            out.op(map_range(vec, y2, jt.start, len(jt)))
         for i in range(n):
             # A[i][jt] feeds x2[jt]: row segment again, but the
             # accumulators x2[jt] are the reused band.
-            yield from row_segment(a, i, jt.start, len(jt))
-            yield from row_segment(y2, 0, jt.start, len(jt),
-                                   work_per_elem=0)
-            yield from row_segment(x2, 0, jt.start, len(jt), write=True,
-                                   work_per_elem=0)
+            pack_row(out, a, i, jt.start, len(jt))
+            pack_row(out, y2, 0, jt.start, len(jt), work_per_elem=0)
+            pack_row(out, x2, 0, jt.start, len(jt), write=True,
+                     work_per_elem=0)
 
 
-def _gemver_trace(n: int, tile: int, atoms: Dict[str, int]
-                  ) -> Iterator[TraceEvent]:
+def _gemver_trace(n: int, tile: int, atoms: Dict[str, int],
+                  out: TraceBuilder) -> None:
     lay = Layout()
     a = lay.array("A", n, n)
     u1 = lay.array("u1", n)
@@ -93,41 +91,38 @@ def _gemver_trace(n: int, tile: int, atoms: Dict[str, int]
     vec = atoms.get("vec")
     stream = atoms.get("stream")
     if stream is not None:
-        yield XMemOp("atom_map", stream, a.base, a.bytes)
+        out.op(XMemOp("atom_map", stream, a.base, a.bytes))
     # Phase 1: A += u1.v1^T + u2.v2^T, blocked over columns.
     for jt in tiles(n, tile):
         if vec is not None:
-            yield map_range(vec, v1, jt.start, len(jt))
+            out.op(map_range(vec, v1, jt.start, len(jt)))
         for i in range(n):
-            yield MemAccess(u1.addr(0, i), False, work=0)
-            yield MemAccess(u2.addr(0, i), False, work=0)
-            yield from row_segment(v1, 0, jt.start, len(jt),
-                                   work_per_elem=0)
-            yield from row_segment(v2, 0, jt.start, len(jt),
-                                   work_per_elem=0)
-            yield from row_segment(a, i, jt.start, len(jt), write=True)
+            out.access(u1.addr(0, i))
+            out.access(u2.addr(0, i))
+            pack_row(out, v1, 0, jt.start, len(jt), work_per_elem=0)
+            pack_row(out, v2, 0, jt.start, len(jt), work_per_elem=0)
+            pack_row(out, a, i, jt.start, len(jt), write=True)
     # Phase 2: x = beta . A^T . y + z, blocked over columns of A.
     for jt in tiles(n, tile):
         if vec is not None:
-            yield map_range(vec, x, jt.start, len(jt))
+            out.op(map_range(vec, x, jt.start, len(jt)))
         for i in range(n):
-            yield MemAccess(y.addr(0, i), False, work=0)
-            yield from row_segment(a, i, jt.start, len(jt))
-            yield from row_segment(x, 0, jt.start, len(jt), write=True,
-                                   work_per_elem=0)
+            out.access(y.addr(0, i))
+            pack_row(out, a, i, jt.start, len(jt))
+            pack_row(out, x, 0, jt.start, len(jt), write=True,
+                     work_per_elem=0)
     # Phase 3: w = alpha . A . x, row-streaming with x reused whole.
     for jt in tiles(n, tile):
         if vec is not None:
-            yield map_range(vec, x, jt.start, len(jt))
+            out.op(map_range(vec, x, jt.start, len(jt)))
         for i in range(n):
-            yield from row_segment(a, i, jt.start, len(jt))
-            yield from row_segment(x, 0, jt.start, len(jt),
-                                   work_per_elem=0)
-            yield MemAccess(w.addr(0, i), True, work=0)
+            pack_row(out, a, i, jt.start, len(jt))
+            pack_row(out, x, 0, jt.start, len(jt), work_per_elem=0)
+            out.access(w.addr(0, i), True)
 
 
-def _doitgen_trace(n: int, tile: int, atoms: Dict[str, int]
-                   ) -> Iterator[TraceEvent]:
+def _doitgen_trace(n: int, tile: int, atoms: Dict[str, int],
+                   out: TraceBuilder) -> None:
     """sum[r][q][p] = sum_s A[r][q][s] * C4[s][p].
 
     The coefficient matrix C4 (n x n) is reused by every (r, q) pair;
@@ -140,19 +135,18 @@ def _doitgen_trace(n: int, tile: int, atoms: Dict[str, int]
     vec = atoms.get("vec")
     stream = atoms.get("stream")
     if stream is not None:
-        yield XMemOp("atom_map", stream, a.base, a.bytes)
+        out.op(XMemOp("atom_map", stream, a.base, a.bytes))
     for st in tiles(n, tile):
         for pt in tiles(n, tile):
             if vec is not None:
-                yield map_tile_2d(vec, c4, st.start, pt.start,
-                                  len(st), len(pt))
+                out.op(map_tile_2d(vec, c4, st.start, pt.start,
+                                   len(st), len(pt)))
             for rq in range(n * n):
-                yield from row_segment(a, rq, st.start, len(st),
-                                       work_per_elem=0)
+                pack_row(out, a, rq, st.start, len(st), work_per_elem=0)
                 for s in st:
-                    yield from row_segment(c4, s, pt.start, len(pt))
-                    yield from row_segment(s_out, rq, pt.start,
-                                           len(pt), write=True)
+                    pack_row(out, c4, s, pt.start, len(pt))
+                    pack_row(out, s_out, rq, pt.start, len(pt),
+                             write=True)
 
 
 MVT = register(Kernel(

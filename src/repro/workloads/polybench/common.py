@@ -13,6 +13,14 @@ XMem instrumentation follows the Section 5.2 idiom: one atom describes
 the *current high-reuse tile*; when the kernel moves to the next tile it
 remaps the same atom (`atom_remap`), and the cache controller re-runs
 its pinning decision.
+
+Kernels generate **packed** traces: each ``Kernel.trace`` callable
+appends into a :class:`repro.cpu.trace.TraceBuilder` via
+:func:`pack_row`/:func:`pack_col` (no per-event objects), and
+``Kernel.build_packed`` returns the finished
+:class:`~repro.cpu.trace.PackedTrace`.  ``Kernel.build_trace`` keeps the
+historical signature and returns the same packed trace -- it iterates as
+an object stream, so object-path consumers are unaffected.
 """
 
 from __future__ import annotations
@@ -21,7 +29,15 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List
 
 from repro.core.errors import ConfigurationError
-from repro.cpu.trace import MemAccess, TraceEvent, XMemOp
+from repro.cpu.trace import (
+    MemAccess,
+    META_COUNT_SHIFT,
+    META_WRITE_BIT,
+    PackedTrace,
+    TraceBuilder,
+    TraceEvent,
+    XMemOp,
+)
 
 #: Elements are double-precision floats throughout Polybench.
 ELEM = 8
@@ -72,47 +88,75 @@ class Layout:
         return arr
 
 
-def row_segment(arr: Array, i: int, j0: int, width: int,
-                write: bool = False,
-                work_per_elem: int = WORK_PER_ELEM
-                ) -> Iterator[MemAccess]:
-    """Stream elements [i][j0 : j0+width) at line granularity."""
-    # Hot path of trace generation: compute the row base once and keep
-    # everything in locals; full interior lines all carry the same
-    # work, so their event parameters are loop-invariant.
+def pack_row(out: TraceBuilder, arr: Array, i: int, j0: int, width: int,
+             write: bool = False,
+             work_per_elem: int = WORK_PER_ELEM) -> None:
+    """Append elements [i][j0 : j0+width) at line granularity.
+
+    The hot path of trace generation: integers go straight into the
+    builder's columns -- no event objects.  Full interior lines all
+    carry the same flag word, so it is computed once.
+    """
+    vbuf = out.vaddr
+    mbuf = out.meta
+    wbit = META_WRITE_BIT if write else 0
     row_base = arr.base + i * arr.cols * ELEM
     start = row_base + j0 * ELEM
     end = start + width * ELEM
     addr = start - (start % LINE)
-    full_work = EPL * work_per_elem
-    mem_access = MemAccess
+    full_meta = ((EPL * work_per_elem) << META_COUNT_SHIFT) | wbit
     while addr < end:
         lo = addr if addr > start else start
         hi = addr + LINE
         if lo == addr and hi <= end:
-            yield mem_access(addr, write, work=full_work)
+            vbuf.append(addr)
+            mbuf.append(full_meta)
         else:
             if hi > end:
                 hi = end
-            yield mem_access(lo, write,
-                             work=((hi - lo) // ELEM) * work_per_elem)
+            vbuf.append(lo)
+            mbuf.append(((((hi - lo) // ELEM) * work_per_elem)
+                         << META_COUNT_SHIFT) | wbit)
         addr += LINE
+
+
+def pack_col(out: TraceBuilder, arr: Array, j: int, i0: int, height: int,
+             write: bool = False,
+             work_per_elem: int = WORK_PER_ELEM) -> None:
+    """Append a column walk: one access per element (each its own line
+    when cols*ELEM >= LINE, which holds for all our kernels)."""
+    vbuf = out.vaddr
+    mbuf = out.meta
+    meta = (work_per_elem << META_COUNT_SHIFT) | (META_WRITE_BIT
+                                                  if write else 0)
+    row_bytes = arr.cols * ELEM
+    addr = arr.base + (i0 * arr.cols + j) * ELEM
+    for _ in range(height):
+        vbuf.append(addr)
+        mbuf.append(meta)
+        addr += row_bytes
+
+
+def row_segment(arr: Array, i: int, j0: int, width: int,
+                write: bool = False,
+                work_per_elem: int = WORK_PER_ELEM
+                ) -> Iterator[MemAccess]:
+    """Stream elements [i][j0 : j0+width) as :class:`MemAccess` objects
+    (compat/debug shim over :func:`pack_row`)."""
+    out = TraceBuilder()
+    pack_row(out, arr, i, j0, width, write, work_per_elem)
+    return out.build().events()
 
 
 def col_segment(arr: Array, j: int, i0: int, height: int,
                 write: bool = False,
                 work_per_elem: int = WORK_PER_ELEM
                 ) -> Iterator[MemAccess]:
-    """Walk a column: one access per element (each its own line when
-    cols*ELEM >= LINE, which holds for all our kernels)."""
-    # Column walks advance by one full row per element: fold the
-    # arr.addr() recomputation into a running address.
-    row_bytes = arr.cols * ELEM
-    addr = arr.base + (i0 * arr.cols + j) * ELEM
-    mem_access = MemAccess
-    for _ in range(height):
-        yield mem_access(addr, write, work=work_per_elem)
-        addr += row_bytes
+    """Walk a column as :class:`MemAccess` objects (compat/debug shim
+    over :func:`pack_col`)."""
+    out = TraceBuilder()
+    pack_col(out, arr, j, i0, height, write, work_per_elem)
+    return out.build().events()
 
 
 def tiles(n: int, tile: int) -> Iterator[range]:
@@ -156,18 +200,29 @@ class Kernel:
     name: str
     #: setup(lib) -> dict of atom ids (None lib: returns {} -- baseline)
     setup: callable
-    #: trace(n, tile, atoms) -> event iterator
+    #: trace(n, tile, atoms, out) -> None; appends into TraceBuilder out
     trace: callable
     #: Arrays touched, as a footprint estimator: footprint(n) -> bytes.
     footprint: callable
     description: str = ""
 
-    def build_trace(self, n: int, tile: int,
-                    lib=None) -> Iterator[TraceEvent]:
-        """Set up atoms (when a lib is present) and emit the trace."""
+    def build_packed(self, n: int, tile: int, lib=None) -> PackedTrace:
+        """Set up atoms (when a lib is present) and pack the trace."""
         check_params(n, tile)
         atoms = self.setup(lib) if lib is not None else {}
-        return self.trace(n, tile, atoms)
+        out = TraceBuilder()
+        self.trace(n, tile, atoms, out)
+        return out.build()
+
+    def build_trace(self, n: int, tile: int, lib=None) -> PackedTrace:
+        """Historical entry point; now an alias of :meth:`build_packed`.
+
+        The returned :class:`PackedTrace` iterates as the same object
+        stream the old generator produced, so existing consumers (and
+        `engine.run`) are unaffected -- they just get the packed fast
+        path for free.
+        """
+        return self.build_packed(n, tile, lib)
 
 
 #: Global kernel registry, filled by the kernel modules at import time.

@@ -11,18 +11,18 @@ moves into a different phase").
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict
 
 from repro.core.attributes import PatternType
-from repro.cpu.trace import TraceEvent
+from repro.cpu.trace import TraceBuilder
 from repro.workloads.polybench.common import (
     Array,
     ELEM,
     Kernel,
     Layout,
     map_tile_2d,
+    pack_row,
     register,
-    row_segment,
     tiles,
 )
 
@@ -44,52 +44,50 @@ def _setup_one_atom(lib) -> Dict[str, int]:
 
 
 def _gemm_pass(a: Array, b: Array, c: Array, n: int, tile: int,
-               atoms: Dict[str, int]) -> Iterator[TraceEvent]:
+               atoms: Dict[str, int], out: TraceBuilder) -> None:
     """One tiled C += A.B product."""
     atom = atoms.get("tile")
     for kt in tiles(n, tile):
         for jt in tiles(n, tile):
             if atom is not None:
-                yield map_tile_2d(atom, b, kt.start, jt.start,
-                                  len(kt), len(jt))
+                out.op(map_tile_2d(atom, b, kt.start, jt.start,
+                                   len(kt), len(jt)))
             for i in range(n):
                 # A[i][kt]: re-read once per (jt) block -- a redundant
                 # load, so it carries no arithmetic work (the FMAs are
                 # attributed to the innermost B/C segments, keeping
                 # total work identical across tile sizes, as the paper
                 # ensures).
-                yield from row_segment(a, i, kt.start, len(kt),
-                                       work_per_elem=0)
+                pack_row(out, a, i, kt.start, len(kt), work_per_elem=0)
                 for k in kt:
                     # B[k][jt] (the reused tile) and C[i][jt].
-                    yield from row_segment(b, k, jt.start, len(jt))
-                    yield from row_segment(c, i, jt.start, len(jt),
-                                           write=True)
+                    pack_row(out, b, k, jt.start, len(jt))
+                    pack_row(out, c, i, jt.start, len(jt), write=True)
 
 
-def _gemm_trace(n: int, tile: int, atoms: Dict[str, int]
-                ) -> Iterator[TraceEvent]:
+def _gemm_trace(n: int, tile: int, atoms: Dict[str, int],
+                out: TraceBuilder) -> None:
     lay = Layout()
     a = lay.array("A", n, n)
     b = lay.array("B", n, n)
     c = lay.array("C", n, n)
-    yield from _gemm_pass(a, b, c, n, tile, atoms)
+    _gemm_pass(a, b, c, n, tile, atoms, out)
 
 
-def _mm2_trace(n: int, tile: int, atoms: Dict[str, int]
-               ) -> Iterator[TraceEvent]:
+def _mm2_trace(n: int, tile: int, atoms: Dict[str, int],
+               out: TraceBuilder) -> None:
     lay = Layout()
     a = lay.array("A", n, n)
     b = lay.array("B", n, n)
     tmp = lay.array("tmp", n, n)
     c = lay.array("C", n, n)
     d = lay.array("D", n, n)
-    yield from _gemm_pass(a, b, tmp, n, tile, atoms)   # tmp = A.B
-    yield from _gemm_pass(tmp, c, d, n, tile, atoms)   # D = tmp.C
+    _gemm_pass(a, b, tmp, n, tile, atoms, out)   # tmp = A.B
+    _gemm_pass(tmp, c, d, n, tile, atoms, out)   # D = tmp.C
 
 
-def _mm3_trace(n: int, tile: int, atoms: Dict[str, int]
-               ) -> Iterator[TraceEvent]:
+def _mm3_trace(n: int, tile: int, atoms: Dict[str, int],
+               out: TraceBuilder) -> None:
     lay = Layout()
     a = lay.array("A", n, n)
     b = lay.array("B", n, n)
@@ -98,9 +96,9 @@ def _mm3_trace(n: int, tile: int, atoms: Dict[str, int]
     d = lay.array("D", n, n)
     f = lay.array("F", n, n)
     g = lay.array("G", n, n)
-    yield from _gemm_pass(a, b, e, n, tile, atoms)     # E = A.B
-    yield from _gemm_pass(c, d, f, n, tile, atoms)     # F = C.D
-    yield from _gemm_pass(e, f, g, n, tile, atoms)     # G = E.F
+    _gemm_pass(a, b, e, n, tile, atoms, out)     # E = A.B
+    _gemm_pass(c, d, f, n, tile, atoms, out)     # F = C.D
+    _gemm_pass(e, f, g, n, tile, atoms, out)     # G = E.F
 
 GEMM = register(Kernel(
     name="gemm",

@@ -9,17 +9,17 @@ atom maps the current band and slides with it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict
 
 from repro.core.attributes import PatternType
-from repro.cpu.trace import TraceEvent
+from repro.cpu.trace import TraceBuilder
 from repro.workloads.polybench.common import (
     ELEM,
     Kernel,
     Layout,
     map_range,
+    pack_row,
     register,
-    row_segment,
     tiles,
 )
 
@@ -38,55 +38,55 @@ def _setup_band(lib) -> Dict[str, int]:
     return {"band": band}
 
 
-def _jacobi2d_trace(n: int, tile: int, atoms: Dict[str, int]
-                    ) -> Iterator[TraceEvent]:
+def _jacobi2d_trace(n: int, tile: int, atoms: Dict[str, int],
+                    out: TraceBuilder) -> None:
     lay = Layout()
     a = lay.array("A", n, n)
     b = lay.array("B", n, n)
     band = atoms.get("band")
     for rows in tiles(n, tile):
         if band is not None:
-            yield map_range(band, a, rows.start, len(rows))
+            out.op(map_range(band, a, rows.start, len(rows)))
         for _t in range(TSTEPS):
             for i in rows:
                 lo = max(i - 1, 0)
                 hi = min(i + 1, n - 1)
                 # 5-point stencil: rows i-1, i, i+1 of A; write B[i].
-                yield from row_segment(a, lo, 0, n)
+                pack_row(out, a, lo, 0, n)
                 if lo != i:
-                    yield from row_segment(a, i, 0, n)
+                    pack_row(out, a, i, 0, n)
                 if hi != i:
-                    yield from row_segment(a, hi, 0, n)
-                yield from row_segment(b, i, 0, n, write=True)
+                    pack_row(out, a, hi, 0, n)
+                pack_row(out, b, i, 0, n, write=True)
             # Copy-back half step: A = B within the band.
             for i in rows:
-                yield from row_segment(b, i, 0, n)
-                yield from row_segment(a, i, 0, n, write=True)
+                pack_row(out, b, i, 0, n)
+                pack_row(out, a, i, 0, n, write=True)
 
 
-def _seidel2d_trace(n: int, tile: int, atoms: Dict[str, int]
-                    ) -> Iterator[TraceEvent]:
+def _seidel2d_trace(n: int, tile: int, atoms: Dict[str, int],
+                    out: TraceBuilder) -> None:
     lay = Layout()
     a = lay.array("A", n, n)
     band = atoms.get("band")
     for rows in tiles(n, tile):
         if band is not None:
-            yield map_range(band, a, rows.start, len(rows))
+            out.op(map_range(band, a, rows.start, len(rows)))
         for _t in range(TSTEPS):
             for i in rows:
                 lo = max(i - 1, 0)
                 hi = min(i + 1, n - 1)
                 # In-place 9-point sweep reads 3 rows, writes row i.
-                yield from row_segment(a, lo, 0, n)
+                pack_row(out, a, lo, 0, n)
                 if lo != i:
-                    yield from row_segment(a, i, 0, n)
+                    pack_row(out, a, i, 0, n)
                 if hi != i:
-                    yield from row_segment(a, hi, 0, n)
-                yield from row_segment(a, i, 0, n, write=True)
+                    pack_row(out, a, hi, 0, n)
+                pack_row(out, a, i, 0, n, write=True)
 
 
-def _fdtd2d_trace(n: int, tile: int, atoms: Dict[str, int]
-                  ) -> Iterator[TraceEvent]:
+def _fdtd2d_trace(n: int, tile: int, atoms: Dict[str, int],
+                  out: TraceBuilder) -> None:
     lay = Layout()
     ex = lay.array("ex", n, n)
     ey = lay.array("ey", n, n)
@@ -94,21 +94,21 @@ def _fdtd2d_trace(n: int, tile: int, atoms: Dict[str, int]
     band = atoms.get("band")
     for rows in tiles(n, tile):
         if band is not None:
-            yield map_range(band, hz, rows.start, len(rows))
+            out.op(map_range(band, hz, rows.start, len(rows)))
         for _t in range(TSTEPS):
             for i in rows:
                 lo = max(i - 1, 0)
                 # ey[i][j] -= 0.5 (hz[i][j] - hz[i-1][j])
-                yield from row_segment(hz, lo, 0, n)
-                yield from row_segment(ey, i, 0, n, write=True)
+                pack_row(out, hz, lo, 0, n)
+                pack_row(out, ey, i, 0, n, write=True)
                 # ex[i][j] -= 0.5 (hz[i][j] - hz[i][j-1])
-                yield from row_segment(hz, i, 0, n)
-                yield from row_segment(ex, i, 0, n, write=True)
+                pack_row(out, hz, i, 0, n)
+                pack_row(out, ex, i, 0, n, write=True)
                 # hz[i][j] -= 0.7 (ex[i][j+1] - ex[i][j]
                 #                 + ey[i+1][j] - ey[i][j])
-                yield from row_segment(ex, i, 0, n)
-                yield from row_segment(ey, i, 0, n)
-                yield from row_segment(hz, i, 0, n, write=True)
+                pack_row(out, ex, i, 0, n)
+                pack_row(out, ey, i, 0, n)
+                pack_row(out, hz, i, 0, n, write=True)
 
 
 JACOBI2D = register(Kernel(

@@ -10,17 +10,17 @@ atom semantics are identical.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict
 
 from repro.core.attributes import PatternType
-from repro.cpu.trace import MemAccess, TraceEvent
+from repro.cpu.trace import TraceBuilder
 from repro.workloads.polybench.common import (
     ELEM,
     Kernel,
     Layout,
     map_tile_2d,
+    pack_row,
     register,
-    row_segment,
     tiles,
 )
 
@@ -52,8 +52,8 @@ def _setup_two_atoms(lib) -> Dict[str, int]:
     return {"tileA": ta, "tileB": tb}
 
 
-def _syrk_trace(n: int, tile: int, atoms: Dict[str, int]
-                ) -> Iterator[TraceEvent]:
+def _syrk_trace(n: int, tile: int, atoms: Dict[str, int],
+                out: TraceBuilder) -> None:
     lay = Layout()
     a = lay.array("A", n, n)
     c = lay.array("C", n, n)
@@ -62,19 +62,18 @@ def _syrk_trace(n: int, tile: int, atoms: Dict[str, int]
         for kt in tiles(n, tile):
             # The transposed operand A[jt][kt] is reused by every i.
             if atom is not None:
-                yield map_tile_2d(atom, a, jt.start, kt.start,
-                                  len(jt), len(kt))
+                out.op(map_tile_2d(atom, a, jt.start, kt.start,
+                                   len(jt), len(kt)))
             for i in range(n):
                 # Redundant per-block re-read: no arithmetic work.
-                yield from row_segment(a, i, kt.start, len(kt),
-                                       work_per_elem=0)
+                pack_row(out, a, i, kt.start, len(kt), work_per_elem=0)
                 for j in jt:
-                    yield from row_segment(a, j, kt.start, len(kt))
-                    yield MemAccess(c.addr(i, j), True, work=0)
+                    pack_row(out, a, j, kt.start, len(kt))
+                    out.access(c.addr(i, j), True)
 
 
-def _syr2k_trace(n: int, tile: int, atoms: Dict[str, int]
-                 ) -> Iterator[TraceEvent]:
+def _syr2k_trace(n: int, tile: int, atoms: Dict[str, int],
+                 out: TraceBuilder) -> None:
     lay = Layout()
     a = lay.array("A", n, n)
     b = lay.array("B", n, n)
@@ -84,25 +83,23 @@ def _syr2k_trace(n: int, tile: int, atoms: Dict[str, int]
     for jt in tiles(n, tile):
         for kt in tiles(n, tile):
             if ta is not None:
-                yield map_tile_2d(ta, a, jt.start, kt.start,
-                                  len(jt), len(kt))
+                out.op(map_tile_2d(ta, a, jt.start, kt.start,
+                                   len(jt), len(kt)))
             if tb is not None:
-                yield map_tile_2d(tb, b, jt.start, kt.start,
-                                  len(jt), len(kt))
+                out.op(map_tile_2d(tb, b, jt.start, kt.start,
+                                   len(jt), len(kt)))
             for i in range(n):
-                yield from row_segment(a, i, kt.start, len(kt),
-                                       work_per_elem=0)
-                yield from row_segment(b, i, kt.start, len(kt),
-                                       work_per_elem=0)
+                pack_row(out, a, i, kt.start, len(kt), work_per_elem=0)
+                pack_row(out, b, i, kt.start, len(kt), work_per_elem=0)
                 for j in jt:
                     # C[i][j] += A[i][k]B[j][k] + B[i][k]A[j][k]
-                    yield from row_segment(a, j, kt.start, len(kt))
-                    yield from row_segment(b, j, kt.start, len(kt))
-                    yield MemAccess(c.addr(i, j), True, work=0)
+                    pack_row(out, a, j, kt.start, len(kt))
+                    pack_row(out, b, j, kt.start, len(kt))
+                    out.access(c.addr(i, j), True)
 
 
-def _trmm_trace(n: int, tile: int, atoms: Dict[str, int]
-                ) -> Iterator[TraceEvent]:
+def _trmm_trace(n: int, tile: int, atoms: Dict[str, int],
+                out: TraceBuilder) -> None:
     lay = Layout()
     a = lay.array("A", n, n)  # lower triangular
     b = lay.array("B", n, n)
@@ -110,19 +107,18 @@ def _trmm_trace(n: int, tile: int, atoms: Dict[str, int]
     for kt in tiles(n, tile):
         for jt in tiles(n, tile):
             if atom is not None:
-                yield map_tile_2d(atom, b, kt.start, jt.start,
-                                  len(kt), len(jt))
+                out.op(map_tile_2d(atom, b, kt.start, jt.start,
+                                   len(kt), len(jt)))
             # Triangular: only rows i >= k contribute.
             for i in range(kt.start, n):
                 hi = min(i + 1, kt.stop)
                 if hi <= kt.start:
                     continue
-                yield from row_segment(a, i, kt.start, hi - kt.start,
-                                       work_per_elem=0)
+                pack_row(out, a, i, kt.start, hi - kt.start,
+                         work_per_elem=0)
                 for k in range(kt.start, hi):
-                    yield from row_segment(b, k, jt.start, len(jt))
-                    yield from row_segment(b, i, jt.start, len(jt),
-                                           write=True)
+                    pack_row(out, b, k, jt.start, len(jt))
+                    pack_row(out, b, i, jt.start, len(jt), write=True)
 
 
 SYRK = register(Kernel(

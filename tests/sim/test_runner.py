@@ -17,7 +17,7 @@ import pytest
 
 import repro.sim.runner as runner_mod
 from repro.core.errors import ConfigurationError
-from repro.cpu.trace import MemAccess, Work, XMemOp
+from repro.cpu.trace import MemAccess, PackedTrace, Work, XMemOp
 from repro.sim import (
     SimPoint,
     TraceCache,
@@ -122,9 +122,21 @@ def test_stale_setup_log_raises():
 def test_payload_roundtrip():
     recording = record_trace("gemm", N, TILE)
     clone = TraceRecording.from_payload(recording.to_payload())
+    assert clone.packed == recording.packed
     assert clone.events == recording.events
     assert clone.setup == recording.setup
     assert (clone.kernel, clone.n, clone.tile) == ("gemm", N, TILE)
+
+
+def test_payload_stores_raw_column_bytes():
+    recording = record_trace("gemm", N, TILE)
+    payload = recording.to_payload()
+    assert payload["vaddr"] == recording.packed.vaddr.tobytes()
+    assert payload["meta"] == recording.packed.meta.tobytes()
+    assert payload["events"] == len(recording.packed)
+    # The side-table is plain data (no event objects in the payload).
+    for idx, method, args in payload["xmem"]:
+        assert isinstance(idx, int) and isinstance(method, str)
 
 
 def test_payload_version_mismatch_is_stale():
@@ -132,6 +144,34 @@ def test_payload_version_mismatch_is_stale():
     payload["version"] = -1
     with pytest.raises(StaleRecordingError):
         TraceRecording.from_payload(payload)
+
+
+def test_payload_itemsize_mismatch_is_stale():
+    payload = record_trace("gemm", N, TILE).to_payload()
+    payload["itemsize"] = 4
+    with pytest.raises(StaleRecordingError):
+        TraceRecording.from_payload(payload)
+
+
+def test_payload_column_length_mismatch_is_stale():
+    payload = record_trace("gemm", N, TILE).to_payload()
+    payload["meta"] = payload["meta"][:-8]
+    with pytest.raises(StaleRecordingError):
+        TraceRecording.from_payload(payload)
+
+
+def test_packed_recording_roundtrips_through_disk(disk_cache):
+    """store -> load preserves the packed columns bit-for-bit."""
+    recording = record_trace("gemm", N, TILE)
+    key = trace_key("gemm", N, TILE, True)
+    disk_cache.store(key, recording)
+    loaded = disk_cache.load(key)
+    assert loaded is not None
+    assert loaded.packed == recording.packed
+    from repro.core.xmemlib import XMemLib
+    replayed = loaded.replay(XMemLib())
+    assert isinstance(replayed, PackedTrace)
+    assert replayed == recording.packed
 
 
 # ---------------------------------------------------------------------------
