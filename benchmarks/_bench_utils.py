@@ -12,6 +12,12 @@ Scale knobs (environment variables):
   (default ``~/.cache/repro/traces``; ``off`` disables it).  Repeat
   bench invocations replay cached kernel traces instead of
   regenerating them.
+* ``REPRO_STATS_JSON``     -- when set to a directory, the figure
+  drivers also dump one manifest+stats JSON document per sweep point
+  under ``<dir>/<experiment>/`` (same format as ``repro sweep
+  --stats-json``; compare runs with ``repro diff``).  Off by default;
+  collection happens after each run, so the printed tables are
+  unchanged.
 
 Each benchmark writes its printed table into ``benchmarks/results/``
 so EXPERIMENTS.md can quote the measured rows.
@@ -19,8 +25,10 @@ so EXPERIMENTS.md can quote the measured rows.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+from typing import Dict, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -39,3 +47,61 @@ def save_result(name: str, text: str) -> None:
     """Persist one experiment's printed table."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def stats_json_dir() -> Optional[pathlib.Path]:
+    """Where ``REPRO_STATS_JSON`` points, or None (collection off)."""
+    raw = os.environ.get("REPRO_STATS_JSON", "").strip()
+    if not raw or raw.lower() in ("0", "off", "none", "false"):
+        return None
+    return pathlib.Path(raw).expanduser()
+
+
+def collect_stats() -> bool:
+    """Whether the figure drivers should run collecting sweeps."""
+    return stats_json_dir() is not None
+
+
+def save_stats_documents(experiment: str, results) -> None:
+    """Dump one document per collecting :class:`PointResult`.
+
+    No-op unless ``REPRO_STATS_JSON`` is set (matching the
+    ``collect_stats()`` the driver passed to ``sweep``).
+    """
+    root = stats_json_dir()
+    if root is None:
+        return
+    from repro.sim.runner import write_point_documents
+    write_point_documents(root / experiment, results)
+
+
+def save_uc2_stats_documents(experiment: str,
+                             results: Dict[str, dict]) -> None:
+    """Dump one document per collecting Use-Case-2 workload.
+
+    ``results`` maps workload name -> {system: UseCase2Result}; each
+    document mirrors the SimPoint form ({"manifest": ..., "stats":
+    {system: snapshot}}) so ``repro diff`` consumes both.
+    """
+    root = stats_json_dir()
+    if root is None:
+        return
+    out = root / experiment
+    out.mkdir(parents=True, exist_ok=True)
+    for index, name in enumerate(sorted(results)):
+        by_system = results[name]
+        doc = {
+            "manifest": {
+                "schema": 1,
+                "kind": "uc2",
+                "workload": name,
+                "mappings": {sys: r.mapping
+                             for sys, r in sorted(by_system.items())},
+            },
+            "stats": {sys: r.stats
+                      for sys, r in sorted(by_system.items())},
+        }
+        path = out / f"{index:03d}_{name}.json"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")

@@ -18,7 +18,12 @@ from __future__ import annotations
 
 import pytest
 
-from _bench_utils import bench_n, save_result
+from _bench_utils import (
+    bench_n,
+    collect_stats,
+    save_result,
+    save_stats_documents,
+)
 from repro.sim import SimPoint, format_table, scaled_config, sweep
 from repro.workloads.polybench import FIGURE4_KERNELS, KERNELS
 
@@ -37,7 +42,8 @@ def tile_points(n: int):
 def run_kernel(name: str, n: int):
     points = [SimPoint(kernel=name, n=n, tile=tile, scale=SCALE_FACTOR)
               for tile in tile_points(n)]
-    results = sweep(points)
+    results = sweep(points, collect_stats=collect_stats())
+    save_stats_documents(f"fig4_{name}", results)
     base_times = {r.point.tile: r.cycles("baseline") for r in results}
     xmem_times = {r.point.tile: r.cycles("xmem") for r in results}
     best = min(base_times.values())

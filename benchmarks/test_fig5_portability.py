@@ -18,7 +18,12 @@ import math
 
 import pytest
 
-from _bench_utils import bench_n, save_result
+from _bench_utils import (
+    bench_n,
+    collect_stats,
+    save_result,
+    save_stats_documents,
+)
 from repro.sim import SimPoint, format_table, geomean, sweep
 from repro.workloads.polybench import FIGURE4_KERNELS, KERNELS
 
@@ -67,7 +72,9 @@ def test_fig5_portability(benchmark, results_dir):
 
     def run_all():
         points = portability_points(n)
-        results = {r.point: r for r in sweep(points)}
+        out = sweep(points, collect_stats=collect_stats())
+        save_stats_documents("fig5_portability", out)
+        results = {r.point: r for r in out}
         rows = []
         for name in FIGURE4_KERNELS:
             kernel_pts = [p for p in points if p.kernel == name]

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 import pytest
 
-from _bench_utils import bench_n, save_result
+from _bench_utils import (
+    bench_n,
+    collect_stats,
+    save_result,
+    save_stats_documents,
+)
 from repro.sim import SimPoint, format_table, geomean, sweep
 from repro.workloads.polybench import KERNELS
 
@@ -40,7 +45,9 @@ def test_fig6_bandwidth(benchmark, results_dir):
     n = bench_n()
 
     def run_all():
-        results = {r.point: r for r in sweep(bandwidth_points(n))}
+        raw = sweep(bandwidth_points(n), collect_stats=collect_stats())
+        save_stats_documents("fig6_bandwidth", raw)
+        results = {r.point: r for r in raw}
         out = {}
         for bw in BANDWIDTH_POINTS:
             speedups = []

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 import pytest
 
-from _bench_utils import bench_accesses, save_result
+from _bench_utils import (
+    bench_accesses,
+    collect_stats,
+    save_result,
+    save_uc2_stats_documents,
+)
 from repro.sim import UC2Point, amean, format_table, uc2_sweep
 from repro.workloads.suite import (
     LOW_HEADROOM,
@@ -37,10 +42,12 @@ def run_suite():
     if "results" in _cache:
         return _cache["results"]
     accesses = bench_accesses()
-    points = [UC2Point(workload=w.name, accesses=accesses)
+    points = [UC2Point(workload=w.name, accesses=accesses,
+                       collect_stats=collect_stats())
               for w in SUITE]
     out = uc2_sweep(points)
     results = {p.workload: r for p, r in zip(points, out)}
+    save_uc2_stats_documents("fig7_fig8", results)
     _cache["results"] = results
     return results
 

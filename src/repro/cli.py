@@ -6,6 +6,8 @@ Examples::
     python -m repro usecase1 --kernel gemm --n 96 --tile 96
     python -m repro usecase2 --workload lbm --accesses 60000
     python -m repro sweep --kernels gemm,syrk --n 96 --jobs 4
+    python -m repro sweep --kernels gemm --stats-json out/run_a
+    python -m repro diff out/run_a out/run_b
     python -m repro overheads
 """
 
@@ -107,11 +109,14 @@ def cmd_usecase2(args) -> int:
 
 def cmd_sweep(args) -> int:
     """Run a (kernel x tile) sweep on the parallel experiment runner."""
+    from pathlib import Path
+
     from repro.sim.runner import (
         SYSTEM_BUILDERS,
         SimPoint,
         jobs_from_env,
         sweep,
+        write_point_documents,
     )
 
     if args.kernels == "all":
@@ -146,7 +151,12 @@ def cmd_sweep(args) -> int:
         for k in kernels for t in tile_list
     ]
     jobs = args.jobs if args.jobs else jobs_from_env()
-    results = sweep(points, jobs=jobs)
+    collect = args.stats_json is not None
+    results = sweep(points, jobs=jobs, collect_stats=collect)
+    if collect:
+        written = write_point_documents(Path(args.stats_json), results)
+        print(f"wrote {len(written)} stats documents to "
+              f"{args.stats_json}", file=sys.stderr)
 
     rows = []
     for res in results:
@@ -168,6 +178,82 @@ def cmd_sweep(args) -> int:
         title=(f"sweep: {len(points)} points, N={args.n}, "
                f"scale={args.scale}, jobs={jobs}"),
     ))
+    return 0
+
+
+def _load_stats_docs(target: "Path") -> Optional[dict]:
+    """``{doc_name: stats_subtree}`` from a --stats-json file or dir.
+
+    Only the ``stats`` subtree of each document participates in diffs:
+    manifests legitimately differ between runs (wall times, RSS,
+    cache hit counts) while the stats must not.
+    """
+    import json
+    from pathlib import Path
+
+    target = Path(target)
+    if target.is_file():
+        paths = [target]
+    elif target.is_dir():
+        paths = sorted(target.glob("*.json"))
+        if not paths:
+            print(f"no *.json documents in {target}", file=sys.stderr)
+            return None
+    else:
+        print(f"no such file or directory: {target}", file=sys.stderr)
+        return None
+    docs = {}
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            docs[path.name] = doc["stats"]
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read stats document {path}: {exc}",
+                  file=sys.stderr)
+            return None
+    return docs
+
+
+def cmd_diff(args) -> int:
+    """Compare the stats of two --stats-json runs, counter by counter.
+
+    Exit status: 0 = zero deltas (the determinism gate passes), 1 =
+    deltas found, 2 = unreadable/mismatched inputs.
+    """
+    from repro.sim.stats import diff_stats
+
+    docs_a = _load_stats_docs(args.run_a)
+    docs_b = _load_stats_docs(args.run_b)
+    if docs_a is None or docs_b is None:
+        return 2
+    only_a = sorted(set(docs_a) - set(docs_b))
+    only_b = sorted(set(docs_b) - set(docs_a))
+    if only_a or only_b:
+        for name in only_a:
+            print(f"only in {args.run_a}: {name}", file=sys.stderr)
+        for name in only_b:
+            print(f"only in {args.run_b}: {name}", file=sys.stderr)
+        return 2
+    total = 0
+    for name in sorted(docs_a):
+        # One document holds {system: snapshot}; prefix group paths
+        # with the system name so the flat keys are fully qualified.
+        flat_a = {f"{system}.{path}": values
+                  for system, snap in docs_a[name].items()
+                  for path, values in snap.items()}
+        flat_b = {f"{system}.{path}": values
+                  for system, snap in docs_b[name].items()
+                  for path, values in snap.items()}
+        deltas = diff_stats(flat_a, flat_b, tolerance=args.tolerance)
+        for key, va, vb in deltas:
+            print(f"{name}: {key}: {va} != {vb}")
+        total += len(deltas)
+    if total:
+        print(f"\n{total} counter delta(s) across {len(docs_a)} "
+              f"document(s)")
+        return 1
+    print(f"identical stats: {len(docs_a)} document(s), zero deltas")
     return 0
 
 
@@ -229,6 +315,19 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--jobs", type=int, default=None,
                     help="worker processes (default: REPRO_JOBS or "
                          "all cores; 1 = serial)")
+    sw.add_argument("--stats-json", default=None, metavar="DIR",
+                    help="write one manifest+stats JSON document per "
+                         "point into DIR")
+
+    df = sub.add_parser(
+        "diff",
+        help="compare the stats of two --stats-json runs")
+    df.add_argument("run_a", help="first run: a --stats-json "
+                                  "directory or one document")
+    df.add_argument("run_b", help="second run to compare against")
+    df.add_argument("--tolerance", type=float, default=0.0,
+                    help="absolute delta to ignore (default 0: "
+                         "exact, the determinism gate)")
 
     sub.add_parser("overheads", help="Section 4.4 overhead summary")
     return parser
@@ -239,6 +338,7 @@ COMMANDS = {
     "usecase1": cmd_usecase1,
     "usecase2": cmd_usecase2,
     "sweep": cmd_sweep,
+    "diff": cmd_diff,
     "overheads": cmd_overheads,
 }
 

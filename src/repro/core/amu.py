@@ -117,6 +117,13 @@ class AMUStats:
         return (self.map_instructions + self.unmap_instructions
                 + self.activate_instructions + self.deactivate_instructions)
 
+    @property
+    def chunks_per_map(self) -> float:
+        """Mean AAM chunks written per ATOM_MAP (0.0 when none ran)."""
+        if not self.map_instructions:
+            return 0.0
+        return self.chunks_written / self.map_instructions
+
 
 class AtomManagementUnit:
     """The hardware home of the AAM + AST, with an ALB front.
@@ -160,6 +167,11 @@ class AtomManagementUnit:
         self._alb_fill = self.alb.fill
         self._aam_lookup_page = self.aam.lookup_page
         self._ast_is_active = self.ast.is_active
+
+    def stat_groups(self):
+        """StatGroup protocol: the unit's counters and its ALB."""
+        yield "", self.stats
+        yield "alb", self.alb.stats
 
     # -- Instruction interpretation -------------------------------------
 

@@ -77,6 +77,14 @@ class TraceEngine:
         self.translate = translate
         self.issue_width = issue_width
         self.mshr = MSHRFile(window)
+        #: Statistics of the most recent :meth:`run` (zeroed until one
+        #: completes) -- what the engine contributes to the stats tree.
+        self.last_stats = EngineStats()
+
+    def stat_groups(self):
+        """StatGroup protocol: the engine and its MSHR file."""
+        yield "", self.last_stats
+        yield "mshr", self.mshr.stats
 
     #: Accesses at most this many cycles long are considered hidden by
     #: the pipeline (first-level cache hits).
@@ -152,7 +160,7 @@ class TraceEngine:
         if tail is not None and tail > now:
             now = tail
         mshr.flush()
-        return EngineStats(
+        self.last_stats = EngineStats(
             cycles=now,
             instructions=instructions,
             mem_accesses=mem_accesses,
@@ -160,6 +168,7 @@ class TraceEngine:
             misses_to_memory=misses_to_memory,
             stall_cycles=stall_cycles,
         )
+        return self.last_stats
 
     def run_packed(self, trace: PackedTrace) -> EngineStats:
         """Execute a packed trace; statistics are bit-identical to
@@ -230,7 +239,7 @@ class TraceEngine:
         if tail is not None and tail > now:
             now = tail
         mshr.flush()
-        return EngineStats(
+        self.last_stats = EngineStats(
             cycles=now,
             instructions=instructions,
             mem_accesses=mem_accesses,
@@ -238,3 +247,4 @@ class TraceEngine:
             misses_to_memory=misses_to_memory,
             stall_cycles=stall_cycles,
         )
+        return self.last_stats

@@ -37,6 +37,14 @@ class BankStats:
         """The bank's row-buffer locality."""
         return self.row_hits / self.accesses if self.accesses else 0.0
 
+    def add(self, other: "BankStats") -> None:
+        """Fold another bank's counters into this one (aggregation
+        across banks for the ``dram.banks`` stat group)."""
+        self.accesses += other.accesses
+        self.row_hits += other.row_hits
+        self.row_closed += other.row_closed
+        self.row_conflicts += other.row_conflicts
+
 
 @dataclass
 class Bank:

@@ -32,6 +32,22 @@ class Request:
 
 
 @dataclass
+class SchedulerStats:
+    """FR-FCFS service counters."""
+
+    serviced: int = 0
+    reordered: int = 0
+
+    @property
+    def reorder_rate(self) -> float:
+        """Fraction of requests served out of arrival order (0.0 for
+        an idle scheduler -- guarded against zero serviced)."""
+        if not self.serviced:
+            return 0.0
+        return self.reordered / self.serviced
+
+
+@dataclass
 class Completion:
     """A serviced request with its DRAM outcome."""
 
@@ -49,7 +65,17 @@ class FRFCFSScheduler:
 
     def __init__(self, dram: DramSystem) -> None:
         self.dram = dram
-        self.reordered = 0
+        self.stats = SchedulerStats()
+
+    @property
+    def reordered(self) -> int:
+        """Requests served out of arrival order (compat alias)."""
+        return self.stats.reordered
+
+    def stat_groups(self):
+        """StatGroup protocol: the scheduler and its DRAM system."""
+        yield "scheduler", self.stats
+        yield from self.dram.stat_groups()
 
     def service(self, requests: List[Request]) -> List[Completion]:
         """Drain ``requests`` FR-FCFS and return completions in service
@@ -63,8 +89,9 @@ class FRFCFSScheduler:
                 clock = pending[0].arrival
                 arrived = [r for r in pending if r.arrival <= clock]
             choice = self._first_ready(arrived) or arrived[0]
+            self.stats.serviced += 1
             if choice is not arrived[0]:
-                self.reordered += 1
+                self.stats.reordered += 1
             pending.remove(choice)
             result = self.dram.access(choice.paddr,
                                       max(clock, choice.arrival),

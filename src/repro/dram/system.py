@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.dram.bank import Bank, RowOutcome
+from repro.core.stats import Histogram
+from repro.dram.bank import Bank, BankStats, RowOutcome
 from repro.dram.mapping import (
     AddressMapping,
     DramAddress,
@@ -43,6 +44,10 @@ class DramStats:
     row_hits: int = 0
     row_closed: int = 0
     row_conflicts: int = 0
+    #: Latency distributions (power-of-two buckets, CPU cycles).  The
+    #: averages above give Figure 8; the histograms expose the tail.
+    read_latency_hist: Histogram = field(default_factory=Histogram)
+    write_latency_hist: Histogram = field(default_factory=Histogram)
 
     @property
     def accesses(self) -> int:
@@ -130,11 +135,41 @@ class DramSystem:
         if is_write:
             self.stats.writes += 1
             self.stats.write_latency_sum += latency
+            self.stats.write_latency_hist.record(latency)
         else:
             self.stats.reads += 1
             self.stats.read_latency_sum += latency
+            self.stats.read_latency_hist.record(latency)
 
     # -- Introspection ------------------------------------------------------
+
+    def stat_groups(self):
+        """StatGroup protocol: the system counters plus a lazily
+        aggregated per-bank view (bank-level parallelism)."""
+        yield "dram", self.stats
+        yield "dram.banks", self.bank_summary
+
+    def bank_summary(self) -> Dict[str, float]:
+        """Counters summed across banks, plus how many were touched.
+
+        ``banks_touched`` is the run's bank-level parallelism; the
+        summed row counters cross-check the system totals.
+        """
+        agg = BankStats()
+        touched = 0
+        for bank in self._banks.values():
+            if bank.stats.accesses:
+                touched += 1
+            agg.add(bank.stats)
+        return {
+            "banks": len(self._banks),
+            "banks_touched": touched,
+            "accesses": agg.accesses,
+            "row_hits": agg.row_hits,
+            "row_closed": agg.row_closed,
+            "row_conflicts": agg.row_conflicts,
+            "row_hit_rate": agg.row_hit_rate,
+        }
 
     def bank_row_hit_rates(self) -> Dict[Tuple[int, int, int], float]:
         """Per-bank RBL, for placement diagnostics."""

@@ -52,6 +52,21 @@ class CacheStats:
         """Miss fraction over demand accesses."""
         return 1.0 - self.hit_rate if self.accesses else 0.0
 
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched fills that saw a demand hit (0.0
+        when nothing was prefetched -- guarded for empty runs)."""
+        if not self.prefetch_fills:
+            return 0.0
+        return self.prefetch_hits / self.prefetch_fills
+
+    @property
+    def writeback_rate(self) -> float:
+        """Writebacks per demand access (0.0 for an untouched cache)."""
+        if not self.accesses:
+            return 0.0
+        return self.writebacks / self.accesses
+
 
 @dataclass
 class AccessResult:
@@ -147,6 +162,10 @@ class Cache:
         #: Prefetch tags remembered until first demand hit, for stats.
         self._prefetched_tags = set()
         self.stats = CacheStats()
+
+    def stat_groups(self):
+        """StatGroup protocol: this level under its own (lower) name."""
+        yield self.name.lower(), self.stats
 
     # -- Address helpers ---------------------------------------------------
 

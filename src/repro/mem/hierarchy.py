@@ -83,6 +83,12 @@ class CacheHierarchy:
         """The last-level cache."""
         return self.levels[-1]
 
+    def stat_groups(self):
+        """StatGroup protocol: every level under ``cache.<name>``."""
+        for cache in self.levels:
+            for sub, group in cache.stat_groups():
+                yield f"cache.{sub}", group
+
     def line_addr(self, addr: int) -> int:
         """Line-align an address."""
         if self._line_mask is not None:

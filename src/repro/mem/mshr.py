@@ -27,6 +27,14 @@ class MSHRStats:
     reservations: int = 0
     full_stalls: int = 0
 
+    @property
+    def full_stall_rate(self) -> float:
+        """Fraction of reservations that found the file full (0.0 for
+        an idle file -- guarded against zero reservations)."""
+        if not self.reservations:
+            return 0.0
+        return self.full_stalls / self.reservations
+
 
 class MSHRFile:
     """A fixed-size pool of outstanding-miss slots."""

@@ -43,6 +43,24 @@ class PrefetchStats:
     stream_allocations: int = 0
 
 
+@dataclass
+class XMemPrefetchStats(PrefetchStats):
+    """Issue counters plus PAT coverage for the semantic prefetcher."""
+
+    #: LLC-miss lookups presented to the PAT.
+    pat_lookups: int = 0
+    #: Lookups that resolved to a PAT-resident pinned atom.
+    pat_hits: int = 0
+
+    @property
+    def pat_hit_rate(self) -> float:
+        """Fraction of miss lookups the PAT could act on (0.0 when no
+        lookup happened -- guarded for empty runs)."""
+        if not self.pat_lookups:
+            return 0.0
+        return self.pat_hits / self.pat_lookups
+
+
 class MultiStridePrefetcher:
     """Stride detector with a fixed number of stream slots.
 
@@ -139,7 +157,7 @@ class XMemPrefetcher:
         self.degree = degree
         self.line_bytes = line_bytes
         self._pat: Dict[int, _PinnedAtomEntry] = {}
-        self.stats = PrefetchStats()
+        self.stats = XMemPrefetchStats()
 
     # -- Controller interface ------------------------------------------------
 
@@ -157,12 +175,14 @@ class XMemPrefetcher:
 
     def on_demand_miss(self, addr: int) -> List[int]:
         """Demand miss at the LLC: prefetch along the atom's pattern."""
+        self.stats.pat_lookups += 1
         atom_id = self._lookup_atom(addr)
         if atom_id is None:
             return []
         entry = self._pat.get(atom_id)
         if entry is None:
             return []
+        self.stats.pat_hits += 1
         prims = entry.primitives
         if prims.pattern is PatternType.REGULAR and prims.stride_bytes:
             step = prims.stride_bytes

@@ -43,7 +43,9 @@ Environment knobs:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -59,6 +61,7 @@ from repro.core.xmemlib import XMemLib
 from repro.cpu.engine import EngineStats
 from repro.cpu.trace import PackedTrace, TraceEvent, XMemOp
 from repro.sim.config import SimConfig, scaled_config
+from repro.sim.stats import PhaseTimer, Snapshot, collect_repro_env
 from repro.sim.system import (
     SystemHandle,
     build_baseline,
@@ -333,15 +336,32 @@ class TraceCache:
                 EOFError, pickle.UnpicklingError, IndexError,
                 zlib.error):
             # Corrupt or stale: purge so the regenerated entry replaces
-            # it, and report a miss.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # it, and report a miss.  Concurrent sweep workers race on
+            # exactly this purge (two workers both find a stale v1
+            # entry), so a vanished file -- or any other unlink failure
+            # on a path another worker owns -- must never crash a run.
+            self._purge(path)
             self.misses += 1
             return None
         self.hits += 1
         return recording
+
+    @staticmethod
+    def _purge(path: Path) -> None:
+        """Best-effort delete, tolerant of concurrent purgers."""
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def counters(self) -> Dict[str, int]:
+        """StatGroup view of the cache's hit/miss counters."""
+        return {"hits": self.hits, "misses": self.misses,
+                "enabled": int(self.enabled)}
+
+    def stat_groups(self):
+        """StatGroup protocol (registers as ``trace_cache``)."""
+        yield "trace_cache", self.counters
 
     def store(self, key: str, recording: TraceRecording) -> None:
         """Persist a recording (atomic rename; concurrent-writer safe)."""
@@ -366,10 +386,7 @@ class TraceCache:
                 pickle.dump(wrapper, fh, protocol=4)
             os.replace(tmp, self._path(key))
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            self._purge(Path(tmp))
 
 
 #: In-process memo of recently used recordings (shared across the
@@ -379,24 +396,41 @@ _MEMO: Dict[str, TraceRecording] = {}
 _MEMO_LIMIT = 4
 
 
+def get_recording_with_source(
+        kernel: str, n: int, tile: int, instrument: bool = True,
+        cache: Optional[TraceCache] = None
+) -> Tuple[TraceRecording, str]:
+    """One recording plus where it came from.
+
+    The source string lands in run manifests: ``memo`` (in-process),
+    ``disk`` (trace-cache hit), or ``generated`` (fresh loop-nest
+    walk).  :func:`run_point` upgrades it to ``regenerated`` when a
+    cached recording turns out stale at replay time.
+    """
+    key = trace_key(kernel, n, tile, instrument)
+    recording = _MEMO.get(key)
+    if recording is not None:
+        return recording, "memo"
+    if cache is None:
+        cache = TraceCache()
+    recording = cache.load(key)
+    source = "disk"
+    if recording is None:
+        recording = record_trace(kernel, n, tile, instrument)
+        cache.store(key, recording)
+        source = "generated"
+    while len(_MEMO) >= _MEMO_LIMIT:
+        _MEMO.pop(next(iter(_MEMO)))
+    _MEMO[key] = recording
+    return recording, source
+
+
 def get_recording(kernel: str, n: int, tile: int,
                   instrument: bool = True,
                   cache: Optional[TraceCache] = None) -> TraceRecording:
     """One recording, via memo -> disk cache -> fresh generation."""
-    key = trace_key(kernel, n, tile, instrument)
-    recording = _MEMO.get(key)
-    if recording is not None:
-        return recording
-    if cache is None:
-        cache = TraceCache()
-    recording = cache.load(key)
-    if recording is None:
-        recording = record_trace(kernel, n, tile, instrument)
-        cache.store(key, recording)
-    while len(_MEMO) >= _MEMO_LIMIT:
-        _MEMO.pop(next(iter(_MEMO)))
-    _MEMO[key] = recording
-    return recording
+    return get_recording_with_source(kernel, n, tile, instrument,
+                                     cache=cache)[0]
 
 
 # ---------------------------------------------------------------------------
@@ -450,10 +484,19 @@ class SystemRun:
 
 @dataclass
 class PointResult:
-    """All systems of one point, plus the point itself."""
+    """All systems of one point, plus the point itself.
+
+    ``stats`` and ``manifest`` are populated only by collecting runs
+    (``run_point(..., collect=True)`` / ``sweep(collect_stats=True)``):
+    ``stats`` maps system name -> full registry snapshot, ``manifest``
+    records the provenance of the run (point, config, trace-cache
+    outcome, ``REPRO_*`` env, per-phase wall time and peak RSS).
+    """
 
     point: SimPoint
     runs: Dict[str, SystemRun]
+    stats: Optional[Dict[str, Snapshot]] = None
+    manifest: Optional[dict] = None
 
     def cycles(self, system: str) -> float:
         """Shorthand: one system's cycle count."""
@@ -461,12 +504,27 @@ class PointResult:
 
 
 def run_point(point: SimPoint,
-              cache: Optional[TraceCache] = None) -> PointResult:
-    """Execute every system of one point from one shared recording."""
+              cache: Optional[TraceCache] = None,
+              collect: bool = False) -> PointResult:
+    """Execute every system of one point from one shared recording.
+
+    ``collect=True`` additionally snapshots each system's full stats
+    registry and assembles a run manifest.  Collection happens strictly
+    after each system's run completes, so it cannot perturb timing --
+    collecting and plain runs produce identical ``SystemRun`` numbers.
+    """
+    timer = PhaseTimer() if collect else None
     cfg = point.config()
-    recording = get_recording(point.kernel, point.n, point.tile,
-                              instrument=True, cache=cache)
+    if cache is None:
+        cache = TraceCache()
+    if timer is not None:
+        timer.start("trace")
+    recording, source = get_recording_with_source(
+        point.kernel, point.n, point.tile, instrument=True, cache=cache)
+    if timer is not None:
+        timer.stop()
     runs: Dict[str, SystemRun] = {}
+    snapshots: Optional[Dict[str, Snapshot]] = {} if collect else None
     for system in point.systems:
         try:
             build = SYSTEM_BUILDERS[system]
@@ -476,20 +534,23 @@ def run_point(point: SimPoint,
                 f"choices: {sorted(SYSTEM_BUILDERS)}"
             ) from None
         handle = build(cfg)
+        if timer is not None:
+            timer.start(f"run:{system}")
         try:
             trace = recording.replay(handle.xmemlib)
         except StaleRecordingError:
             # The recording no longer re-applies cleanly (library
             # semantics moved): regenerate once and refresh the caches.
             recording = record_trace(point.kernel, point.n, point.tile)
+            source = "regenerated"
             key = trace_key(point.kernel, point.n, point.tile, True)
-            if cache is None:
-                cache = TraceCache()
             cache.store(key, recording)
             _MEMO[key] = recording
             handle = build(cfg)
             trace = recording.replay(handle.xmemlib)
         stats = handle.run(trace)
+        if timer is not None:
+            timer.stop()
         runs[system] = SystemRun(
             system=system,
             stats=stats,
@@ -498,7 +559,34 @@ def run_point(point: SimPoint,
             dram_reads=handle.dram.stats.reads,
             dram_row_hit_rate=handle.dram.stats.row_hit_rate,
         )
-    return PointResult(point=point, runs=runs)
+        if snapshots is not None:
+            snapshots[system] = handle.stats_snapshot()
+    manifest = None
+    if collect:
+        manifest = {
+            "schema": 1,
+            "kind": "simpoint",
+            "point": dataclasses.asdict(point),
+            "config": dataclasses.asdict(cfg),
+            "trace": {
+                "key": trace_key(point.kernel, point.n, point.tile, True),
+                "source": source,
+                "format_version": TRACE_FORMAT_VERSION,
+                "cache_dir": (str(cache.root) if cache.root is not None
+                              else None),
+                "cache_hits": cache.hits,
+                "cache_misses": cache.misses,
+            },
+            "env": collect_repro_env(),
+            "phases": timer.phases,
+        }
+    return PointResult(point=point, runs=runs, stats=snapshots,
+                       manifest=manifest)
+
+
+def _run_point_collecting(point: SimPoint) -> PointResult:
+    """Module-level ``collect=True`` wrapper (pickles into workers)."""
+    return run_point(point, collect=True)
 
 
 # ---------------------------------------------------------------------------
@@ -527,9 +615,57 @@ def run_parallel(fn: Callable, items: Sequence,
 
 
 def sweep(points: Sequence[SimPoint],
-          jobs: Optional[int] = None) -> List[PointResult]:
-    """Run independent simulation points, fanned out over processes."""
-    return run_parallel(run_point, points, jobs=jobs)
+          jobs: Optional[int] = None,
+          collect_stats: bool = False) -> List[PointResult]:
+    """Run independent simulation points, fanned out over processes.
+
+    ``collect_stats=True`` makes every point also return its registry
+    snapshots and run manifest (see :func:`run_point`); pair with
+    :func:`write_point_documents` to persist them.
+    """
+    fn = _run_point_collecting if collect_stats else run_point
+    return run_parallel(fn, points, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# Stats/manifest documents
+# ---------------------------------------------------------------------------
+
+def point_document(result: PointResult) -> dict:
+    """The one-JSON-document form of a collecting point run."""
+    if result.manifest is None or result.stats is None:
+        raise ConfigurationError(
+            "point_document needs a collect=True run "
+            "(manifest/stats missing)"
+        )
+    return {"manifest": result.manifest, "stats": result.stats}
+
+
+def point_document_name(index: int, result: PointResult) -> str:
+    """Deterministic per-point filename for a sweep's documents."""
+    p = result.point
+    return f"{index:03d}_{p.kernel}_n{p.n}_t{p.tile}.json"
+
+
+def write_point_documents(root: Path,
+                          results: Sequence[PointResult]) -> List[Path]:
+    """Write one manifest+stats JSON per collecting point under root.
+
+    Filenames encode the sweep index and point identity, and keys are
+    sorted, so two runs of the same sweep produce directly comparable
+    trees (the ``repro diff`` determinism gate relies on this).
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for index, result in enumerate(results):
+        path = root / point_document_name(index, result)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(point_document(result), fh, sort_keys=True,
+                      indent=2)
+            fh.write("\n")
+        written.append(path)
+    return written
 
 
 # ---------------------------------------------------------------------------
@@ -538,11 +674,16 @@ def sweep(points: Sequence[SimPoint],
 
 @dataclass(frozen=True)
 class UC2Point:
-    """One independent Use-Case-2 (workload, three-system) point."""
+    """One independent Use-Case-2 (workload, three-system) point.
+
+    ``collect_stats`` makes each system's result carry its registry
+    snapshot (``UseCase2Result.stats``).
+    """
 
     workload: str
     accesses: Optional[int] = None
     pick_mapping: bool = False
+    collect_stats: bool = False
 
 
 def run_uc2_point(point: UC2Point):
@@ -566,7 +707,8 @@ def run_uc2_point(point: UC2Point):
     if point.accesses is not None:
         workload = dataclasses.replace(workload,
                                        accesses=point.accesses)
-    return run_figure7(workload, pick_mapping=point.pick_mapping)
+    return run_figure7(workload, pick_mapping=point.pick_mapping,
+                       collect=point.collect_stats)
 
 
 def uc2_sweep(points: Sequence[UC2Point],

@@ -72,6 +72,17 @@ class MemorySystem:
         self.write_drain_threshold = 32
         self.stats = MemoryStats()
 
+    def stat_groups(self):
+        """StatGroup protocol: the wrapper, the cache levels, the DRAM
+        system (with its per-bank aggregate), and the prefetchers."""
+        yield "memory", self.stats
+        yield from self.hierarchy.stat_groups()
+        yield from self.dram.stat_groups()
+        if self.stride_prefetcher is not None:
+            yield "prefetch.stride", self.stride_prefetcher.stats
+        if self.xmem_prefetcher is not None:
+            yield "prefetch.xmem", self.xmem_prefetcher.stats
+
     def access(self, paddr: int, is_write: bool,
                now: float) -> Tuple[float, bool]:
         """One demand access; returns (completion time, went-to-DRAM)."""
@@ -187,6 +198,28 @@ class SystemHandle:
     def dram(self) -> DramSystem:
         """The DRAM system (latency/RBL stats live here)."""
         return self.memory.dram
+
+    def stats_registry(self) -> "StatsRegistry":
+        """The machine's full stats tree, assembled fresh.
+
+        Groups are live references into the component counters, so a
+        registry built before a run snapshots correctly after it.
+        Paths: ``engine``, ``engine.mshr``, ``memory``,
+        ``cache.<level>``, ``dram``, ``dram.banks``,
+        ``prefetch.{stride,xmem}``, and ``amu``/``amu.alb`` on XMem
+        machines.
+        """
+        from repro.sim.stats import StatsRegistry
+        registry = StatsRegistry()
+        registry.register_provider("engine", self.engine)
+        registry.register_provider("", self.memory)
+        if self.xmemlib is not None:
+            registry.register_provider("amu", self.xmemlib.process.amu)
+        return registry
+
+    def stats_snapshot(self) -> dict:
+        """One nested, JSON-ready snapshot of every component counter."""
+        return self.stats_registry().snapshot()
 
 
 def _base_parts(config: SimConfig):

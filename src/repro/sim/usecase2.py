@@ -27,7 +27,7 @@ from repro.dram.system import DramSystem
 from repro.mem.hierarchy import CacheHierarchy
 from repro.mem.prefetch import MultiStridePrefetcher
 from repro.sim.config import SimConfig, scaled_config
-from repro.sim.stats import RunRecord
+from repro.sim.stats import RunRecord, Snapshot, StatsRegistry
 from repro.sim.system import MemorySystem
 from repro.workloads.suite.spec import SuiteWorkload
 from repro.xos.loader import OperatingSystem
@@ -61,11 +61,16 @@ def usecase2_config(dram_capacity: int = 1 << 26) -> SimConfig:
 
 @dataclass
 class UseCase2Result:
-    """One (workload, system) measurement."""
+    """One (workload, system) measurement.
+
+    ``stats`` is the machine's full registry snapshot, populated only
+    on ``collect=True`` runs (the ``REPRO_STATS_JSON`` bench knob).
+    """
 
     record: RunRecord
     mapping: str
     placement_report: Optional[str] = None
+    stats: Optional[Snapshot] = None
 
     @property
     def cycles(self) -> float:
@@ -79,8 +84,13 @@ def run_system(
     config: Optional[SimConfig] = None,
     mapping: Optional[str] = None,
     accesses: Optional[int] = None,
+    collect: bool = False,
 ) -> UseCase2Result:
-    """Run one workload on one of the three systems."""
+    """Run one workload on one of the three systems.
+
+    ``collect=True`` snapshots the full stats registry after the run
+    (strictly post-run, so it never perturbs the measurement).
+    """
     cfg = config or usecase2_config()
     if system == "baseline":
         mapping = mapping or XMEM_MAPPING
@@ -133,8 +143,14 @@ def run_system(
     if system == "xmem":
         from repro.policies.dram_placement import placement_report
         report = placement_report(proc)
+    snapshot = None
+    if collect:
+        registry = StatsRegistry()
+        registry.register_provider("engine", engine)
+        registry.register_provider("", memory)
+        snapshot = registry.snapshot()
     return UseCase2Result(record=record, mapping=mapping,
-                          placement_report=report)
+                          placement_report=report, stats=snapshot)
 
 
 def pick_baseline_mapping(
@@ -161,14 +177,17 @@ def run_figure7(
     workload: SuiteWorkload,
     config: Optional[SimConfig] = None,
     pick_mapping: bool = True,
+    collect: bool = False,
 ) -> Dict[str, UseCase2Result]:
     """All three systems for one workload (one Figure 7/8 column)."""
     mapping = (pick_baseline_mapping(workload, config)
                if pick_mapping else XMEM_MAPPING)
     return {
-        "baseline": run_system(workload, "baseline", config, mapping),
-        "xmem": run_system(workload, "xmem", config),
-        "ideal": run_system(workload, "ideal", config, mapping),
+        "baseline": run_system(workload, "baseline", config, mapping,
+                               collect=collect),
+        "xmem": run_system(workload, "xmem", config, collect=collect),
+        "ideal": run_system(workload, "ideal", config, mapping,
+                            collect=collect),
     }
 
 

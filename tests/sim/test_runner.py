@@ -309,6 +309,108 @@ def _negate(x):
     return -x
 
 
+class _PoolBomb:
+    """A ProcessPoolExecutor stand-in that fails on construction."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("serial path must not build a pool")
+
+
+def test_serial_paths_never_build_a_pool(monkeypatch):
+    """jobs=1 -- and a single item at any job count -- skip the
+    executor entirely (no fork, full tracebacks)."""
+    monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", _PoolBomb)
+    assert run_parallel(_negate, [1, 2, 3], jobs=1) == [-1, -2, -3]
+    assert run_parallel(_negate, [7], jobs=8) == [-7]
+    assert run_parallel(_negate, [], jobs=8) == []
+    with pytest.raises(AssertionError):
+        run_parallel(_negate, [1, 2], jobs=2)
+
+
+def test_serial_sweep_bit_identical_to_pool(tmp_path, monkeypatch):
+    """The no-pool bypass must not change a single counter vs the
+    pool path -- asserted over full registry snapshots."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "tc"))
+    points = [SimPoint(kernel="gemm", n=N, tile=t) for t in (6, 12)]
+    serial = sweep(points, jobs=1, collect_stats=True)
+    runner_mod._MEMO.clear()
+    pooled = sweep(points, jobs=2, collect_stats=True)
+    from repro.sim.stats import diff_stats
+    for s, p in zip(serial, pooled):
+        assert s.runs.keys() == p.runs.keys()
+        for system in s.runs:
+            assert s.runs[system].stats == p.runs[system].stats
+            assert diff_stats(s.stats[system], p.stats[system]) == []
+
+
+# ---------------------------------------------------------------------------
+# Concurrent purge tolerance
+# ---------------------------------------------------------------------------
+
+def test_purge_tolerates_missing_file(disk_cache):
+    """Two workers racing to purge the same stale entry: the loser's
+    unlink targets a vanished file and must not raise."""
+    run_point(SimPoint(kernel="gemm", n=N, tile=TILE), cache=disk_cache)
+    key = trace_key("gemm", N, TILE, True)
+    path = disk_cache._path(key)
+
+    real_unlink = type(path).unlink
+
+    def racing_unlink(self, missing_ok=False):
+        # The other worker wins the race between the corruption check
+        # and our unlink.
+        if self.exists():
+            real_unlink(self)
+        return real_unlink(self, missing_ok=missing_ok)
+
+    # Corrupt the entry, then simulate the race during the purge.
+    path.write_bytes(b"garbage")
+    runner_mod._MEMO.clear()
+    import unittest.mock
+    with unittest.mock.patch.object(type(path), "unlink", racing_unlink):
+        assert disk_cache.load(key) is None  # no FileNotFoundError
+    assert not path.exists()
+    # _purge is also directly safe on a path that never existed.
+    TraceCache._purge(disk_cache._path("no-such-key"))
+
+
+def test_trace_cache_stat_group(disk_cache):
+    run_point(SimPoint(kernel="gemm", n=N, tile=TILE), cache=disk_cache)
+    counters = disk_cache.counters()
+    assert counters == {"hits": 0, "misses": 1, "enabled": 1}
+    assert [p for p, _ in disk_cache.stat_groups()] == ["trace_cache"]
+
+
+# ---------------------------------------------------------------------------
+# Collecting sweeps
+# ---------------------------------------------------------------------------
+
+def test_collecting_sweep_documents(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "tc"))
+    points = [SimPoint(kernel="gemm", n=N, tile=t) for t in (6, 12)]
+    results = sweep(points, jobs=1, collect_stats=True)
+    for res in results:
+        assert res.manifest is not None
+        assert set(res.stats) == set(res.point.systems)
+        assert res.manifest["point"]["tile"] == res.point.tile
+    from repro.sim.runner import write_point_documents
+    paths = write_point_documents(tmp_path / "docs", results)
+    assert [p.name for p in paths] == ["000_gemm_n24_t6.json",
+                                       "001_gemm_n24_t12.json"]
+
+
+def test_uc2_collecting_snapshot(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "tc"))
+    res = run_uc2_point(UC2Point(workload="lbm", accesses=2000,
+                                 collect_stats=True))
+    for system in ("baseline", "xmem", "ideal"):
+        assert res[system].stats is not None
+        assert "dram" in res[system].stats
+    plain = run_uc2_point(UC2Point(workload="lbm", accesses=2000))
+    assert plain["xmem"].stats is None
+    assert plain["xmem"].cycles == res["xmem"].cycles
+
+
 # ---------------------------------------------------------------------------
 # Knobs and validation
 # ---------------------------------------------------------------------------

@@ -150,7 +150,14 @@ class TestStatsHelpers:
     def test_speedup_slowdown(self):
         assert speedup(200, 100) == 2.0
         assert slowdown(100, 150) == 1.5
-        assert speedup(1, 0) == float("inf")
+        # Degenerate cycle counts are measurement bugs, surfaced as
+        # explicit errors instead of an inf that geomean propagated.
+        with pytest.raises(ValueError):
+            speedup(1, 0)
+        with pytest.raises(ValueError):
+            speedup(1, -3)
+        with pytest.raises(ValueError):
+            slowdown(0, 100)
 
     def test_geomean(self):
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)
