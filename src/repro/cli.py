@@ -8,6 +8,7 @@ Examples::
     python -m repro sweep --kernels gemm,syrk --n 96 --jobs 4
     python -m repro sweep --kernels gemm --stats-json out/run_a
     python -m repro diff out/run_a out/run_b
+    python -m repro fuzz --cases 200 --seed 0
     python -m repro overheads
 """
 
@@ -257,6 +258,71 @@ def cmd_diff(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing: optimized models vs. reference oracles.
+
+    Exit status: 0 = all cases agree (and all replays pass), 1 =
+    divergence found, 2 = bad arguments / unreadable reproducer.
+    """
+    from pathlib import Path
+
+    from repro.testing.fuzz import LANES, replay, run_fuzz
+
+    if args.replay:
+        # Replay mode: re-run checked-in reproducers instead of fuzzing.
+        status = 0
+        for target in args.replay:
+            path = Path(target)
+            paths = sorted(path.glob("*.json")) if path.is_dir() else [path]
+            if not paths:
+                print(f"no reproducers in {target}", file=sys.stderr)
+                return 2
+            for p in paths:
+                try:
+                    error = replay(p)
+                except (OSError, ValueError, KeyError) as exc:
+                    print(f"cannot replay {p}: {exc}", file=sys.stderr)
+                    return 2
+                if error is None:
+                    print(f"{p}: PASS (divergence fixed)")
+                else:
+                    print(f"{p}: FAIL: {error}")
+                    status = 1
+        return status
+
+    if args.cases <= 0:
+        print(f"--cases must be > 0: {args.cases}", file=sys.stderr)
+        return 2
+    lanes = None
+    if args.lanes:
+        lanes = [s.strip() for s in args.lanes.split(",") if s.strip()]
+        unknown = [s for s in lanes if s not in LANES]
+        if unknown:
+            print(f"unknown lanes {unknown}; choices: {sorted(LANES)}",
+                  file=sys.stderr)
+            return 2
+    log = print if args.verbose else None
+    report = run_fuzz(
+        cases=args.cases, seed=args.seed, length=args.length,
+        lanes=lanes, corpus_dir=args.corpus, log=log,
+    )
+    lanes_desc = ", ".join(
+        f"{name}={count}" for name, count in report.per_lane.items())
+    print(f"fuzz: {report.cases} cases (seed {args.seed}): {lanes_desc}")
+    if report.ok:
+        print("all lanes agree")
+        return 0
+    for failure in report.failures:
+        print(f"case {failure.case_index} [{failure.lane}]: "
+              f"{failure.error} "
+              f"(shrunk {failure.original_size} -> {len(failure.items)} "
+              f"items)")
+    for path in report.corpus_paths:
+        print(f"reproducer: {path}", file=sys.stderr)
+    print(f"\n{len(report.failures)} diverging case(s)")
+    return 1
+
+
 def cmd_overheads(_args) -> int:
     """Print the Section 4.4 overhead summary for an 8 GB machine."""
     ov = storage_overheads(8 << 30)
@@ -329,6 +395,26 @@ def build_parser() -> argparse.ArgumentParser:
                     help="absolute delta to ignore (default 0: "
                          "exact, the determinism gate)")
 
+    fz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing against the reference oracles")
+    fz.add_argument("--cases", type=int, default=200,
+                    help="number of seeded cases (default 200)")
+    fz.add_argument("--seed", type=int, default=0,
+                    help="sweep seed (default 0)")
+    fz.add_argument("--length", type=int, default=400,
+                    help="events per generated case (default 400)")
+    fz.add_argument("--lanes", default=None,
+                    help="comma-separated lane names "
+                         "(default: all lanes, round-robin)")
+    fz.add_argument("--corpus", default=None, metavar="DIR",
+                    help="write shrunk reproducers into DIR")
+    fz.add_argument("--replay", nargs="*", default=None, metavar="PATH",
+                    help="replay reproducer files/dirs instead of "
+                         "fuzzing")
+    fz.add_argument("--verbose", action="store_true",
+                    help="log each failure as it shrinks")
+
     sub.add_parser("overheads", help="Section 4.4 overhead summary")
     return parser
 
@@ -339,6 +425,7 @@ COMMANDS = {
     "usecase2": cmd_usecase2,
     "sweep": cmd_sweep,
     "diff": cmd_diff,
+    "fuzz": cmd_fuzz,
     "overheads": cmd_overheads,
 }
 

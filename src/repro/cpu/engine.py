@@ -27,6 +27,7 @@ from typing import Callable, Optional
 from repro.core.errors import ConfigurationError
 from repro.cpu.trace import MemAccess, PackedTrace, Trace, Work, XMemOp
 from repro.mem.mshr import MSHRFile
+from repro.testing import checks as _checks
 
 
 @dataclass
@@ -80,6 +81,10 @@ class TraceEngine:
         #: Statistics of the most recent :meth:`run` (zeroed until one
         #: completes) -- what the engine contributes to the stats tree.
         self.last_stats = EngineStats()
+        #: ``REPRO_CHECK=1``: validate end-of-run statistics.  Read
+        #: once at construction so the per-run cost of a disabled check
+        #: is a single attribute test.
+        self._check = _checks.enabled()
 
     def stat_groups(self):
         """StatGroup protocol: the engine and its MSHR file."""
@@ -168,6 +173,8 @@ class TraceEngine:
             misses_to_memory=misses_to_memory,
             stall_cycles=stall_cycles,
         )
+        if self._check:
+            _checks.check_engine_run(self, self.last_stats)
         return self.last_stats
 
     def run_packed(self, trace: PackedTrace) -> EngineStats:
@@ -247,4 +254,6 @@ class TraceEngine:
             misses_to_memory=misses_to_memory,
             stall_cycles=stall_cycles,
         )
+        if self._check:
+            _checks.check_engine_run(self, self.last_stats)
         return self.last_stats

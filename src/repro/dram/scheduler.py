@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dram.system import DramResult, DramSystem
+from repro.testing import checks as _checks
 
 
 @dataclass(frozen=True)
@@ -63,9 +64,20 @@ class Completion:
 class FRFCFSScheduler:
     """Greedy FR-FCFS over an explicit request list."""
 
+    #: Age cap: once the oldest pending request has been bypassed this
+    #: many times by younger row-hit requests, it is served regardless
+    #: (real FR-FCFS implementations bound starvation the same way --
+    #: a sustained stream of row hits could otherwise hold a conflict
+    #: request back indefinitely).  The oldest request always has the
+    #: highest bypass count (any service that bypasses a request also
+    #: bypasses everything older), so capping the front bounds every
+    #: request.  ``REPRO_CHECK=1`` verifies the bound holds.
+    starvation_cap = 64
+
     def __init__(self, dram: DramSystem) -> None:
         self.dram = dram
         self.stats = SchedulerStats()
+        self._check = _checks.enabled()
 
     @property
     def reordered(self) -> int:
@@ -83,15 +95,34 @@ class FRFCFSScheduler:
         pending = sorted(requests, key=lambda r: (r.arrival, r.req_id))
         completions: List[Completion] = []
         clock = 0.0
+        check = self._check
+        cap = self.starvation_cap
+        bypasses: dict = {}
         while pending:
             arrived = [r for r in pending if r.arrival <= clock]
             if not arrived:
                 clock = pending[0].arrival
                 arrived = [r for r in pending if r.arrival <= clock]
-            choice = self._first_ready(arrived) or arrived[0]
+            front = arrived[0]
+            if bypasses.get(id(front), 0) >= cap:
+                # Age cap reached: the oldest request is served next no
+                # matter what row hits are available.
+                choice = front
+            else:
+                choice = self._first_ready(arrived) or front
             self.stats.serviced += 1
-            if choice is not arrived[0]:
+            if choice is not front:
                 self.stats.reordered += 1
+                # Every arrived request older than the choice was
+                # bypassed once more.
+                for req in arrived:
+                    if req is choice:
+                        break
+                    count = bypasses.get(id(req), 0) + 1
+                    bypasses[id(req)] = count
+                    if check:
+                        _checks.check_scheduler_bypass(count, cap, req)
+            bypasses.pop(id(choice), None)
             pending.remove(choice)
             result = self.dram.access(choice.paddr,
                                       max(clock, choice.arrival),

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.core.errors import ConfigurationError
 from repro.mem.replacement import DRRIPPolicy, ReplacementPolicy, make_policy
+from repro.testing import checks as _checks
 
 #: Tag stored in an invalid way (no physical tag is negative).
 INVALID_TAG = -1
@@ -162,6 +163,58 @@ class Cache:
         #: Prefetch tags remembered until first demand hit, for stats.
         self._prefetched_tags = set()
         self.stats = CacheStats()
+        if _checks.enabled():
+            self._install_checks()
+
+    def _install_checks(self) -> None:
+        """``REPRO_CHECK=1``: shadow the mutating entry points with
+        checked wrappers that re-derive the maintained occupancy state
+        after every operation.  Instance attributes win over bound
+        methods, and the hierarchy's ``c.access`` hoists happen after
+        construction, so every caller picks the wrappers up; a disabled
+        run never reaches this method and pays nothing per access.
+        """
+        access_inner = self.access
+        fill_inner = self.fill
+        fill_absent_inner = self.fill_absent
+        unpin_inner = self.unpin_all
+        invalidate_inner = self.invalidate_all
+
+        def access(addr: int, is_write: bool) -> "AccessResult":
+            result = access_inner(addr, is_write)
+            _checks.check_cache_set(self, self._index(addr))
+            return result
+
+        def fill(addr: int, *, dirty: bool = False, pinned: bool = False,
+                 prefetch: bool = False) -> Optional[int]:
+            result = fill_inner(addr, dirty=dirty, pinned=pinned,
+                                prefetch=prefetch)
+            _checks.check_cache_set(self, self._index(addr))
+            return result
+
+        def fill_absent(addr: int, *, dirty: bool = False,
+                        pinned: bool = False, prefetch: bool = False
+                        ) -> Optional[int]:
+            result = fill_absent_inner(addr, dirty=dirty, pinned=pinned,
+                                       prefetch=prefetch)
+            _checks.check_cache_set(self, self._index(addr))
+            return result
+
+        def unpin_all() -> int:
+            result = unpin_inner()
+            _checks.check_cache_all(self)
+            return result
+
+        def invalidate_all() -> int:
+            result = invalidate_inner()
+            _checks.check_cache_all(self)
+            return result
+
+        self.access = access            # type: ignore[method-assign]
+        self.fill = fill                # type: ignore[method-assign]
+        self.fill_absent = fill_absent  # type: ignore[method-assign]
+        self.unpin_all = unpin_all      # type: ignore[method-assign]
+        self.invalidate_all = invalidate_all  # type: ignore[method-assign]
 
     def stat_groups(self):
         """StatGroup protocol: this level under its own (lower) name."""

@@ -18,6 +18,7 @@ from heapq import heappop, heappush
 from typing import List, Optional
 
 from repro.core.errors import ConfigurationError
+from repro.testing import checks as _checks
 
 
 @dataclass
@@ -45,6 +46,24 @@ class MSHRFile:
         self.entries = entries
         self._completions: List[float] = []
         self.stats = MSHRStats()
+        if _checks.enabled():
+            self._install_checks()
+
+    def _install_checks(self) -> None:
+        """``REPRO_CHECK=1``: shadow :meth:`reserve` with a checked
+        wrapper.  An instance attribute wins over the bound method, so
+        callers (including the engine's ``reserve = mshr.reserve``
+        hoist, which runs after construction) pick it up transparently;
+        a disabled run never reaches this method and pays nothing.
+        """
+        inner = self.reserve
+
+        def checked_reserve(now: float, completes_at: float) -> float:
+            start = inner(now, completes_at)
+            _checks.check_mshr(self, now, start)
+            return start
+
+        self.reserve = checked_reserve  # type: ignore[method-assign]
 
     def drain_until(self, now: float) -> None:
         """Retire every miss that has completed by ``now``."""

@@ -1,0 +1,186 @@
+"""``REPRO_CHECK``: runtime invariant checking for the hot-path models.
+
+The optimized models maintain derived state (per-set occupancy counts,
+heap-backed MSHR files, greedy scheduler queues) that the simple
+semantics they implement never needed.  With ``REPRO_CHECK=1`` in the
+environment, each model installs per-operation checkers on itself at
+construction time that re-derive that state the slow way and compare:
+
+* :class:`repro.mem.cache.Cache` -- after every access/fill, the
+  touched set's maintained valid/pinned counts must match the actual
+  tag/pin columns, pinned lines must be valid and within the pin quota
+  (<= 75% of the ways by default), and no valid tag may be duplicated;
+* :class:`repro.mem.mshr.MSHRFile` -- a reservation may never leave
+  more than ``entries`` misses outstanding, nor start in the past;
+* :class:`repro.cpu.engine.TraceEngine` -- end-of-run statistics must
+  be mutually consistent (stalls within cycles, retirement no faster
+  than the issue width allows) and the window must drain;
+* :class:`repro.dram.scheduler.FRFCFSScheduler` -- no request may be
+  bypassed by younger row-hit requests more than ``starvation_cap``
+  times.
+
+The flag is read once per component construction, so a disabled run
+pays nothing per event -- components only consult this module inside
+``__init__``.  Checkers raise :class:`CheckError` (an
+``AssertionError`` subclass, so plain ``pytest`` machinery and
+``python -O`` semantics treat it as an assertion).
+
+This module must stay dependency-free within the package: the
+production models import it at module load, and any import back into
+``repro.mem``/``repro.cpu`` would be circular.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: The environment flag. Any value other than empty/"0" enables checks.
+ENV_VAR = "REPRO_CHECK"
+
+
+def enabled() -> bool:
+    """Whether invariant checking is switched on (read per call)."""
+    return os.environ.get(ENV_VAR, "0") not in ("", "0")
+
+
+class CheckError(AssertionError):
+    """An internal invariant of an optimized model was violated."""
+
+
+# ---------------------------------------------------------------------------
+# Cache invariants
+# ---------------------------------------------------------------------------
+
+def check_cache_set(cache, set_idx: int) -> None:
+    """Re-derive one set's occupancy state and compare to the columns."""
+    tags = cache._tags[set_idx]
+    pinned = cache._pinned[set_idx]
+    dirty = cache._dirty[set_idx]
+    valid = [w for w, t in enumerate(tags) if t >= 0]
+    if len(valid) != cache._valid_counts[set_idx]:
+        raise CheckError(
+            f"{cache.name} set {set_idx}: maintained valid count "
+            f"{cache._valid_counts[set_idx]} != actual {len(valid)}"
+        )
+    valid_tags = [tags[w] for w in valid]
+    if len(set(valid_tags)) != len(valid_tags):
+        raise CheckError(
+            f"{cache.name} set {set_idx}: duplicate valid tags {tags}"
+        )
+    pin_ways = [w for w, p in enumerate(pinned) if p]
+    if len(pin_ways) != cache._pinned_counts[set_idx]:
+        raise CheckError(
+            f"{cache.name} set {set_idx}: maintained pinned count "
+            f"{cache._pinned_counts[set_idx]} != actual {len(pin_ways)}"
+        )
+    for w in pin_ways:
+        if tags[w] < 0:
+            raise CheckError(
+                f"{cache.name} set {set_idx}: way {w} pinned but invalid"
+            )
+    if len(pin_ways) > cache._max_pinned_ways:
+        raise CheckError(
+            f"{cache.name} set {set_idx}: {len(pin_ways)} pinned ways "
+            f"exceed the quota of {cache._max_pinned_ways} "
+            f"(pin_quota={cache.pin_quota})"
+        )
+    for w, d in enumerate(dirty):
+        if d and tags[w] < 0:
+            raise CheckError(
+                f"{cache.name} set {set_idx}: way {w} dirty but invalid"
+            )
+
+
+def check_cache_all(cache) -> None:
+    """Every set, plus the cache-wide maintained aggregates."""
+    for set_idx in range(cache.num_sets):
+        check_cache_set(cache, set_idx)
+    resident = sum(
+        1 for tags in cache._tags for t in tags if t >= 0
+    )
+    if resident != cache.resident_lines:
+        raise CheckError(
+            f"{cache.name}: resident_lines {cache.resident_lines} "
+            f"!= actual {resident}"
+        )
+    pinned = sum(
+        1 for row in cache._pinned for p in row if p
+    )
+    if pinned != cache.pinned_lines:
+        raise CheckError(
+            f"{cache.name}: pinned_lines {cache.pinned_lines} "
+            f"!= actual {pinned}"
+        )
+    for set_idx, tag in cache._prefetched_tags:
+        if tag not in cache._tags[set_idx]:
+            raise CheckError(
+                f"{cache.name}: prefetched tag {tag:#x} of set "
+                f"{set_idx} is not resident"
+            )
+
+
+# ---------------------------------------------------------------------------
+# MSHR invariants
+# ---------------------------------------------------------------------------
+
+def check_mshr(mshr, now: float, start: float) -> None:
+    """Post-``reserve`` state: bounded occupancy, no time travel."""
+    if len(mshr._completions) > mshr.entries:
+        raise CheckError(
+            f"MSHR over capacity: {len(mshr._completions)} outstanding "
+            f"misses in a {mshr.entries}-entry file"
+        )
+    if start < now:
+        raise CheckError(
+            f"MSHR reservation started at {start} before now={now}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Engine invariants
+# ---------------------------------------------------------------------------
+
+def check_engine_run(engine, stats) -> None:
+    """End-of-run consistency of one :class:`EngineStats`."""
+    if stats.cycles < 0 or stats.stall_cycles < 0:
+        raise CheckError(f"negative time in {stats}")
+    if stats.stall_cycles > stats.cycles + 1e-9:
+        raise CheckError(
+            f"stall cycles {stats.stall_cycles} exceed total cycles "
+            f"{stats.cycles}"
+        )
+    if stats.mem_accesses + stats.xmem_instructions > stats.instructions:
+        raise CheckError(
+            f"memory + xmem instructions exceed total instructions: "
+            f"{stats}"
+        )
+    if stats.misses_to_memory > stats.mem_accesses:
+        raise CheckError(
+            f"more memory misses than memory accesses: {stats}"
+        )
+    # Retirement cannot beat the issue width (small float slack: the
+    # per-event 1/width additions accumulate rounding).
+    floor = stats.instructions / engine.issue_width
+    if stats.instructions and stats.cycles + 1e-6 * max(1.0, floor) < floor:
+        raise CheckError(
+            f"{stats.instructions} instructions retired in "
+            f"{stats.cycles} cycles at width {engine.issue_width}"
+        )
+    if engine.mshr.outstanding:
+        raise CheckError(
+            f"window not drained at end of run: "
+            f"{engine.mshr.outstanding} misses outstanding"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Scheduler invariants
+# ---------------------------------------------------------------------------
+
+def check_scheduler_bypass(count: int, cap: int, request) -> None:
+    """A pending request's bypass count must stay under the cap."""
+    if count > cap:
+        raise CheckError(
+            f"FR-FCFS starvation: request {request} bypassed "
+            f"{count} times (cap {cap})"
+        )

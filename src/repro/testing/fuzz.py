@@ -1,0 +1,571 @@
+"""Differential fuzzing: optimized models vs. reference models.
+
+Five lanes, each pairing a hot-path implementation with its oracle
+(:mod:`repro.testing.oracles`) over seeded random input
+(:mod:`repro.testing.generators`):
+
+* ``packed``  -- the same trace as an object stream and as a
+  :class:`PackedTrace` through two identically built full systems
+  (baseline or XMem, with atom churn): engine statistics and the full
+  stats snapshot must be bit-identical.
+* ``cache``   -- random access/fill/unpin op strings through the
+  columnar :class:`~repro.mem.cache.Cache` (LRU) and the dict-of-lists
+  :class:`~repro.testing.oracles.ReferenceCache`: per-op hits,
+  writeback addresses, eviction/refusal counts, pinned totals, and the
+  final resident set must match.
+* ``engine``  -- MemAccess/Work streams against a seeded
+  :class:`~repro.testing.oracles.ToyMemory`: the object loop, the
+  zero-object packed loop, and the naive
+  :class:`~repro.testing.oracles.ReferenceEngine` must return
+  bit-identical :class:`EngineStats` (windows small enough to
+  saturate the MSHR file).
+* ``dram``    -- timed FIFO request streams through
+  :class:`~repro.dram.system.DramSystem` and the naive
+  :class:`~repro.testing.oracles.ReferenceDram`: per-request row
+  outcome, latency, and completion time, plus the final counters.
+* ``sched``   -- request lists through
+  :class:`~repro.dram.scheduler.FRFCFSScheduler`: every request
+  serviced exactly once, completions self-consistent, service never
+  before arrival (starvation bounds are the scheduler's own
+  ``REPRO_CHECK`` hook).
+
+A failing case is shrunk (:mod:`repro.testing.shrink`) against the
+same lane predicate and written to the corpus directory as a JSON
+reproducer; :func:`replay` re-runs a reproducer file, which is how a
+checked-in corpus entry becomes a regression test.  Everything is
+deterministic in (seed, case index).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cpu.trace import MemAccess, PackedTrace, TraceEvent, Work, XMemOp
+from repro.testing import generators
+from repro.testing.generators import GenConfig, setup_atoms
+from repro.testing.oracles import (
+    ReferenceCache,
+    ReferenceDram,
+    ReferenceEngine,
+    ToyMemory,
+)
+from repro.testing.shrink import DEFAULT_BUDGET, shrink
+
+
+# ---------------------------------------------------------------------------
+# Event / item (de)serialization -- reproducers are plain JSON
+# ---------------------------------------------------------------------------
+
+def event_to_json(ev: TraceEvent) -> list:
+    """One trace event as a JSON-ready list."""
+    kind = type(ev)
+    if kind is MemAccess:
+        return ["M", ev.vaddr, int(ev.is_write), ev.work]
+    if kind is Work:
+        return ["W", ev.count]
+    if kind is XMemOp:
+        return ["X", ev.method, *ev.args]
+    raise TypeError(f"not a trace event: {ev!r}")
+
+
+def event_from_json(data: list) -> TraceEvent:
+    """Inverse of :func:`event_to_json`."""
+    tag = data[0]
+    if tag == "M":
+        return MemAccess(data[1], bool(data[2]), data[3])
+    if tag == "W":
+        return Work(data[1])
+    if tag == "X":
+        return XMemOp(data[1], *data[2:])
+    raise ValueError(f"unknown event tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Lanes
+# ---------------------------------------------------------------------------
+
+class Lane:
+    """One differential lane: a generator, an oracle, a shrinker input.
+
+    ``make(rng, length)`` draws (params, items); ``fail(params,
+    items)`` re-runs the comparison and returns an error string (None
+    when the models agree).  ``items`` must be a list the shrinker can
+    take sublists of, and round-trip through ``to_json``/``from_json``.
+    """
+
+    name = "abstract"
+
+    def make(self, rng: random.Random, length: int) -> Tuple[dict, list]:
+        raise NotImplementedError
+
+    def fail(self, params: dict, items: list) -> Optional[str]:
+        raise NotImplementedError
+
+    def to_json(self, items: list) -> list:
+        return [list(item) for item in items]
+
+    def from_json(self, data: list) -> list:
+        return [tuple(item) for item in data]
+
+
+class PackedLane(Lane):
+    """Object stream vs. packed columns through identical full systems."""
+
+    name = "packed"
+
+    def make(self, rng: random.Random, length: int) -> Tuple[dict, list]:
+        system = rng.choice(("baseline", "xmem", "xmem"))
+        atoms = rng.randint(2, 6) if system == "xmem" else 0
+        cfg = GenConfig(
+            seed=rng.randrange(1 << 32),
+            length=length,
+            regions=rng.randint(2, 5),
+            write_frac=rng.uniform(0.0, 0.6),
+            atoms=atoms,
+            churn=rng.uniform(0.1, 0.5) if atoms else 0.0,
+        )
+        events, _ = generators.generate_trace(cfg)
+        params = {
+            "system": system,
+            "atoms": atoms,
+            "window": rng.choice((2, 4, 8, 32)),
+            "scale": rng.choice((32, 64)),
+        }
+        return params, events
+
+    def _build(self, params: dict):
+        import dataclasses as dc
+
+        from repro.sim import build_baseline, build_xmem, scaled_config
+        from repro.sim.config import CpuConfig
+
+        cfg = scaled_config(params["scale"])
+        cfg = dc.replace(cfg, cpu=CpuConfig(window=params["window"]))
+        if params["system"] == "xmem":
+            handle = build_xmem(cfg)
+            setup_atoms(handle.xmemlib, GenConfig(atoms=params["atoms"]))
+        else:
+            handle = build_baseline(cfg)
+        return handle
+
+    def fail(self, params: dict, items: list) -> Optional[str]:
+        obj_sys = self._build(params)
+        packed_sys = self._build(params)
+        stats_obj = obj_sys.run(list(items))
+        stats_packed = packed_sys.run(PackedTrace.from_events(items))
+        if stats_obj != stats_packed:
+            return (f"engine stats diverged: object={stats_obj} "
+                    f"packed={stats_packed}")
+        snap_obj = obj_sys.stats_snapshot()
+        snap_packed = packed_sys.stats_snapshot()
+        if snap_obj != snap_packed:
+            keys = _first_snapshot_delta(snap_obj, snap_packed)
+            return f"stats snapshot diverged at {keys}"
+        return None
+
+    def to_json(self, items: list) -> list:
+        return [event_to_json(ev) for ev in items]
+
+    def from_json(self, data: list) -> list:
+        return [event_from_json(item) for item in data]
+
+
+class CacheLane(Lane):
+    """Columnar LRU cache vs. the dict-of-lists reference."""
+
+    name = "cache"
+
+    def make(self, rng: random.Random, length: int) -> Tuple[dict, list]:
+        sets = rng.choice((2, 4, 8))
+        ways = rng.choice((1, 2, 4, 8))
+        quota = rng.choice((0.0, 0.5, 0.75, 1.0))
+        line = 64
+        cfg = GenConfig(
+            seed=rng.randrange(1 << 32),
+            length=length,
+            regions=1,
+            # Tight region: ~4x the cache so sets see real contention.
+            region_bytes=max(line * 8, sets * ways * line * 4),
+            line_bytes=line,
+        )
+        items: list = []
+        for addr in generators.generate_lines(cfg):
+            r = rng.random()
+            if r < 0.7:
+                items.append(("acc", addr, int(rng.random() < 0.4),
+                              int(rng.random() < 0.3)))
+            elif r < 0.95:
+                items.append(("fill", addr, int(rng.random() < 0.4),
+                              int(rng.random() < 0.4)))
+            else:
+                items.append(("unpin",))
+        params = {"sets": sets, "ways": ways, "line": line,
+                  "quota": quota}
+        return params, items
+
+    def fail(self, params: dict, items: list) -> Optional[str]:
+        from repro.mem.cache import Cache
+
+        sets, ways, line = params["sets"], params["ways"], params["line"]
+        cache = Cache("fuzz", sets * ways * line, ways, line,
+                      policy="lru", pin_quota=params["quota"])
+        ref = ReferenceCache(sets, ways, line, pin_quota=params["quota"])
+        for step, item in enumerate(items):
+            kind = item[0]
+            if kind == "acc":
+                _, addr, write, pin = item
+                got = cache.access(addr, bool(write)).hit
+                want = ref.access(addr, bool(write))
+                if got != want:
+                    return (f"step {step}: hit/miss diverged at "
+                            f"{addr:#x} (cache={got} ref={want})")
+                if not got:
+                    got_wb = cache.fill(addr, dirty=bool(write),
+                                        pinned=bool(pin))
+                    want_wb = ref.fill(addr, dirty=bool(write),
+                                       pinned=bool(pin))
+                    if got_wb != want_wb:
+                        return (f"step {step}: writeback diverged at "
+                                f"{addr:#x} (cache={got_wb} "
+                                f"ref={want_wb})")
+            elif kind == "fill":
+                _, addr, dirty, pin = item
+                got_wb = cache.fill(addr, dirty=bool(dirty),
+                                    pinned=bool(pin))
+                want_wb = ref.fill(addr, dirty=bool(dirty),
+                                   pinned=bool(pin))
+                if got_wb != want_wb:
+                    return (f"step {step}: direct-fill writeback "
+                            f"diverged at {addr:#x} (cache={got_wb} "
+                            f"ref={want_wb})")
+            elif kind == "unpin":
+                got_n = cache.unpin_all()
+                want_n = ref.unpin_all()
+                if got_n != want_n:
+                    return (f"step {step}: unpin_all diverged "
+                            f"(cache={got_n} ref={want_n})")
+        seen = {item[1] for item in items if item[0] != "unpin"}
+        got_resident = {a for a in seen if cache.probe(a)}
+        want_resident = ref.resident_set()
+        if got_resident != want_resident:
+            return (f"resident sets diverged: only-cache="
+                    f"{sorted(got_resident - want_resident)} only-ref="
+                    f"{sorted(want_resident - got_resident)}")
+        if cache.pinned_lines != ref.pinned_lines():
+            return (f"pinned totals diverged: cache="
+                    f"{cache.pinned_lines} ref={ref.pinned_lines()}")
+        if (cache.stats.evictions, cache.stats.writebacks,
+                cache.stats.pin_refusals) != (
+                ref.evictions, ref.writebacks, ref.pin_refusals):
+            return (f"counters diverged: cache=("
+                    f"{cache.stats.evictions}, {cache.stats.writebacks},"
+                    f" {cache.stats.pin_refusals}) ref=({ref.evictions},"
+                    f" {ref.writebacks}, {ref.pin_refusals})")
+        return None
+
+
+class EngineLane(Lane):
+    """Object loop vs. packed loop vs. naive reference engine."""
+
+    name = "engine"
+
+    def make(self, rng: random.Random, length: int) -> Tuple[dict, list]:
+        cfg = GenConfig(
+            seed=rng.randrange(1 << 32),
+            length=length,
+            work_frac=rng.uniform(0.0, 0.25),
+            write_frac=rng.uniform(0.0, 0.6),
+        )
+        events, _ = generators.generate_trace(cfg)
+        params = {
+            "window": rng.choice((1, 2, 4, 8, 16)),
+            "issue_width": rng.choice((1, 2, 4)),
+            "mem_seed": rng.randrange(1 << 32),
+            "miss_rate": round(rng.uniform(0.1, 0.9), 3),
+        }
+        return params, events
+
+    def fail(self, params: dict, items: list) -> Optional[str]:
+        from repro.cpu.engine import TraceEngine
+
+        def toy() -> ToyMemory:
+            return ToyMemory(params["mem_seed"],
+                             miss_rate=params["miss_rate"])
+
+        opt = TraceEngine(toy(), issue_width=params["issue_width"],
+                          window=params["window"])
+        got_obj = opt.run(list(items))
+        opt_packed = TraceEngine(toy(), issue_width=params["issue_width"],
+                                 window=params["window"])
+        got_packed = opt_packed.run(PackedTrace.from_events(items))
+        ref = ReferenceEngine(toy(), issue_width=params["issue_width"],
+                              window=params["window"])
+        want = ref.run(list(items))
+        if got_obj != want:
+            return f"object loop diverged: engine={got_obj} ref={want}"
+        if got_packed != want:
+            return f"packed loop diverged: engine={got_packed} ref={want}"
+        return None
+
+    def to_json(self, items: list) -> list:
+        return [event_to_json(ev) for ev in items]
+
+    def from_json(self, data: list) -> list:
+        return [event_from_json(item) for item in data]
+
+
+class DramLane(Lane):
+    """FIFO-issued DramSystem vs. the naive open-row reference."""
+
+    name = "dram"
+
+    MAPPINGS = ("scheme1", "scheme2", "scheme3", "scheme5",
+                "permutation", "xmem_interleaved")
+
+    def make(self, rng: random.Random, length: int) -> Tuple[dict, list]:
+        cfg = GenConfig(
+            seed=rng.randrange(1 << 32),
+            length=length,
+            regions=rng.randint(1, 4),
+            region_bytes=1 << rng.randint(14, 18),
+            write_frac=rng.uniform(0.0, 0.5),
+        )
+        params = {"mapping": rng.choice(self.MAPPINGS)}
+        return params, generators.generate_requests(cfg)
+
+    def fail(self, params: dict, items: list) -> Optional[str]:
+        from repro.dram.system import DramSystem
+
+        dram = DramSystem(mapping=params["mapping"])
+        ref = ReferenceDram(mapping=params["mapping"])
+        for step, (paddr, arrival, is_write) in enumerate(items):
+            res = dram.access(paddr, arrival, is_write=bool(is_write))
+            outcome, latency, done = ref.access(paddr, arrival,
+                                                bool(is_write))
+            if (res.outcome.value, res.latency, res.completes_at) != (
+                    outcome, latency, done):
+                return (f"step {step}: {paddr:#x}@{arrival} diverged: "
+                        f"dram=({res.outcome.value}, {res.latency}, "
+                        f"{res.completes_at}) ref=({outcome}, {latency},"
+                        f" {done})")
+        s = dram.stats
+        got = (s.reads, s.writes, s.row_hits, s.row_closed,
+               s.row_conflicts, s.read_latency_sum, s.write_latency_sum)
+        want = (ref.reads, ref.writes, ref.row_hits, ref.row_closed,
+                ref.row_conflicts, ref.read_latency_sum,
+                ref.write_latency_sum)
+        if got != want:
+            return f"final counters diverged: dram={got} ref={want}"
+        return None
+
+
+class SchedLane(Lane):
+    """FR-FCFS service invariants over random request lists."""
+
+    name = "sched"
+
+    def make(self, rng: random.Random, length: int) -> Tuple[dict, list]:
+        cfg = GenConfig(
+            seed=rng.randrange(1 << 32),
+            length=min(length, 200),     # service() is O(n^2)
+            regions=rng.randint(1, 3),
+            region_bytes=1 << rng.randint(13, 16),
+        )
+        params = {"mapping": rng.choice(DramLane.MAPPINGS)}
+        return params, generators.generate_requests(cfg)
+
+    def fail(self, params: dict, items: list) -> Optional[str]:
+        from repro.dram.scheduler import FRFCFSScheduler, Request
+        from repro.dram.system import DramSystem
+
+        requests = [Request(paddr, arrival, bool(is_write), req_id=i)
+                    for i, (paddr, arrival, is_write) in enumerate(items)]
+        sched = FRFCFSScheduler(DramSystem(mapping=params["mapping"]))
+        completions = sched.service(list(requests))
+        if len(completions) != len(requests):
+            return (f"{len(requests)} requests but "
+                    f"{len(completions)} completions")
+        served = sorted(c.request.req_id for c in completions)
+        if served != list(range(len(requests))):
+            return f"service multiset wrong: {served}"
+        if sched.stats.serviced != len(requests):
+            return (f"serviced counter {sched.stats.serviced} != "
+                    f"{len(requests)}")
+        if sched.stats.reordered > sched.stats.serviced:
+            return "reordered exceeds serviced"
+        for c in completions:
+            if c.result.completes_at < c.request.arrival:
+                return (f"request {c.request.req_id} completed at "
+                        f"{c.result.completes_at} before arrival "
+                        f"{c.request.arrival}")
+            if c.latency < 0:
+                return f"negative latency for request {c.request.req_id}"
+        if sched.dram.stats.accesses != len(requests):
+            return (f"dram serviced {sched.dram.stats.accesses} of "
+                    f"{len(requests)} requests")
+        return None
+
+
+LANES: Dict[str, Lane] = {
+    lane.name: lane
+    for lane in (PackedLane(), CacheLane(), EngineLane(), DramLane(),
+                 SchedLane())
+}
+
+
+def _first_snapshot_delta(a: dict, b: dict, prefix: str = "") -> str:
+    """The first differing key path between two nested snapshots."""
+    for key in sorted(set(a) | set(b)):
+        path = f"{prefix}{key}"
+        va, vb = a.get(key), b.get(key)
+        if isinstance(va, dict) and isinstance(vb, dict):
+            if va != vb:
+                return _first_snapshot_delta(va, vb, f"{path}.")
+        elif va != vb:
+            return f"{path}: {va!r} != {vb!r}"
+    return "<no delta>"
+
+
+# ---------------------------------------------------------------------------
+# The fuzz loop
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class FuzzFailure:
+    """One diverging case, after shrinking."""
+
+    lane: str
+    case_index: int
+    params: dict
+    items: list
+    error: str
+    original_size: int
+
+    def reproducer(self) -> dict:
+        """The JSON document written to the corpus."""
+        return {
+            "lane": self.lane,
+            "case_index": self.case_index,
+            "params": self.params,
+            "items": LANES[self.lane].to_json(self.items),
+            "error": self.error,
+            "original_size": self.original_size,
+        }
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` sweep."""
+
+    cases: int
+    per_lane: Dict[str, int]
+    failures: List[FuzzFailure]
+    corpus_paths: List[Path]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def case_rng(seed: int, case_index: int) -> random.Random:
+    """The per-case RNG: deterministic in (sweep seed, case index)."""
+    return random.Random((seed << 24) ^ (case_index * 0x9E3779B1))
+
+
+def run_case(lane: Lane, seed: int, case_index: int,
+             length: int) -> Optional[FuzzFailure]:
+    """Generate and run one case; None when the models agree."""
+    rng = case_rng(seed, case_index)
+    params, items = lane.make(rng, length)
+    error = lane.fail(params, items)
+    if error is None:
+        return None
+    return FuzzFailure(lane=lane.name, case_index=case_index,
+                       params=params, items=items, error=error,
+                       original_size=len(items))
+
+
+def shrink_failure(failure: FuzzFailure,
+                   budget: int = DEFAULT_BUDGET) -> FuzzFailure:
+    """Shrink a failure's items against its own lane predicate."""
+    lane = LANES[failure.lane]
+
+    def still_fails(candidate: list) -> bool:
+        return lane.fail(failure.params, candidate) is not None
+
+    small = shrink(failure.items, still_fails, budget=budget)
+    error = lane.fail(failure.params, small)
+    return dataclasses.replace(failure, items=small,
+                               error=error or failure.error)
+
+
+def write_reproducer(corpus_dir: Path, failure: FuzzFailure) -> Path:
+    """One JSON reproducer file per failure, name keyed by the case."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / f"{failure.lane}-case{failure.case_index:05d}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(failure.reproducer(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def run_fuzz(cases: int, seed: int = 0, length: int = 400,
+             lanes: Optional[List[str]] = None,
+             corpus_dir: Optional[Path] = None,
+             shrink_budget: int = DEFAULT_BUDGET,
+             log: Optional[Callable[[str], None]] = None) -> FuzzReport:
+    """The ``repro fuzz`` engine: N cases round-robin over the lanes.
+
+    Failing cases are shrunk and (when ``corpus_dir`` is given) written
+    as reproducers.  Fuzzing continues past failures so one sweep
+    reports every diverging lane.
+    """
+    names = list(lanes) if lanes else list(LANES)
+    unknown = [n for n in names if n not in LANES]
+    if unknown:
+        raise ValueError(
+            f"unknown lanes {unknown}; choices: {sorted(LANES)}")
+    per_lane: Dict[str, int] = {n: 0 for n in names}
+    failures: List[FuzzFailure] = []
+    paths: List[Path] = []
+    for i in range(cases):
+        lane = LANES[names[i % len(names)]]
+        per_lane[lane.name] += 1
+        failure = run_case(lane, seed, i, length)
+        if failure is None:
+            continue
+        if log:
+            log(f"case {i} [{lane.name}]: FAILED ({failure.error}); "
+                f"shrinking {len(failure.items)} items...")
+        failure = shrink_failure(failure, budget=shrink_budget)
+        failures.append(failure)
+        if log:
+            log(f"case {i} [{lane.name}]: shrunk to "
+                f"{len(failure.items)} items: {failure.error}")
+        if corpus_dir is not None:
+            paths.append(write_reproducer(corpus_dir, failure))
+    return FuzzReport(cases=cases, per_lane=per_lane,
+                      failures=failures, corpus_paths=paths)
+
+
+# ---------------------------------------------------------------------------
+# Reproducer replay
+# ---------------------------------------------------------------------------
+
+def load_reproducer(path: Path) -> Tuple[Lane, dict, list]:
+    """(lane, params, items) from a corpus JSON document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    lane = LANES[doc["lane"]]
+    return lane, doc["params"], lane.from_json(doc["items"])
+
+
+def replay(path: Path) -> Optional[str]:
+    """Re-run one reproducer; the lane's error, or None when fixed."""
+    lane, params, items = load_reproducer(path)
+    return lane.fail(params, items)

@@ -1,0 +1,248 @@
+"""Seeded random workload generators for the differential lanes.
+
+Real workloads (the 12 polybench kernels, the 27 suite models) cover a
+narrow, well-behaved slice of input space.  These generators produce
+adversarial mixes from a seed, deterministically:
+
+* :func:`generate_trace` -- a phased stream of
+  :class:`~repro.cpu.trace.MemAccess`/:class:`~repro.cpu.trace.Work`
+  events: strided runs, pointer-chase-like runs (an LCG walk inside a
+  region), and hot-set runs (a small set hammered with occasional cold
+  lines), optionally interleaved with
+  :class:`~repro.cpu.trace.XMemOp` atom churn
+  (map/unmap/remap/activate/deactivate over pre-created atoms).  Both
+  the object stream and the equivalent :class:`PackedTrace` come from
+  the same emission, so the pair is a ready-made packed-vs-object
+  differential input.
+* :func:`generate_lines` -- a raw line-address stream with the same
+  phase structure, for cache-level lanes.
+* :func:`generate_requests` -- timed (paddr, arrival, is_write)
+  request tuples for the DRAM/scheduler lanes, arrival-sorted, with
+  bank-conflict-prone address clustering.
+* :func:`setup_atoms` -- the deterministic ``create_atom`` prologue a
+  trace with churn expects; call it on each fresh system before
+  running, with the same config, to recreate identical atom IDs.
+
+Everything is a pure function of its :class:`GenConfig`; no global
+RNG state is touched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cpu.trace import (
+    MemAccess,
+    PackedTrace,
+    TraceBuilder,
+    TraceEvent,
+    Work,
+    XMemOp,
+)
+
+#: AAM chunk granularity -- atom map/unmap ranges are chunk-aligned so
+#: pinning decisions see clean spans.
+CHUNK = 512
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Shape of one generated workload (a pure function of these)."""
+
+    seed: int = 0
+    length: int = 400               # dense (MemAccess/Work) events
+    regions: int = 4                # distinct address regions
+    region_bytes: int = 1 << 15     # bytes per region
+    base: int = 0x4_0000            # first region's base address
+    line_bytes: int = 64
+    write_frac: float = 0.3
+    work_frac: float = 0.08         # probability of a Work event
+    max_work: int = 12
+    run_len: Tuple[int, int] = (4, 40)   # accesses per phase run
+    hot_lines: int = 8              # hot-set size, in lines
+    #: Phase weights: (strided, pointer-chase, hot-set).
+    mix: Tuple[float, float, float] = (1.0, 1.0, 1.0)
+    #: Atoms available for churn ops (0 = pure MemAccess/Work trace).
+    atoms: int = 0
+    #: Probability of an XMemOp burst between phase runs.
+    churn: float = 0.25
+
+    def region_base(self, idx: int) -> int:
+        """Base address of region ``idx``."""
+        return self.base + idx * self.region_bytes
+
+
+def setup_atoms(lib, cfg: GenConfig) -> List[int]:
+    """Create ``cfg.atoms`` atoms on ``lib``, deterministically.
+
+    Attributes vary by index (alternating reuse/pattern) so the cache
+    controller pins some atoms and ignores others.  Returns the IDs in
+    creation order -- the IDs the generated ``XMemOp`` events name.
+    """
+    from repro.core.attributes import PatternType
+
+    ids: List[int] = []
+    for i in range(cfg.atoms):
+        ids.append(lib.create_atom(
+            f"fuzz{i}",
+            pattern=(PatternType.REGULAR if i % 2 == 0
+                     else PatternType.IRREGULAR),
+            stride_bytes=8 if i % 2 == 0 else None,
+            reuse=(255 - 16 * i) if i % 3 != 2 else 0,
+            access_intensity=i % 8,
+        ))
+    return ids
+
+
+class _Churn:
+    """Tracks per-atom mapped ranges so unmaps stay structurally valid."""
+
+    def __init__(self, cfg: GenConfig, rng: random.Random) -> None:
+        self.cfg = cfg
+        self.rng = rng
+        self.mapped: List[List[Tuple[int, int]]] = [
+            [] for _ in range(cfg.atoms)
+        ]
+        self.active = [False] * cfg.atoms
+
+    def _span(self) -> Tuple[int, int]:
+        cfg, rng = self.cfg, self.rng
+        region = rng.randrange(cfg.regions)
+        size = CHUNK * rng.randint(1, max(1, cfg.region_bytes // CHUNK // 4))
+        start = cfg.region_base(region) + CHUNK * rng.randrange(
+            max(1, (cfg.region_bytes - size) // CHUNK + 1))
+        return start, size
+
+    def ops(self) -> List[XMemOp]:
+        """One churn burst: 1-3 ops over the atom pool."""
+        cfg, rng = self.cfg, self.rng
+        out: List[XMemOp] = []
+        for _ in range(rng.randint(1, 3)):
+            atom = rng.randrange(cfg.atoms)
+            kind = rng.random()
+            if kind < 0.35:
+                start, size = self._span()
+                self.mapped[atom].append((start, size))
+                out.append(XMemOp("atom_map", atom, start, size))
+            elif kind < 0.55 and self.mapped[atom]:
+                start, size = self.mapped[atom].pop(
+                    rng.randrange(len(self.mapped[atom])))
+                out.append(XMemOp("atom_unmap", atom, start, size))
+            elif kind < 0.75:
+                start, size = self._span()
+                self.mapped[atom] = [(start, size)]
+                out.append(XMemOp("atom_remap", atom, start, size))
+            elif kind < 0.9 or not self.active[atom]:
+                self.active[atom] = True
+                out.append(XMemOp("atom_activate", atom))
+            else:
+                self.active[atom] = False
+                out.append(XMemOp("atom_deactivate", atom))
+        return out
+
+
+def _phase_addrs(cfg: GenConfig, rng: random.Random,
+                 count: int) -> List[int]:
+    """One phase run of ``count`` line-aligned addresses."""
+    line = cfg.line_bytes
+    lines_per_region = cfg.region_bytes // line
+    total = cfg.mix[0] + cfg.mix[1] + cfg.mix[2]
+    pick = rng.random() * total
+    region_base = cfg.region_base(rng.randrange(cfg.regions))
+    out: List[int] = []
+    if pick < cfg.mix[0]:
+        # Strided run: fixed stride from a random start, wrapped.
+        stride = rng.choice((1, 1, 2, 3, 5, 8, 16)) * line
+        pos = rng.randrange(lines_per_region) * line
+        for _ in range(count):
+            out.append(region_base + pos % cfg.region_bytes)
+            pos += stride
+    elif pick < cfg.mix[0] + cfg.mix[1]:
+        # Pointer-chase-like: an LCG walk -- every address depends on
+        # the previous one, defeating stride prefetchers.
+        pos = rng.randrange(lines_per_region)
+        for _ in range(count):
+            out.append(region_base + pos * line)
+            pos = (pos * 1103515245 + 12345) % lines_per_region
+    else:
+        # Hot set with occasional cold lines.
+        hot = [rng.randrange(lines_per_region) * line
+               for _ in range(cfg.hot_lines)]
+        for _ in range(count):
+            if rng.random() < 0.85:
+                out.append(region_base + rng.choice(hot))
+            else:
+                out.append(region_base
+                           + rng.randrange(lines_per_region) * line)
+    return out
+
+
+def generate_trace(cfg: GenConfig
+                   ) -> Tuple[List[TraceEvent], PackedTrace]:
+    """The (object stream, packed trace) pair for one config.
+
+    Both come from one emission pass, so they are equivalent by
+    construction *of the generator*; whether the engine agrees is what
+    the packed lane tests.
+    """
+    rng = random.Random(cfg.seed)
+    events: List[TraceEvent] = []
+    builder = TraceBuilder()
+    churn = _Churn(cfg, rng) if cfg.atoms else None
+    dense = 0
+    while dense < cfg.length:
+        if churn is not None and rng.random() < cfg.churn:
+            for op in churn.ops():
+                events.append(op)
+                builder.op(op)
+        count = min(rng.randint(*cfg.run_len), cfg.length - dense)
+        for addr in _phase_addrs(cfg, rng, count):
+            if rng.random() < cfg.work_frac:
+                work = rng.randint(1, cfg.max_work)
+                events.append(Work(work))
+                builder.work(work)
+                dense += 1
+                if dense >= cfg.length:
+                    break
+            is_write = rng.random() < cfg.write_frac
+            inline_work = rng.randint(0, 3)
+            events.append(MemAccess(addr, is_write, inline_work))
+            builder.access(addr, is_write, inline_work)
+            dense += 1
+            if dense >= cfg.length:
+                break
+    return events, builder.build()
+
+
+def generate_lines(cfg: GenConfig, count: Optional[int] = None
+                   ) -> List[int]:
+    """A phased line-address stream (cache-lane input)."""
+    rng = random.Random(cfg.seed)
+    want = count if count is not None else cfg.length
+    out: List[int] = []
+    while len(out) < want:
+        run = min(rng.randint(*cfg.run_len), want - len(out))
+        out.extend(_phase_addrs(cfg, rng, run))
+    return out[:want]
+
+
+def generate_requests(cfg: GenConfig, count: Optional[int] = None
+                      ) -> List[Tuple[int, float, bool]]:
+    """Timed (paddr, arrival, is_write) tuples, arrival-sorted.
+
+    Addresses reuse the phase generator (clustered runs make row hits
+    and bank conflicts both likely); inter-arrival gaps are a seeded
+    mix of bursts (0) and idle gaps, quantized to 0.25 cycles so
+    arrival arithmetic stays exact in binary floating point.
+    """
+    rng = random.Random(cfg.seed + 0x5EED)
+    addrs = generate_lines(cfg, count)
+    out: List[Tuple[int, float, bool]] = []
+    arrival = 0.0
+    for addr in addrs:
+        if rng.random() < 0.4:
+            arrival += rng.randrange(0, 200) / 4.0
+        out.append((addr, arrival, rng.random() < cfg.write_frac))
+    return out

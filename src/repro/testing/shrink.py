@@ -1,0 +1,61 @@
+"""Greedy delta-debugging shrinker for failing fuzz inputs.
+
+A failing case is a list of items (trace events, cache ops, DRAM
+requests) plus a predicate that re-runs the differential lane.  The
+shrinker removes as much of the list as it can while the predicate
+keeps failing: contiguous chunks first (halving granularity, the ddmin
+schedule), then single items, looping until a fixed point.  The result
+is the minimal reproducer that gets written to the corpus -- small
+enough to read, diff, and check in as a regression test.
+
+Deterministic: no randomness, so the same failure always shrinks to
+the same reproducer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Safety valve on predicate invocations -- shrinking is O(n^2) in the
+#: worst case and lane re-runs are not free.
+DEFAULT_BUDGET = 2000
+
+
+def shrink(items: Sequence[T], fails: Callable[[List[T]], bool],
+           budget: int = DEFAULT_BUDGET) -> List[T]:
+    """The smallest sublist of ``items`` on which ``fails`` still holds.
+
+    ``fails`` must be True for ``items`` itself (the caller observed
+    the failure); raises ``ValueError`` otherwise, because "shrinking"
+    a passing input silently would mask a flaky lane.
+    """
+    current = list(items)
+    if not fails(current):
+        raise ValueError("shrink() called with a passing input")
+    calls = 0
+
+    def try_fails(candidate: List[T]) -> bool:
+        nonlocal calls
+        calls += 1
+        return fails(candidate)
+
+    progress = True
+    while progress and calls < budget:
+        progress = False
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1 and calls < budget:
+            start = 0
+            while start < len(current) and calls < budget:
+                candidate = current[:start] + current[start + chunk:]
+                if candidate and try_fails(candidate):
+                    current = candidate
+                    progress = True
+                    # Same start now addresses the next chunk.
+                else:
+                    start += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+    return current

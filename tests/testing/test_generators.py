@@ -1,0 +1,138 @@
+"""The workload generators: determinism and structural validity."""
+
+import pytest
+
+from repro.cpu.trace import MemAccess, Work, XMemOp
+from repro.testing.generators import (
+    CHUNK,
+    GenConfig,
+    generate_lines,
+    generate_requests,
+    generate_trace,
+    setup_atoms,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        cfg = GenConfig(seed=7, atoms=3)
+        events_a, packed_a = generate_trace(cfg)
+        events_b, packed_b = generate_trace(cfg)
+        assert events_a == events_b
+        assert list(packed_a.vaddr) == list(packed_b.vaddr)
+        assert list(packed_a.meta) == list(packed_b.meta)
+        assert packed_a.xmem == packed_b.xmem
+
+    def test_different_seeds_differ(self):
+        a, _ = generate_trace(GenConfig(seed=1))
+        b, _ = generate_trace(GenConfig(seed=2))
+        assert a != b
+
+    def test_lines_and_requests_deterministic(self):
+        cfg = GenConfig(seed=11)
+        assert generate_lines(cfg) == generate_lines(cfg)
+        assert generate_requests(cfg) == generate_requests(cfg)
+
+
+class TestTraceShape:
+    def test_packed_equals_object_stream(self):
+        cfg = GenConfig(seed=5, atoms=4, length=300)
+        events, packed = generate_trace(cfg)
+        assert list(packed.events()) == events
+
+    def test_dense_length_honored(self):
+        cfg = GenConfig(seed=3, length=250)
+        events, packed = generate_trace(cfg)
+        dense = [e for e in events if not isinstance(e, XMemOp)]
+        assert len(dense) == 250
+        assert len(packed.vaddr) == 250
+
+    def test_no_atoms_means_no_xmem_ops(self):
+        events, packed = generate_trace(GenConfig(seed=9, atoms=0))
+        assert not any(isinstance(e, XMemOp) for e in events)
+        assert len(packed.xmem) == 0
+
+    def test_churn_emits_xmem_ops(self):
+        events, _ = generate_trace(
+            GenConfig(seed=2, atoms=4, churn=0.9, length=400))
+        assert any(isinstance(e, XMemOp) for e in events)
+
+    def test_addresses_line_aligned_and_in_regions(self):
+        cfg = GenConfig(seed=13, length=500)
+        events, _ = generate_trace(cfg)
+        lo = cfg.base
+        hi = cfg.base + cfg.regions * cfg.region_bytes
+        for ev in events:
+            if isinstance(ev, MemAccess):
+                assert ev.vaddr % cfg.line_bytes == 0
+                assert lo <= ev.vaddr < hi
+
+    def test_work_events_bounded(self):
+        events, _ = generate_trace(GenConfig(seed=17, work_frac=0.5))
+        works = [e for e in events if isinstance(e, Work)]
+        assert works
+        assert all(1 <= w.count <= GenConfig.max_work for w in works)
+
+
+class TestChurnValidity:
+    def test_unmap_targets_mapped_ranges(self):
+        """Every unmap names a range some earlier map/remap installed."""
+        events, _ = generate_trace(
+            GenConfig(seed=23, atoms=3, churn=0.9, length=600))
+        mapped = {}
+        for ev in events:
+            if not isinstance(ev, XMemOp):
+                continue
+            if ev.method == "atom_map":
+                atom, start, size = ev.args
+                mapped.setdefault(atom, []).append((start, size))
+            elif ev.method == "atom_remap":
+                atom, start, size = ev.args
+                mapped[atom] = [(start, size)]
+            elif ev.method == "atom_unmap":
+                atom, start, size = ev.args
+                assert (start, size) in mapped.get(atom, [])
+                mapped[atom].remove((start, size))
+
+    def test_spans_chunk_aligned(self):
+        events, _ = generate_trace(
+            GenConfig(seed=29, atoms=3, churn=0.9, length=600))
+        for ev in events:
+            if isinstance(ev, XMemOp) and len(ev.args) == 3:
+                _, start, size = ev.args
+                assert start % CHUNK == 0
+                assert size % CHUNK == 0 and size > 0
+
+
+class TestRequests:
+    def test_sorted_and_quantized(self):
+        reqs = generate_requests(GenConfig(seed=31), count=300)
+        assert len(reqs) == 300
+        arrivals = [a for _, a, _ in reqs]
+        assert arrivals == sorted(arrivals)
+        # 0.25-cycle quantization: exact in binary floating point.
+        assert all((a * 4) == int(a * 4) for a in arrivals)
+
+
+class TestSetupAtoms:
+    def test_ids_deterministic(self):
+        from repro.sim import build_xmem, scaled_config
+
+        cfg = GenConfig(atoms=5)
+        a = setup_atoms(build_xmem(scaled_config(32)).xmemlib, cfg)
+        b = setup_atoms(build_xmem(scaled_config(32)).xmemlib, cfg)
+        assert a == b
+        assert len(a) == 5
+
+    def test_zero_atoms_no_calls(self):
+        class Boom:
+            def create_atom(self, *a, **k):
+                raise AssertionError("should not be called")
+
+        assert setup_atoms(Boom(), GenConfig(atoms=0)) == []
+
+
+@pytest.mark.parametrize("mix", [(1, 0, 0), (0, 1, 0), (0, 0, 1)])
+def test_single_phase_mixes_run(mix):
+    events, packed = generate_trace(GenConfig(seed=41, mix=mix))
+    assert list(packed.events()) == events

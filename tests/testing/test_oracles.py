@@ -1,0 +1,134 @@
+"""The reference models agree with the optimized ones by construction.
+
+These are directed unit tests of the oracles themselves -- the fuzz
+lanes (:mod:`repro.testing.fuzz`) add randomized coverage on top.
+"""
+
+import random
+
+from repro.cpu.engine import TraceEngine
+from repro.cpu.trace import PackedTrace, TraceBuilder
+from repro.dram.system import DramSystem
+from repro.mem.cache import Cache
+from repro.testing.generators import GenConfig, generate_lines, generate_trace
+from repro.testing.oracles import (
+    ReferenceCache,
+    ReferenceDram,
+    ReferenceEngine,
+    ToyMemory,
+)
+
+
+class TestReferenceCacheVsCache:
+    def drive(self, seed, sets=4, ways=4, quota=0.75, ops=600):
+        rng = random.Random(seed)
+        cache = Cache("T", sets * ways * 64, ways, pin_quota=quota)
+        ref = ReferenceCache(sets, ways, pin_quota=quota)
+        addrs = generate_lines(GenConfig(seed=seed, region_bytes=1 << 12),
+                               count=ops)
+        for addr in addrs:
+            roll = rng.random()
+            if roll < 0.6:
+                is_write = rng.random() < 0.3
+                assert (cache.access(addr, is_write).hit
+                        == ref.access(addr, is_write))
+            elif roll < 0.9:
+                dirty = rng.random() < 0.4
+                pin = rng.random() < 0.2
+                wb_c = cache.fill(addr, dirty=dirty, pinned=pin)
+                wb_r = ref.fill(addr, dirty=dirty, pinned=pin)
+                assert wb_c == wb_r
+            else:
+                assert cache.unpin_all() == ref.unpin_all()
+        return cache, ref
+
+    def test_counters_and_state_match(self):
+        for seed in range(6):
+            cache, ref = self.drive(seed)
+            assert cache.stats.evictions == ref.evictions
+            assert cache.stats.writebacks == ref.writebacks
+            assert cache.stats.pin_refusals == ref.pin_refusals
+            assert cache.pinned_lines == ref.pinned_lines()
+            assert cache.resident_lines == len(ref.resident_set())
+            for line in ref.resident_set():
+                assert cache.probe(line)
+
+    def test_full_quota_never_deadlocks(self):
+        cache, ref = self.drive(99, ways=2, quota=1.0, ops=400)
+        assert cache.stats.evictions == ref.evictions
+
+    def test_resident_fill_keeps_recency(self):
+        """A flag-merging fill must not promote: the victim order is
+        decided by demand accesses only (both models agree)."""
+        ref = ReferenceCache(1, 2)
+        ref.fill(0)          # tag 0 (LRU after next fill)
+        ref.fill(64)         # tag 1
+        ref.fill(0, dirty=True)   # resident: merge, no promotion
+        ref.fill(128)        # evicts tag 0, the still-oldest line
+        assert ref.resident_set() == {64, 128}
+        assert ref.writebacks == 1
+
+
+class TestReferenceEngineVsTraceEngine:
+    def build_trace(self, seed, length=300):
+        events, packed = generate_trace(GenConfig(seed=seed, length=length))
+        return events, packed
+
+    def test_bit_identical_stats(self):
+        for seed in range(5):
+            events, packed = self.build_trace(seed)
+            opt = TraceEngine(ToyMemory(seed), issue_width=4, window=4)
+            ref = ReferenceEngine(ToyMemory(seed), issue_width=4, window=4)
+            a = opt.run(list(events))
+            b = ref.run(list(events))
+            assert a == b
+
+    def test_packed_three_way(self):
+        events, packed = self.build_trace(21)
+        a = TraceEngine(ToyMemory(3), window=2).run(list(events))
+        b = TraceEngine(ToyMemory(3), window=2).run(packed)
+        c = ReferenceEngine(ToyMemory(3), window=2).run(packed)
+        assert a == b == c
+
+    def test_window_one_serializes(self):
+        events, _ = self.build_trace(8)
+        one = ReferenceEngine(ToyMemory(8, miss_rate=1.0), window=1)
+        wide = ReferenceEngine(ToyMemory(8, miss_rate=1.0), window=64)
+        assert one.run(list(events)).cycles >= wide.run(list(events)).cycles
+
+
+class TestReferenceDramVsDramSystem:
+    def test_fifo_identical(self):
+        for mapping in ("scheme1", "scheme2", "xmem_interleaved"):
+            opt = DramSystem(mapping=mapping)
+            ref = ReferenceDram(mapping=mapping)
+            rng = random.Random(5)
+            now = 0.0
+            for _ in range(400):
+                paddr = rng.randrange(1 << 26) & ~63
+                is_write = rng.random() < 0.3
+                res = opt.access(paddr, now, is_write)
+                outcome, latency, done = ref.access(paddr, now, is_write)
+                assert res.outcome.value == outcome
+                assert res.latency == latency
+                assert res.completes_at == done
+                now += rng.randrange(0, 40) / 4.0
+            assert opt.stats.reads == ref.reads
+            assert opt.stats.writes == ref.writes
+            assert opt.stats.read_latency_sum == ref.read_latency_sum
+            assert opt.stats.row_hits == ref.row_hits
+            assert opt.stats.row_conflicts == ref.row_conflicts
+
+
+class TestToyMemory:
+    def test_same_seed_same_stream(self):
+        a, b = ToyMemory(4), ToyMemory(4)
+        for i in range(200):
+            assert a.access(i * 64, False, float(i)) \
+                == b.access(i * 64, False, float(i))
+
+    def test_misses_exceed_pipeline_threshold(self):
+        mem = ToyMemory(1, miss_rate=1.0)
+        completes, to_memory = mem.access(0, False, 0.0)
+        assert to_memory
+        assert completes > TraceEngine.PIPELINED_LATENCY

@@ -1,0 +1,60 @@
+"""The delta-debugging shrinker."""
+
+import pytest
+
+from repro.testing.shrink import shrink
+
+
+def test_rejects_passing_input():
+    with pytest.raises(ValueError):
+        shrink([1, 2, 3], lambda items: False)
+
+
+def test_single_culprit_isolated():
+    items = list(range(100))
+    result = shrink(items, lambda c: 42 in c)
+    assert result == [42]
+
+
+def test_pair_culprit_isolated():
+    items = list(range(60))
+    result = shrink(items, lambda c: 7 in c and 51 in c)
+    assert sorted(result) == [7, 51]
+
+
+def test_order_dependent_predicate():
+    """Subsequence order is preserved while shrinking."""
+    items = list(range(40))
+    result = shrink(items,
+                    lambda c: 5 in c and 30 in c
+                    and c.index(5) < c.index(30))
+    assert result == [5, 30]
+
+
+def test_count_predicate():
+    items = list(range(50))
+    result = shrink(items, lambda c: len(c) >= 10)
+    assert len(result) == 10
+
+
+def test_budget_limits_calls():
+    calls = []
+
+    def fails(candidate):
+        calls.append(1)
+        return 0 in candidate
+
+    shrink(list(range(1000)), fails, budget=20)
+    # The initial confirmation plus at most `budget` probes.
+    assert len(calls) <= 21
+
+
+def test_deterministic():
+    items = list(range(80))
+
+    def fails(c):
+        return len([x for x in c if x % 3 == 0]) >= 5
+
+    result = shrink(items, fails)
+    assert result == shrink(items, fails)
+    assert len(result) == 5

@@ -1,0 +1,115 @@
+"""Unit tests for the atom-aware heap allocator (Section 4.1.2)."""
+
+import pytest
+
+from repro.core.errors import AllocationError
+from repro.xos.vmalloc import HEAP_BASE, HeapAllocator
+
+PAGE = 4096
+
+
+class RecordingBackPage:
+    """Captures the (vpage, atom_id) calls the OS hook would receive."""
+
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, vpage, atom_id):
+        self.calls.append((vpage, atom_id))
+
+
+@pytest.fixture
+def backing():
+    return RecordingBackPage()
+
+
+@pytest.fixture
+def heap(backing):
+    return HeapAllocator(backing, page_bytes=PAGE)
+
+
+class TestMalloc:
+    def test_first_allocation_at_heap_base(self, heap):
+        assert heap.malloc(100) == HEAP_BASE
+
+    def test_bump_is_page_rounded(self, heap):
+        a = heap.malloc(1)           # rounds to one page
+        b = heap.malloc(PAGE + 1)    # rounds to two pages
+        c = heap.malloc(PAGE)        # exact page is not over-rounded
+        assert b == a + PAGE
+        assert c == b + 2 * PAGE
+
+    def test_zero_and_negative_sizes_rejected(self, heap):
+        with pytest.raises(AllocationError):
+            heap.malloc(0)
+        with pytest.raises(AllocationError):
+            heap.malloc(-8)
+
+    def test_every_fresh_page_backed_with_atom(self, heap, backing):
+        base = heap.malloc(3 * PAGE, atom_id=7)
+        assert backing.calls == [
+            (base // PAGE + i, 7) for i in range(3)
+        ]
+
+    def test_atomless_allocation_backs_with_none(self, heap, backing):
+        heap.malloc(PAGE)
+        assert backing.calls == [(HEAP_BASE // PAGE, None)]
+
+    def test_live_bytes_tracks_rounded_sizes(self, heap):
+        heap.malloc(1)
+        heap.malloc(PAGE + 1)
+        assert heap.live_bytes == 3 * PAGE
+
+
+class TestFree:
+    def test_free_returns_the_allocation(self, heap):
+        base = heap.malloc(PAGE, atom_id=3)
+        alloc = heap.free(base)
+        assert alloc.start == base
+        assert alloc.atom_id == 3
+        assert heap.live_bytes == 0
+
+    def test_double_free_rejected(self, heap):
+        base = heap.malloc(PAGE)
+        heap.free(base)
+        with pytest.raises(AllocationError):
+            heap.free(base)
+
+    def test_free_of_interior_address_rejected(self, heap):
+        base = heap.malloc(2 * PAGE)
+        with pytest.raises(AllocationError):
+            heap.free(base + PAGE)
+
+    def test_va_not_reused_after_free(self, heap):
+        base = heap.malloc(PAGE)
+        heap.free(base)
+        assert heap.malloc(PAGE) == base + PAGE
+
+
+class TestAtomQueries:
+    def test_allocation_at_covers_whole_range(self, heap):
+        base = heap.malloc(2 * PAGE, atom_id=5)
+        assert heap.allocation_at(base).atom_id == 5
+        assert heap.allocation_at(base + 2 * PAGE - 1).atom_id == 5
+        assert heap.allocation_at(base + 2 * PAGE) is None
+
+    def test_atom_of_range(self, heap):
+        a = heap.malloc(PAGE, atom_id=1)
+        b = heap.malloc(PAGE)
+        assert heap.atom_of_range(a) == 1
+        assert heap.atom_of_range(b) is None
+        assert heap.atom_of_range(b + PAGE) is None
+
+    def test_static_atom_map_records_atom_allocs_only(self, heap):
+        heap.malloc(PAGE)                      # anonymous: not recorded
+        a = heap.malloc(PAGE, atom_id=2)
+        b = heap.malloc(PAGE, atom_id=9)
+        recorded = [(al.start, al.atom_id) for al in heap.static_atom_map]
+        assert recorded == [(a, 2), (b, 9)]
+
+    def test_static_map_survives_free(self, heap):
+        """The static VA->atom record is load-time state, not liveness."""
+        base = heap.malloc(PAGE, atom_id=4)
+        heap.free(base)
+        assert [a.atom_id for a in heap.static_atom_map] == [4]
+        assert heap.atom_of_range(base) is None  # live query, though
