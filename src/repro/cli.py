@@ -110,8 +110,10 @@ def cmd_usecase2(args) -> int:
 
 def cmd_sweep(args) -> int:
     """Run a (kernel x tile) sweep on the parallel experiment runner."""
+    import os
     from pathlib import Path
 
+    from repro.cpu.tiers import ENGINE_TIERS, EXACT_TIERS
     from repro.sim.runner import (
         SYSTEM_BUILDERS,
         SimPoint,
@@ -119,6 +121,19 @@ def cmd_sweep(args) -> int:
         sweep,
         write_point_documents,
     )
+
+    if args.engine:
+        if args.engine not in ENGINE_TIERS:
+            print(f"unknown engine tier {args.engine!r}; "
+                  f"choices: {ENGINE_TIERS}", file=sys.stderr)
+            return 2
+        # Through the environment (not an argument) so pool workers
+        # inherit it, and so the manifest provenance records it.
+        os.environ["REPRO_ENGINE"] = args.engine
+        if args.engine not in EXACT_TIERS:
+            print(f"note: {args.engine} is an estimating tier; "
+                  f"results are approximate (see docs/simulator.md)",
+                  file=sys.stderr)
 
     if args.kernels == "all":
         kernels = list(FIGURE4_KERNELS)
@@ -183,11 +198,15 @@ def cmd_sweep(args) -> int:
 
 
 def _load_stats_docs(target: "Path") -> Optional[dict]:
-    """``{doc_name: stats_subtree}`` from a --stats-json file or dir.
+    """``{doc_name: (stats_subtree, engine_tier)}`` from a --stats-json
+    file or dir.
 
     Only the ``stats`` subtree of each document participates in diffs:
     manifests legitimately differ between runs (wall times, RSS,
-    cache hit counts) while the stats must not.
+    cache hit counts) while the stats must not.  The engine tier is the
+    one manifest field the diff *does* consult: comparing documents
+    produced by different tiers is flagged instead of being reported as
+    spurious counter deltas (pre-tier documents carry None).
     """
     import json
     from pathlib import Path
@@ -208,7 +227,8 @@ def _load_stats_docs(target: "Path") -> Optional[dict]:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 doc = json.load(fh)
-            docs[path.name] = doc["stats"]
+            tier = doc.get("manifest", {}).get("trace", {}).get("tier")
+            docs[path.name] = (doc["stats"], tier)
         except (OSError, ValueError, KeyError) as exc:
             print(f"cannot read stats document {path}: {exc}",
                   file=sys.stderr)
@@ -222,6 +242,7 @@ def cmd_diff(args) -> int:
     Exit status: 0 = zero deltas (the determinism gate passes), 1 =
     deltas found, 2 = unreadable/mismatched inputs.
     """
+    from repro.cpu.tiers import EXACT_TIERS
     from repro.sim.stats import diff_stats
 
     docs_a = _load_stats_docs(args.run_a)
@@ -237,22 +258,48 @@ def cmd_diff(args) -> int:
             print(f"only in {args.run_b}: {name}", file=sys.stderr)
         return 2
     total = 0
+    cross_tier = 0
     for name in sorted(docs_a):
+        stats_a, tier_a = docs_a[name]
+        stats_b, tier_b = docs_b[name]
+        if tier_a != tier_b:
+            if tier_a in EXACT_TIERS and tier_b in EXACT_TIERS:
+                # Exact tiers are bit-identical by contract: note the
+                # tier difference but hold the counters to zero deltas
+                # as usual (this diff *is* the equivalence gate).
+                print(f"{name}: note: cross-tier comparison of exact "
+                      f"tiers ({tier_a} vs {tier_b}); deltas below "
+                      f"are real")
+            else:
+                # An estimating (or unrecorded) tier is involved: the
+                # deltas are estimation error, not nondeterminism --
+                # flag the comparison instead of dumping them.
+                print(f"{name}: cross-tier comparison "
+                      f"({tier_a or 'pre-tier'} vs "
+                      f"{tier_b or 'pre-tier'}); counter deltas "
+                      f"suppressed")
+                cross_tier += 1
+                continue
         # One document holds {system: snapshot}; prefix group paths
         # with the system name so the flat keys are fully qualified.
         flat_a = {f"{system}.{path}": values
-                  for system, snap in docs_a[name].items()
+                  for system, snap in stats_a.items()
                   for path, values in snap.items()}
         flat_b = {f"{system}.{path}": values
-                  for system, snap in docs_b[name].items()
+                  for system, snap in stats_b.items()
                   for path, values in snap.items()}
         deltas = diff_stats(flat_a, flat_b, tolerance=args.tolerance)
         for key, va, vb in deltas:
             print(f"{name}: {key}: {va} != {vb}")
         total += len(deltas)
-    if total:
-        print(f"\n{total} counter delta(s) across {len(docs_a)} "
-              f"document(s)")
+    if total or cross_tier:
+        if total:
+            print(f"\n{total} counter delta(s) across {len(docs_a)} "
+                  f"document(s)")
+        if cross_tier:
+            print(f"{cross_tier} cross-tier document pair(s) flagged "
+                  f"(rerun both sides on the same --engine to diff "
+                  f"counters)")
         return 1
     print(f"identical stats: {len(docs_a)} document(s), zero deltas")
     return 0
@@ -384,6 +431,9 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--stats-json", default=None, metavar="DIR",
                     help="write one manifest+stats JSON document per "
                          "point into DIR")
+    sw.add_argument("--engine", default=None,
+                    help="engine tier: object | packed | vector | "
+                         "analytical (default: REPRO_ENGINE or packed)")
 
     df = sub.add_parser(
         "diff",

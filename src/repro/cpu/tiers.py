@@ -1,0 +1,82 @@
+"""Engine-tier selection: one model, four evaluation strategies.
+
+The simulator has a single memory-system model, but several ways to
+drive a trace through it:
+
+``object``
+    The original interpreter over a Python event stream.  Slowest;
+    the reference the others are pinned against.
+``packed``
+    :meth:`TraceEngine.run_packed` over :class:`PackedTrace` columns
+    (the zero-object fast path).  Bit-identical to ``object``.
+``vector``
+    :func:`repro.cpu.vector_engine.run_vector`: chunked columnar
+    probing with run-length fast-forwarding of pure-hit stretches.
+    Bit-identical to ``packed`` (falls back to it when the machine
+    shape is outside its verified domain).
+``analytical``
+    :func:`repro.sim.analytical.estimate_packed`: a one-pass
+    stack-distance estimator producing *estimated* EngineStats without
+    evolving the machine.  Not exact -- see the module's error model;
+    committed tables must never be produced on this tier.
+
+The active tier comes from the ``REPRO_ENGINE`` environment variable
+(so it propagates to sweep worker processes) or an explicit argument;
+``packed`` is the default.  :func:`run_tier` is the single dispatch
+point used by :meth:`SystemHandle.run`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+from repro.cpu.engine import EngineStats, TraceEngine
+from repro.cpu.trace import PackedTrace
+
+#: Recognized tiers, exact first.  ``object``/``packed``/``vector``
+#: are interchangeable on results; ``analytical`` is an estimate.
+ENGINE_TIERS = ("object", "packed", "vector", "analytical")
+
+#: Tiers whose EngineStats are bit-identical to the reference model.
+EXACT_TIERS = ("object", "packed", "vector")
+
+_ENV_VAR = "REPRO_ENGINE"
+
+
+def resolve_engine_tier(explicit: Optional[str] = None) -> str:
+    """The active tier: ``explicit`` if given, else ``$REPRO_ENGINE``,
+    else ``packed``.  Unknown names raise (typos must not silently run
+    a different interpreter)."""
+    tier = explicit or os.environ.get(_ENV_VAR) or "packed"
+    if tier not in ENGINE_TIERS:
+        raise ConfigurationError(
+            f"unknown engine tier {tier!r}; choices: {ENGINE_TIERS}"
+        )
+    return tier
+
+
+def run_tier(engine: TraceEngine, trace,
+             tier: Optional[str] = None) -> EngineStats:
+    """Execute ``trace`` on ``engine`` with the selected tier.
+
+    Object traces (iterables of events) are accepted by every tier:
+    the columnar tiers pack them first, so tier selection never changes
+    what a caller may pass.
+    """
+    tier = resolve_engine_tier(tier)
+    if tier == "object":
+        if isinstance(trace, PackedTrace):
+            trace = list(trace.events())
+        return engine.run(trace)
+    if tier == "packed":
+        return engine.run(trace)
+    if not isinstance(trace, PackedTrace):
+        trace = PackedTrace.from_events(list(trace))
+    if tier == "vector":
+        from repro.cpu.vector_engine import run_vector
+        return run_vector(engine, trace)
+    # analytical
+    from repro.sim.analytical import estimate_packed
+    return estimate_packed(engine, trace)

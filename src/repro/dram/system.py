@@ -97,6 +97,11 @@ class DramSystem:
         self.perfect_rbl = perfect_rbl
         self._banks: Dict[Tuple[int, int, int], Bank] = {}
         self._channel_free: List[float] = [0.0] * self.geometry.channels
+        #: paddr -> (DramAddress, Bank) memo.  The mapping is a pure
+        #: function of the address and the bank dict only grows, so the
+        #: pair can be cached; traces revisit a small working set of
+        #: lines, making this the dominant saving of the access path.
+        self._decomposed: Dict[int, Tuple[DramAddress, Bank]] = {}
         self.stats = DramStats()
 
     def bank(self, key: Tuple[int, int, int]) -> Bank:
@@ -106,23 +111,55 @@ class DramSystem:
             b = self._banks[key] = Bank()
         return b
 
+    def _addr_bank(self, paddr: int) -> Tuple[DramAddress, Bank]:
+        ent = self._decomposed.get(paddr)
+        if ent is None:
+            addr = self.mapping.decompose(paddr)
+            ent = (addr, self.bank(addr.bank_key))
+            if len(self._decomposed) >= 1 << 20:
+                self._decomposed.clear()
+            self._decomposed[paddr] = ent
+        return ent
+
+    def decomposed(self, paddr: int) -> DramAddress:
+        """Memoized :meth:`AddressMapping.decompose` for this system."""
+        return self._addr_bank(paddr)[0]
+
+    def _service(self, paddr: int, now: float,
+                 is_write: bool) -> Tuple[DramAddress, RowOutcome, float]:
+        timing = self.timing
+        addr, bank = self._addr_bank(paddr)
+        busy = bank.busy_until
+        start = now if now > busy else busy
+        outcome = (RowOutcome.HIT if self.perfect_rbl
+                   else bank.classify(addr.row))
+        data_ready = bank.access(addr.row, start, timing,
+                                 force_hit=self.perfect_rbl)
+        channel_free = self._channel_free
+        channel = addr.channel
+        free_at = channel_free[channel]
+        burst_start = data_ready if data_ready > free_at else free_at
+        done = burst_start + timing.t_burst
+        channel_free[channel] = done
+        self._record(outcome, done - now, is_write)
+        return addr, outcome, done
+
     def access(self, paddr: int, now: float,
                is_write: bool = False) -> DramResult:
         """Service one request arriving at time ``now``."""
-        addr = self.mapping.decompose(paddr)
-        bank = self.bank(addr.bank_key)
-        start = max(now, bank.busy_until)
-        outcome = (RowOutcome.HIT if self.perfect_rbl
-                   else bank.classify(addr.row))
-        data_ready = bank.access(addr.row, start, self.timing,
-                                 force_hit=self.perfect_rbl)
-        burst_start = max(data_ready, self._channel_free[addr.channel])
-        done = burst_start + self.timing.t_burst
-        self._channel_free[addr.channel] = done
-        latency = done - now
-        self._record(outcome, latency, is_write)
-        return DramResult(latency=latency, completes_at=done,
+        addr, outcome, done = self._service(paddr, now, is_write)
+        return DramResult(latency=done - now, completes_at=done,
                           outcome=outcome, address=addr)
+
+    def access_completes(self, paddr: int, now: float,
+                         is_write: bool = False) -> float:
+        """:meth:`access` without building the :class:`DramResult`.
+
+        The memory system's demand/prefetch/drain paths only consume
+        ``completes_at``; skipping the frozen-dataclass allocation on
+        every miss is a measurable engine-loop saving.
+        """
+        return self._service(paddr, now, is_write)[2]
 
     def _record(self, outcome: RowOutcome, latency: float,
                 is_write: bool) -> None:

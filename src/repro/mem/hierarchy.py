@@ -51,6 +51,15 @@ class HierarchyOutcome:
         return self.hit_level is None
 
 
+def _never_pin(addr: int) -> bool:
+    """Default pin predicate: nothing is pinned.
+
+    A module-level function (not a per-instance lambda) so fast paths
+    can recognize the default by identity and skip the call entirely.
+    """
+    return False
+
+
 class CacheHierarchy:
     """An inclusive-by-fill (non-enforced) write-back hierarchy."""
 
@@ -70,7 +79,7 @@ class CacheHierarchy:
             for cfg in levels
         ]
         self.latencies: List[int] = [cfg.latency for cfg in levels]
-        self.pin_predicate: Callable[[int], bool] = lambda addr: False
+        self.pin_predicate: Callable[[int], bool] = _never_pin
         # Hot-path hoists (the level list is fixed after construction):
         # bound per-level access methods and the level count, so
         # access_flat does no len()/getattr work per trace event.
@@ -176,16 +185,27 @@ class CacheHierarchy:
         Returns an outcome whose ``memory_read`` indicates whether the
         line actually had to be fetched (False if already resident).
         """
-        outcome = HierarchyOutcome(hit_level=None)
-        llc = self.llc
-        if llc.probe(line):
-            outcome.hit_level = self._last_level
-            return outcome
-        pinned = self.pin_predicate(line)
-        wb = llc.fill(line, pinned=pinned, prefetch=True)
+        memory_read, wb = self.fill_prefetch_flat(line)
+        outcome = HierarchyOutcome(
+            hit_level=None if memory_read else self._last_level)
         if wb is not None:
             outcome.memory_writebacks.append(wb)
         return outcome
+
+    def fill_prefetch_flat(self, line: int):
+        """:meth:`fill_prefetch` without the outcome object.
+
+        Returns ``(memory_read, dirty_victim_line_or_None)``.  One tag
+        scan decides residency (``probe`` followed by ``fill`` scanned
+        the set twice), and nothing is allocated on the already-resident
+        path -- the common case once a stream's lead lines are in.
+        """
+        llc = self.llc
+        if llc._find(llc._index(line), llc._tag(line)) is not None:
+            return False, None
+        wb = llc.fill_absent(line, pinned=self.pin_predicate(line),
+                             prefetch=True)
+        return True, wb
 
     # -- Maintenance ---------------------------------------------------------
 

@@ -213,4 +213,9 @@ class XMemPrefetcher:
 
     @staticmethod
     def _inside(entry: _PinnedAtomEntry, addr: int) -> bool:
-        return any(s <= addr < e for s, e in entry.spans)
+        # Hot on the LLC miss path; a plain loop avoids the generator
+        # frame per call.
+        for s, e in entry.spans:
+            if s <= addr < e:
+                return True
+        return False

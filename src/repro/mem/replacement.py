@@ -128,13 +128,20 @@ class _RRIPBase(ReplacementPolicy):
         self._rrpv[set_idx][way] = 0
 
     def victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        # One aging step per candidate instead of per (gap x candidate):
+        # the historical scan-and-increment loop always terminates after
+        # aging every candidate by the same shared deficiency, so the
+        # deficiency is applied in one pass.  Victim choice and final
+        # RRPV values are identical.
         rrpv = self._rrpv[set_idx]
-        while True:
+        highest = max(map(rrpv.__getitem__, candidates))
+        if highest < RRPV_MAX:
+            bump = RRPV_MAX - highest
             for way in candidates:
-                if rrpv[way] >= RRPV_MAX:
-                    return way
-            for way in candidates:
-                rrpv[way] += 1
+                rrpv[way] += bump
+        for way in candidates:
+            if rrpv[way] >= RRPV_MAX:
+                return way
 
     def on_invalidate(self, set_idx: int, way: int) -> None:
         self._rrpv[set_idx][way] = RRPV_MAX

@@ -152,6 +152,7 @@ class CacheController:
 
         This is the LLC fill-path hook; it resolves the address through
         the AMU (ALB-cached), the same ATOM_LOOKUP any component uses.
+        Hot on the fill path, so the span scan is a plain loop.
         """
         if not self._pinned_ids:
             return False
@@ -159,7 +160,10 @@ class CacheController:
         spans = self._pin_spans.get(atom_id)
         if not spans:
             return False
-        return any(s <= line_paddr < e for s, e in spans)
+        for s, e in spans:
+            if s <= line_paddr < e:
+                return True
+        return False
 
     def pinned_bytes(self) -> int:
         """Total bytes currently designated for pinning."""

@@ -36,6 +36,10 @@ Environment knobs:
 
 * ``REPRO_JOBS``        -- worker processes for sweeps (default: all
   cores; ``1`` = serial in-process execution).
+* ``REPRO_ENGINE``      -- engine tier for every run
+  (``object``/``packed``/``vector``/``analytical``; default
+  ``packed``; see :mod:`repro.cpu.tiers`).  Inherited by sweep
+  workers and recorded in the run manifest.
 * ``REPRO_TRACE_CACHE`` -- trace cache directory; ``0``/``off``
   disables the on-disk layer (the in-memory layer still shares one
   generation across the systems of a point).
@@ -59,6 +63,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.errors import ConfigurationError
 from repro.core.xmemlib import XMemLib
 from repro.cpu.engine import EngineStats
+from repro.cpu.tiers import resolve_engine_tier
 from repro.cpu.trace import PackedTrace, TraceEvent, XMemOp
 from repro.sim.config import SimConfig, scaled_config
 from repro.sim.stats import PhaseTimer, Snapshot, collect_repro_env
@@ -572,6 +577,10 @@ def run_point(point: SimPoint,
                 "key": trace_key(point.kernel, point.n, point.tile, True),
                 "source": source,
                 "format_version": TRACE_FORMAT_VERSION,
+                # Which engine tier produced the stats: `repro diff`
+                # flags cross-tier comparisons (an analytical-vs-exact
+                # diff reports estimation error, not nondeterminism).
+                "tier": resolve_engine_tier(),
                 "cache_dir": (str(cache.root) if cache.root is not None
                               else None),
                 "cache_hits": cache.hits,

@@ -60,7 +60,11 @@ class MemorySystem:
         self._hier_access_flat = hierarchy.access_flat
         self._line_addr = hierarchy.line_addr
         self._line_mask = hierarchy._line_mask
-        self._dram_access = dram.access
+        self._dram_access = dram.access_completes
+        self._fill_prefetch_flat = hierarchy.fill_prefetch_flat
+        #: When a list, every line entering ``_prefetch_ready`` is also
+        #: appended here (the vector engine's chunk-invalidation hook).
+        self._prefetch_log: Optional[List[int]] = None
         #: line -> DRAM completion time of an in-flight prefetch; a
         #: demand hit to a line that has not arrived yet waits for it
         #: (prefetch timeliness).
@@ -93,8 +97,7 @@ class MemorySystem:
         line = paddr & mask if mask is not None else self._line_addr(paddr)
         memory_read = hit_level is None
         if memory_read:
-            res = self._dram_access(line, t_lookup, is_write=False)
-            completes = res.completes_at
+            completes = self._dram_access(line, t_lookup, is_write=False)
             if self._prefetch_ready:
                 self._prefetch_ready.pop(line, None)
             if is_write:
@@ -137,12 +140,13 @@ class MemorySystem:
         """
         if not self._write_buffer:
             return
-        decomposed = [(self.dram.mapping.decompose(line), line)
+        dram = self.dram
+        decomposed = [(dram.decomposed(line), line)
                       for line in self._write_buffer]
         decomposed.sort(key=lambda pair: (pair[0].bank_key, pair[0].row,
                                           pair[0].col))
         for _, line in decomposed:
-            self.dram.access(line, now, is_write=True)
+            dram.access_completes(line, now, is_write=True)
         self._write_buffer.clear()
 
     def _run_prefetchers(self, paddr: int, line: int, memory_read: bool,
@@ -159,12 +163,14 @@ class MemorySystem:
                 self._prefetch(target, now)
 
     def _prefetch(self, line: int, now: float) -> None:
-        out = self.hierarchy.fill_prefetch(line)
-        if out.memory_read:
+        memory_read, wb = self._fill_prefetch_flat(line)
+        if memory_read:
             self.stats.prefetch_reads += 1
-            res = self.dram.access(line, now, is_write=False)
-            self._prefetch_ready[line] = res.completes_at
-        for wb in out.memory_writebacks:
+            self._prefetch_ready[line] = self._dram_access(
+                line, now, is_write=False)
+            if self._prefetch_log is not None:
+                self._prefetch_log.append(line)
+        if wb is not None:
             self._buffer_write(wb, now)
 
 
@@ -179,15 +185,20 @@ class SystemHandle:
     xmemlib: Optional[XMemLib] = None
     controller: Optional[CacheController] = None
 
-    def run(self, trace: Trace) -> EngineStats:
+    def run(self, trace: Trace,
+            engine_tier: Optional[str] = None) -> EngineStats:
         """Execute a trace on this machine.
 
         Machines without an XMem system automatically drop the trace's
         XMem operations (hints are supplemental: the binary still runs).
+        The evaluation strategy comes from ``engine_tier`` (or, when
+        None, the ``REPRO_ENGINE`` environment variable; default
+        ``packed``) -- see :mod:`repro.cpu.tiers`.
         """
+        from repro.cpu.tiers import run_tier
         if self.xmemlib is None:
             trace = strip_xmem(trace)
-        return self.engine.run(trace)
+        return run_tier(self.engine, trace, engine_tier)
 
     @property
     def llc(self):

@@ -1,6 +1,6 @@
 """Differential fuzzing: optimized models vs. reference models.
 
-Five lanes, each pairing a hot-path implementation with its oracle
+Six lanes, each pairing a hot-path implementation with its oracle
 (:mod:`repro.testing.oracles`) over seeded random input
 (:mod:`repro.testing.generators`):
 
@@ -8,6 +8,11 @@ Five lanes, each pairing a hot-path implementation with its oracle
   :class:`PackedTrace` through two identically built full systems
   (baseline or XMem, with atom churn): engine statistics and the full
   stats snapshot must be bit-identical.
+* ``vector``  -- the same tri-way through the ``object``, ``packed``
+  and ``vector`` engine tiers (:mod:`repro.cpu.tiers`): all three
+  statistics and snapshots must be bit-identical, pinning the vector
+  batch interpreter (and its scalar-fallback boundary handling)
+  against both exact references.
 * ``cache``   -- random access/fill/unpin op strings through the
   columnar :class:`~repro.mem.cache.Cache` (LRU) and the dict-of-lists
   :class:`~repro.testing.oracles.ReferenceCache`: per-op hits,
@@ -172,6 +177,42 @@ class PackedLane(Lane):
 
     def from_json(self, data: list) -> list:
         return [event_from_json(item) for item in data]
+
+
+class VectorLane(PackedLane):
+    """Object vs. packed vs. vector engine tiers, tri-way.
+
+    Same generator and system shapes as the ``packed`` lane (so the
+    vector tier sees XMem side-tables, atom churn, and small windows);
+    any pair diverging -- stats or full snapshot -- is a failure.  The
+    vector tier legitimately falls back to the packed loop on shapes
+    outside its domain; the comparison then still holds trivially, so
+    the lane spends its cases where the fast path actually runs.
+    """
+
+    name = "vector"
+
+    def fail(self, params: dict, items: list) -> Optional[str]:
+        systems = {tier: self._build(params)
+                   for tier in ("object", "packed", "vector")}
+        stats = {}
+        for tier, handle in systems.items():
+            trace = (list(items) if tier == "object"
+                     else PackedTrace.from_events(items))
+            stats[tier] = handle.run(trace, engine_tier=tier)
+        for tier in ("packed", "vector"):
+            if stats[tier] != stats["object"]:
+                return (f"{tier} tier stats diverged from object: "
+                        f"object={stats['object']} "
+                        f"{tier}={stats[tier]}")
+        snaps = {tier: handle.stats_snapshot()
+                 for tier, handle in systems.items()}
+        for tier in ("packed", "vector"):
+            if snaps[tier] != snaps["object"]:
+                keys = _first_snapshot_delta(snaps["object"], snaps[tier])
+                return (f"{tier} tier snapshot diverged from object "
+                        f"at {keys}")
+        return None
 
 
 class CacheLane(Lane):
@@ -412,8 +453,8 @@ class SchedLane(Lane):
 
 LANES: Dict[str, Lane] = {
     lane.name: lane
-    for lane in (PackedLane(), CacheLane(), EngineLane(), DramLane(),
-                 SchedLane())
+    for lane in (PackedLane(), VectorLane(), CacheLane(), EngineLane(),
+                 DramLane(), SchedLane())
 }
 
 

@@ -1,6 +1,7 @@
 """The differential fuzz loop: lanes, shrinking, corpus, canaries."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -126,6 +127,32 @@ class TestMutationCanary:
                               lanes=["packed", "engine"])
             assert not report.ok
 
+    def test_vector_lane_catches_vector_drift(self):
+        """A vector-tier-only counter skew diverges from both exact
+        references (and only trips the vector lane, not packed)."""
+        from repro.cpu import vector_engine
+
+        real = vector_engine.run_vector
+
+        def skewed(engine, trace):
+            stats = real(engine, trace)
+            stats.misses_to_memory += 1
+            return stats
+
+        with pytest.MonkeyPatch.context() as mp:
+            # tiers.run_tier resolves run_vector through the module
+            # attribute at call time, so patching the module works.
+            mp.setattr(vector_engine, "run_vector", skewed)
+            report = run_fuzz(cases=4, seed=0, length=80,
+                              lanes=["vector"])
+            assert not report.ok
+            assert all(f.lane == "vector" for f in report.failures)
+            clean = run_fuzz(cases=2, seed=0, length=80,
+                             lanes=["packed"])
+            assert clean.ok
+        assert run_fuzz(cases=2, seed=0, length=80,
+                        lanes=["vector"]).ok
+
     def test_reference_dram_catches_timing_drift(self):
         """Perturbing the bank busy bookkeeping trips the DRAM lane."""
         from repro.dram.bank import Bank
@@ -143,6 +170,23 @@ class TestMutationCanary:
             mp.setattr(Bank, "access", drifted)
             assert lane.fail(params, items) is not None
         assert lane.fail(params, items) is None
+
+
+class TestCheckedInCorpus:
+    """Every committed reproducer must replay clean: each documents a
+    historical (or synthetic) divergence whose fix must not regress."""
+
+    CORPUS = Path(__file__).parent / "corpus"
+
+    def test_corpus_exists(self):
+        assert sorted(self.CORPUS.glob("*.json"))
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted((Path(__file__).parent / "corpus").glob("*.json")),
+        ids=lambda p: p.name)
+    def test_replays_clean(self, path):
+        assert replay(path) is None
 
 
 class TestShrinkAndCorpus:
