@@ -7,6 +7,7 @@ Examples::
     python -m repro usecase2 --workload lbm --accesses 60000
     python -m repro sweep --kernels gemm,syrk --n 96 --jobs 4
     python -m repro sweep --kernels gemm --stats-json out/run_a
+    python -m repro corun --tenants mcf,lbm,libquantum --accesses 4000
     python -m repro diff out/run_a out/run_b
     python -m repro fuzz --cases 200 --seed 0
     python -m repro overheads
@@ -193,6 +194,71 @@ def cmd_sweep(args) -> int:
         headers, rows,
         title=(f"sweep: {len(points)} points, N={args.n}, "
                f"scale={args.scale}, jobs={jobs}"),
+    ))
+    return 0
+
+
+def cmd_corun(args) -> int:
+    """Run one multi-tenant mix on the shared-LLC co-run engine."""
+    import os
+    from pathlib import Path
+
+    from repro.sim.runner import (
+        CorunPoint,
+        run_corun_point,
+        write_point_documents,
+    )
+
+    tenants = tuple(t.strip() for t in args.tenants.split(",")
+                    if t.strip())
+    unknown = [t for t in tenants if t not in BY_NAME]
+    if unknown:
+        print(f"unknown workloads {unknown}; see `repro list`",
+              file=sys.stderr)
+        return 2
+    try:
+        xmem = tuple(int(t) for t in args.xmem_tenants.split(","))
+    except ValueError:
+        print(f"--xmem-tenants must be comma-separated core indices, "
+              f"got {args.xmem_tenants!r}", file=sys.stderr)
+        return 2
+    if any(i < 0 or i >= len(tenants) for i in xmem):
+        print(f"--xmem-tenants {xmem} outside the "
+              f"{len(tenants)}-tenant mix", file=sys.stderr)
+        return 2
+    if args.engine:
+        if args.engine not in ("object", "packed"):
+            print(f"unknown co-run engine {args.engine!r}; "
+                  f"choices: object, packed", file=sys.stderr)
+            return 2
+        # Via the environment so the manifest provenance records it.
+        os.environ["REPRO_ENGINE"] = args.engine
+    point = CorunPoint(tenants=tenants, accesses=args.accesses,
+                       scale=args.scale, xmem_tenants=xmem,
+                       footprint_div=args.footprint_div)
+    collect = args.stats_json is not None
+    result = run_corun_point(point, collect=collect)
+    if collect:
+        written = write_point_documents(Path(args.stats_json), [result])
+        print(f"wrote {len(written)} stats documents to "
+              f"{args.stats_json}", file=sys.stderr)
+    rows = []
+    for i, name in enumerate(tenants):
+        base = result.runs["baseline"][i]
+        prot = result.runs["xmem"][i]
+        tag = " [xmem]" if i in xmem else ""
+        rows.append([
+            f"{i}: {name}{tag}",
+            f"{base.cycles:.0f}", base.llc_misses,
+            f"{prot.cycles:.0f}", prot.llc_misses,
+            f"{prot.cycles / base.cycles:.3f}x",
+        ])
+    print(format_table(
+        ["tenant", "baseline cycles", "LLC misses",
+         "xmem cycles", "LLC misses", "xmem vs base"],
+        rows,
+        title=(f"co-run mix: {len(tenants)} tenants, "
+               f"accesses={args.accesses}, scale={args.scale}"),
     ))
     return 0
 
@@ -435,6 +501,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="engine tier: object | packed | vector | "
                          "analytical (default: REPRO_ENGINE or packed)")
 
+    co = sub.add_parser(
+        "corun",
+        help="multi-tenant co-run mix on the shared LLC")
+    co.add_argument("--tenants", default="mcf,lbm",
+                    help="comma-separated suite workloads, one per core")
+    co.add_argument("--accesses", type=int, default=4000,
+                    help="dense events per tenant (default 4000)")
+    co.add_argument("--scale", type=int, default=32,
+                    help="cache scale-down factor (default 32)")
+    co.add_argument("--footprint-div", type=int, default=1,
+                    help="shrink every structure by this factor so "
+                         "working sets wrap at LLC scale (default 1)")
+    co.add_argument("--xmem-tenants", default="0",
+                    help="comma-separated core indices carrying XMem "
+                         "semantics under the xmem mode (default 0)")
+    co.add_argument("--engine", default=None,
+                    help="co-run engine: object | packed "
+                         "(default: REPRO_ENGINE or packed)")
+    co.add_argument("--stats-json", default=None, metavar="DIR",
+                    help="write the mix's manifest+stats JSON document "
+                         "into DIR (compare runs with `repro diff`)")
+
     df = sub.add_parser(
         "diff",
         help="compare the stats of two --stats-json runs")
@@ -474,6 +562,7 @@ COMMANDS = {
     "usecase1": cmd_usecase1,
     "usecase2": cmd_usecase2,
     "sweep": cmd_sweep,
+    "corun": cmd_corun,
     "diff": cmd_diff,
     "fuzz": cmd_fuzz,
     "overheads": cmd_overheads,

@@ -57,6 +57,19 @@ def resolve_engine_tier(explicit: Optional[str] = None) -> str:
     return tier
 
 
+def corun_tier(explicit: Optional[str] = None) -> str:
+    """The co-run engine's two-tier view of the selector.
+
+    ``object`` keeps the legacy per-event interleaver as the
+    differential oracle; every other tier maps to ``packed`` -- the
+    heap-scheduled batched interleaver (there is no separate
+    vector/analytical co-run variant, and both co-run tiers are
+    exact).
+    """
+    tier = resolve_engine_tier(explicit)
+    return "object" if tier == "object" else "packed"
+
+
 def run_tier(engine: TraceEngine, trace,
              tier: Optional[str] = None) -> EngineStats:
     """Execute ``trace`` on ``engine`` with the selected tier.

@@ -88,7 +88,7 @@ SMALL_SEGMENT = 64
 _P_LRU, _P_RRIP, _P_RANDOM = 0, 1, 2
 
 
-def _dyadic_k(values, k_max: int = 12) -> Optional[int]:
+def dyadic_k(values, k_max: int = 12) -> Optional[int]:
     """Smallest ``k`` with every value an integer multiple of ``2**-k``.
 
     The batch path reorders float additions; that is exact only while
@@ -102,6 +102,8 @@ def _dyadic_k(values, k_max: int = 12) -> Optional[int]:
             return k
     return None
 
+_dyadic_k = dyadic_k
+
 _POLICY_KIND = {
     LRUPolicy: _P_LRU,
     SRRIPPolicy: _P_RRIP,
@@ -109,6 +111,12 @@ _POLICY_KIND = {
     DRRIPPolicy: _P_RRIP,
     RandomPolicy: _P_RANDOM,
 }
+
+#: Replacement policies whose hit-path effect :meth:`Cache.apply_hit_run`
+#: can replay in one call.  Shared with the co-run interleaver
+#: (:mod:`repro.sim.corun`), whose batch eligibility gate is the same
+#: argument over a different machine shape.
+BATCHABLE_POLICIES = frozenset(_POLICY_KIND)
 
 
 def eligible(engine: TraceEngine, trace) -> bool:

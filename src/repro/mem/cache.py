@@ -22,7 +22,12 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.errors import ConfigurationError
-from repro.mem.replacement import DRRIPPolicy, ReplacementPolicy, make_policy
+from repro.mem.replacement import (
+    DRRIPPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
 from repro.testing import checks as _checks
 
 #: Tag stored in an invalid way (no physical tag is negative).
@@ -422,6 +427,18 @@ class Cache:
         tags = self._tags
         for set_idx, tag in written:
             self._dirty[set_idx][tags[set_idx].index(tag)] = True
+        pol = self.policy
+        if type(pol) is LRUPolicy:
+            # The dominant replay target: inline the stamp update
+            # (one bound-method call per pair otherwise dominates the
+            # whole batch commit).
+            clock = pol._clock
+            stamp = pol._stamp
+            for set_idx, tag in replay:
+                clock += 1
+                stamp[set_idx][tags[set_idx].index(tag)] = clock
+            pol._clock = clock
+            return
         on_hit = self._policy_on_hit
         for set_idx, tag in replay:
             on_hit(set_idx, tags[set_idx].index(tag))

@@ -63,9 +63,10 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.errors import ConfigurationError
 from repro.core.xmemlib import XMemLib
 from repro.cpu.engine import EngineStats
-from repro.cpu.tiers import resolve_engine_tier
-from repro.cpu.trace import PackedTrace, TraceEvent, XMemOp
+from repro.cpu.tiers import corun_tier, resolve_engine_tier
+from repro.cpu.trace import PackedTrace, TraceBuilder, TraceEvent, XMemOp
 from repro.sim.config import SimConfig, scaled_config
+from repro.sim.corun import CoreStats, CorunSystem
 from repro.sim.stats import PhaseTimer, Snapshot, collect_repro_env
 from repro.sim.system import (
     SystemHandle,
@@ -401,18 +402,16 @@ _MEMO: Dict[str, TraceRecording] = {}
 _MEMO_LIMIT = 4
 
 
-def get_recording_with_source(
-        kernel: str, n: int, tile: int, instrument: bool = True,
-        cache: Optional[TraceCache] = None
-) -> Tuple[TraceRecording, str]:
-    """One recording plus where it came from.
+def _cached_recording(key: str, generate: Callable[[], TraceRecording],
+                      cache: Optional[TraceCache]
+                      ) -> Tuple[TraceRecording, str]:
+    """Memo -> disk -> ``generate()``, with the provenance string.
 
     The source string lands in run manifests: ``memo`` (in-process),
-    ``disk`` (trace-cache hit), or ``generated`` (fresh loop-nest
-    walk).  :func:`run_point` upgrades it to ``regenerated`` when a
-    cached recording turns out stale at replay time.
+    ``disk`` (trace-cache hit), or ``generated`` (fresh walk); callers
+    upgrade it to ``regenerated`` when a cached recording turns out
+    stale at replay time.
     """
-    key = trace_key(kernel, n, tile, instrument)
     recording = _MEMO.get(key)
     if recording is not None:
         return recording, "memo"
@@ -421,13 +420,23 @@ def get_recording_with_source(
     recording = cache.load(key)
     source = "disk"
     if recording is None:
-        recording = record_trace(kernel, n, tile, instrument)
+        recording = generate()
         cache.store(key, recording)
         source = "generated"
     while len(_MEMO) >= _MEMO_LIMIT:
         _MEMO.pop(next(iter(_MEMO)))
     _MEMO[key] = recording
     return recording, source
+
+
+def get_recording_with_source(
+        kernel: str, n: int, tile: int, instrument: bool = True,
+        cache: Optional[TraceCache] = None
+) -> Tuple[TraceRecording, str]:
+    """One kernel recording plus where it came from."""
+    key = trace_key(kernel, n, tile, instrument)
+    return _cached_recording(
+        key, lambda: record_trace(kernel, n, tile, instrument), cache)
 
 
 def get_recording(kernel: str, n: int, tile: int,
@@ -640,8 +649,9 @@ def sweep(points: Sequence[SimPoint],
 # Stats/manifest documents
 # ---------------------------------------------------------------------------
 
-def point_document(result: PointResult) -> dict:
-    """The one-JSON-document form of a collecting point run."""
+def point_document(result) -> dict:
+    """The one-JSON-document form of a collecting point run
+    (:class:`PointResult` or :class:`CorunResult`)."""
     if result.manifest is None or result.stats is None:
         raise ConfigurationError(
             "point_document needs a collect=True run "
@@ -650,9 +660,18 @@ def point_document(result: PointResult) -> dict:
     return {"manifest": result.manifest, "stats": result.stats}
 
 
-def point_document_name(index: int, result: PointResult) -> str:
-    """Deterministic per-point filename for a sweep's documents."""
+def point_document_name(index: int, result) -> str:
+    """Deterministic per-point filename for a sweep's documents.
+
+    Accepts :class:`PointResult` and :class:`CorunResult` (suite
+    workload names are filename-safe identifiers, so a mix joins with
+    ``+``).
+    """
     p = result.point
+    if isinstance(p, CorunPoint):
+        div = f"_d{p.footprint_div}" if p.footprint_div != 1 else ""
+        return (f"{index:03d}_corun_{'+'.join(p.tenants)}"
+                f"_a{p.accesses}{div}.json")
     return f"{index:03d}_{p.kernel}_n{p.n}_t{p.tile}.json"
 
 
@@ -724,3 +743,266 @@ def uc2_sweep(points: Sequence[UC2Point],
               jobs: Optional[int] = None) -> List[dict]:
     """Run independent Use-Case-2 points, fanned out over processes."""
     return run_parallel(run_uc2_point, points, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# Co-run points (multi-tenant co-location mixes)
+# ---------------------------------------------------------------------------
+
+#: Structure bases are page-aligned; the co-run engine adds the
+#: per-core address-space offset on top.
+PAGE_BYTES = 4096
+
+
+def suite_trace_key(name: str, accesses: int,
+                    footprint_div: int = 1) -> str:
+    """Cache key of one suite-tenant recording.
+
+    Shares :func:`trace_key`'s keyspace: the ``suite:`` prefix cannot
+    collide with a Polybench kernel name, ``accesses`` rides in the
+    ``n`` slot, and the footprint divisor in the ``tile`` slot (both
+    are meaningless for suite streams).
+    """
+    return trace_key(f"suite:{name}", accesses, footprint_div, True)
+
+
+def record_suite_trace(name: str, accesses: int,
+                       footprint_div: int = 1) -> TraceRecording:
+    """Walk one suite workload's access stream and pack it as a tenant.
+
+    Suite workloads are the co-run engine's tenants.  Each structure
+    becomes one atom whose expressed reuse is its access intensity, so
+    the shared controller's global pin decision ranks every tenant's
+    structures together; structures sit at page-aligned bases from
+    virtual address 0 (per-application addresses -- the co-run system
+    shifts each core into its own slice of the global space).  The
+    atom_map/atom_activate XMemOps head the trace; baseline tenants
+    replay the same recording with the side-table dropped
+    (``packed.without_xmem()``).
+
+    ``footprint_div`` shrinks every structure by the same factor
+    (line-rounded, floor one page) -- the suite's footprints are sized
+    for the DRAM-placement studies, so LLC-contention studies scale
+    them down by the same discipline ``scaled_config`` applies to the
+    caches.  Working sets then wrap within a few thousand accesses,
+    which is what gives the shared LLC temporal reuse to protect.
+    """
+    from repro.workloads.suite import BY_NAME, LINE
+    try:
+        workload = BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown suite workload {name!r}"
+        ) from None
+    if footprint_div < 1:
+        raise ConfigurationError(
+            f"footprint_div must be >= 1: {footprint_div}")
+    workload = dataclasses.replace(workload, accesses=accesses)
+    if footprint_div > 1:
+        workload = dataclasses.replace(workload, structures=tuple(
+            dataclasses.replace(s, size_bytes=max(
+                PAGE_BYTES,
+                s.size_bytes // footprint_div // LINE * LINE))
+            for s in workload.structures))
+    recorder = SetupRecorder()
+    builder = TraceBuilder()
+    bases: Dict[str, int] = {}
+    base = 0
+    for s in workload.structures:
+        bases[s.name] = base
+        base += -(-s.size_bytes // PAGE_BYTES) * PAGE_BYTES
+    for s in workload.structures:
+        atom = recorder.create_atom(
+            f"{workload.name}.{s.name}",
+            pattern=s.pattern,
+            stride_bytes=s.atom_stride,
+            rw=s.expressed_rw,
+            access_intensity=s.intensity,
+            reuse=s.intensity,
+        )
+        builder.op(XMemOp("atom_map", atom, bases[s.name], s.size_bytes))
+        builder.op(XMemOp("atom_activate", atom))
+    for ev in workload.trace(bases):
+        builder.access(ev.vaddr, ev.is_write, ev.work)
+    return TraceRecording(
+        kernel=f"suite:{name}", n=accesses, tile=0, instrumented=True,
+        setup=recorder.log, packed=builder.build(),
+    )
+
+
+def get_suite_recording_with_source(
+        name: str, accesses: int, footprint_div: int = 1,
+        cache: Optional[TraceCache] = None
+) -> Tuple[TraceRecording, str]:
+    """One suite-tenant recording plus where it came from."""
+    return _cached_recording(
+        suite_trace_key(name, accesses, footprint_div),
+        lambda: record_suite_trace(name, accesses, footprint_div),
+        cache)
+
+
+@dataclass(frozen=True)
+class CorunPoint:
+    """One independent multi-tenant co-location point.
+
+    ``tenants`` names suite workloads, one per core, each truncated to
+    ``accesses`` dense events.  ``modes`` selects the machines the mix
+    runs on: ``baseline`` (no semantics anywhere) and/or ``xmem`` (the
+    cores listed in ``xmem_tenants`` carry an XMemLib, so their
+    structures become atoms the shared controller may pin against the
+    other tenants).  Plain data; pickles cleanly into sweep workers.
+    """
+
+    tenants: Tuple[str, ...]
+    accesses: int = 4000
+    scale: int = 32
+    xmem_tenants: Tuple[int, ...] = (0,)
+    modes: Tuple[str, ...] = ("baseline", "xmem")
+    #: Structure shrink factor (see :func:`record_suite_trace`).
+    footprint_div: int = 1
+
+    def config(self) -> SimConfig:
+        """The machine configuration this mix runs on."""
+        return scaled_config(self.scale)
+
+
+@dataclass
+class CorunResult:
+    """Per-mode, per-core results of one co-run point.
+
+    ``stats`` and ``manifest`` follow the :class:`PointResult`
+    contract: populated only by collecting runs, with ``stats``
+    mapping mode -> full registry snapshot and ``manifest`` recording
+    per-tenant trace provenance -- so co-run stats documents flow
+    through ``repro diff`` unchanged.
+    """
+
+    point: CorunPoint
+    runs: Dict[str, List[CoreStats]]
+    stats: Optional[Dict[str, Snapshot]] = None
+    manifest: Optional[dict] = None
+
+    def cycles(self, mode: str, core: int = 0) -> float:
+        """Shorthand: one tenant's cycle count under one mode."""
+        return self.runs[mode][core].cycles
+
+
+def run_corun_point(point: CorunPoint,
+                    cache: Optional[TraceCache] = None,
+                    collect: bool = False) -> CorunResult:
+    """Run one tenant mix under every requested mode.
+
+    All modes replay the same per-tenant recordings: XMem tenants get
+    the recorded atom setup re-applied on their core's library plus
+    the full packed trace (XMemOps inline); every other tenant consumes
+    the same columns with the side-table dropped.  Setup logs are
+    validated against a throwaway library up front, so a stale cached
+    recording is regenerated once, before any machine state exists.
+    ``collect=True`` snapshots each mode's full stats registry and
+    assembles a manifest, strictly after the runs -- collecting and
+    plain runs produce identical :class:`CoreStats`.
+    """
+    if not point.tenants:
+        raise ConfigurationError("a co-run point needs tenants")
+    bad_modes = [m for m in point.modes if m not in ("baseline", "xmem")]
+    if bad_modes:
+        raise ConfigurationError(
+            f"unknown co-run modes {bad_modes}; "
+            f"choices: ('baseline', 'xmem')")
+    out_of_range = [i for i in point.xmem_tenants
+                    if not 0 <= i < len(point.tenants)]
+    if out_of_range:
+        raise ConfigurationError(
+            f"xmem_tenants {out_of_range} outside the "
+            f"{len(point.tenants)}-tenant mix")
+    timer = PhaseTimer() if collect else None
+    cfg = point.config()
+    if cache is None:
+        cache = TraceCache()
+    if timer is not None:
+        timer.start("trace")
+    tenants: List[Tuple[TraceRecording, str]] = []
+    for name in point.tenants:
+        recording, source = get_suite_recording_with_source(
+            name, point.accesses, point.footprint_div, cache=cache)
+        try:
+            apply_setup(XMemLib(), recording.setup)
+        except StaleRecordingError:
+            recording = record_suite_trace(name, point.accesses,
+                                           point.footprint_div)
+            source = "regenerated"
+            key = suite_trace_key(name, point.accesses,
+                                  point.footprint_div)
+            cache.store(key, recording)
+            _MEMO[key] = recording
+        tenants.append((recording, source))
+    if timer is not None:
+        timer.stop()
+    runs: Dict[str, List[CoreStats]] = {}
+    snapshots: Optional[Dict[str, Snapshot]] = {} if collect else None
+    for mode in point.modes:
+        xmem = tuple(point.xmem_tenants) if mode == "xmem" else ()
+        system = CorunSystem(cfg, len(point.tenants), xmem_cores=xmem)
+        traces = []
+        for core, (recording, _) in zip(system.cores, tenants):
+            if core.xmemlib is not None:
+                traces.append(recording.replay(core.xmemlib))
+            else:
+                traces.append(recording.packed.without_xmem())
+        if timer is not None:
+            timer.start(f"run:{mode}")
+        runs[mode] = list(system.run(traces))
+        if timer is not None:
+            timer.stop()
+        if snapshots is not None:
+            snapshots[mode] = system.stats_snapshot()
+    manifest = None
+    if collect:
+        manifest = {
+            "schema": 1,
+            "kind": "corunpoint",
+            "point": dataclasses.asdict(point),
+            "config": dataclasses.asdict(cfg),
+            "trace": {
+                # Which co-run engine produced the stats ("object" is
+                # the legacy oracle, "packed" the heap-scheduled
+                # interleaver); both are exact, so `repro diff` holds
+                # cross-engine documents to zero deltas.
+                "tier": corun_tier(),
+                "format_version": TRACE_FORMAT_VERSION,
+                "tenants": [
+                    {"workload": name,
+                     "key": suite_trace_key(name, point.accesses,
+                                            point.footprint_div),
+                     "source": source}
+                    for name, (_, source) in zip(point.tenants, tenants)
+                ],
+                "cache_dir": (str(cache.root) if cache.root is not None
+                              else None),
+                "cache_hits": cache.hits,
+                "cache_misses": cache.misses,
+            },
+            "env": collect_repro_env(),
+            "phases": timer.phases,
+        }
+    return CorunResult(point=point, runs=runs, stats=snapshots,
+                       manifest=manifest)
+
+
+def _run_corun_collecting(point: CorunPoint) -> CorunResult:
+    """Module-level ``collect=True`` wrapper (pickles into workers)."""
+    return run_corun_point(point, collect=True)
+
+
+def corun_sweep(points: Sequence[CorunPoint],
+                jobs: Optional[int] = None,
+                collect_stats: bool = False) -> List[CorunResult]:
+    """Run independent co-location mixes, fanned out over processes.
+
+    Each worker replays the per-tenant recordings from the shared
+    content-verified trace cache (one generation per tenant across the
+    whole sweep, not per mix); results come back in point order, so
+    parallel sweeps are bit-identical to serial ones.
+    """
+    fn = _run_corun_collecting if collect_stats else run_corun_point
+    return run_parallel(fn, points, jobs=jobs)

@@ -30,7 +30,16 @@ import os
 import resource
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.stats import (
     Histogram,
@@ -364,3 +373,21 @@ def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"
     return str(cell)
+
+
+def format_matrix(row_names: Sequence[str], col_names: Sequence[str],
+                  cell: Callable[[str, str], object],
+                  corner: str = "", title: Optional[str] = None) -> str:
+    """A labelled row x column matrix as a fixed-width table.
+
+    ``cell(row, col)`` supplies each entry (None renders empty -- the
+    diagonal of an interference matrix, say).  Built on
+    :func:`format_table`, so matrix tables format exactly like the
+    experiment tables around them.
+    """
+    headers = [corner] + list(col_names)
+    rows = []
+    for r in row_names:
+        cells = [cell(r, c) for c in col_names]
+        rows.append([r] + ["" if v is None else v for v in cells])
+    return format_table(headers, rows, title=title)

@@ -1,6 +1,6 @@
 """Differential fuzzing: optimized models vs. reference models.
 
-Six lanes, each pairing a hot-path implementation with its oracle
+Seven lanes, each pairing a hot-path implementation with its oracle
 (:mod:`repro.testing.oracles`) over seeded random input
 (:mod:`repro.testing.generators`):
 
@@ -8,6 +8,13 @@ Six lanes, each pairing a hot-path implementation with its oracle
   :class:`PackedTrace` through two identically built full systems
   (baseline or XMem, with atom churn): engine statistics and the full
   stats snapshot must be bit-identical.
+* ``corun``   -- random multi-tenant mixes (2-3 cores, per-core
+  generated streams, atom churn on the XMem tenant) through two
+  identically built :class:`~repro.sim.corun.CorunSystem` machines:
+  the legacy per-event interleaver vs. the heap-scheduled packed
+  engine, per-core CoreStats and full snapshot bit-identical.  Items
+  are ``(core, event)`` pairs, so shrinking drops events from any
+  tenant.
 * ``vector``  -- the same tri-way through the ``object``, ``packed``
   and ``vector`` engine tiers (:mod:`repro.cpu.tiers`): all three
   statistics and snapshots must be bit-identical, pinning the vector
@@ -213,6 +220,82 @@ class VectorLane(PackedLane):
                 return (f"{tier} tier snapshot diverged from object "
                         f"at {keys}")
         return None
+
+
+class CorunLane(Lane):
+    """Legacy per-event co-run interleaver vs. the packed engine.
+
+    The packed engine dispatches through ``run`` (so ineligible
+    machine shapes legitimately fall back to the legacy loop and the
+    comparison holds trivially, as in the vector lane); the oracle
+    side always takes ``run_events``.  Core 0 optionally carries XMem
+    semantics with atom churn, exercising yield-at-XMemOp scheduling
+    and the shared pin controller under interleaving.
+    """
+
+    name = "corun"
+
+    def make(self, rng: random.Random, length: int) -> Tuple[dict, list]:
+        cores = rng.randint(2, 3)
+        mode = rng.choice(("baseline", "xmem", "xmem"))
+        atoms = rng.randint(2, 5) if mode == "xmem" else 0
+        items: list = []
+        for core in range(cores):
+            cfg = GenConfig(
+                seed=rng.randrange(1 << 32),
+                length=max(1, length // cores),
+                regions=rng.randint(2, 4),
+                write_frac=rng.uniform(0.0, 0.6),
+                atoms=atoms if core == 0 else 0,
+                churn=rng.uniform(0.1, 0.4) if atoms and core == 0
+                else 0.0,
+            )
+            events, _ = generators.generate_trace(cfg)
+            items.extend((core, ev) for ev in events)
+        params = {
+            "cores": cores,
+            "xmem": [0] if mode == "xmem" else [],
+            "atoms": atoms,
+            "scale": rng.choice((16, 32)),
+        }
+        return params, items
+
+    def _build(self, params: dict):
+        from repro.sim.config import scaled_config
+        from repro.sim.corun import CorunSystem
+
+        system = CorunSystem(scaled_config(params["scale"]),
+                             params["cores"],
+                             xmem_cores=tuple(params["xmem"]))
+        for idx in params["xmem"]:
+            setup_atoms(system.cores[idx].xmemlib,
+                        GenConfig(atoms=params["atoms"]))
+        return system
+
+    def fail(self, params: dict, items: list) -> Optional[str]:
+        streams: List[list] = [[] for _ in range(params["cores"])]
+        for core, ev in items:
+            streams[core].append(ev)
+        obj_sys = self._build(params)
+        stats_obj = obj_sys.run_events([list(s) for s in streams])
+        packed_sys = self._build(params)
+        stats_packed = packed_sys.run(
+            [PackedTrace.from_events(s) for s in streams])
+        if stats_obj != stats_packed:
+            return (f"core stats diverged: object={stats_obj} "
+                    f"packed={stats_packed}")
+        snap_obj = obj_sys.stats_snapshot()
+        snap_packed = packed_sys.stats_snapshot()
+        if snap_obj != snap_packed:
+            keys = _first_snapshot_delta(snap_obj, snap_packed)
+            return f"stats snapshot diverged at {keys}"
+        return None
+
+    def to_json(self, items: list) -> list:
+        return [[core, event_to_json(ev)] for core, ev in items]
+
+    def from_json(self, data: list) -> list:
+        return [(core, event_from_json(ev)) for core, ev in data]
 
 
 class CacheLane(Lane):
@@ -453,8 +536,8 @@ class SchedLane(Lane):
 
 LANES: Dict[str, Lane] = {
     lane.name: lane
-    for lane in (PackedLane(), VectorLane(), CacheLane(), EngineLane(),
-                 DramLane(), SchedLane())
+    for lane in (PackedLane(), VectorLane(), CorunLane(), CacheLane(),
+                 EngineLane(), DramLane(), SchedLane())
 }
 
 
