@@ -1,0 +1,174 @@
+"""Stdlib-only client for the ``repro serve`` HTTP API.
+
+Covers the whole scenario/run lifecycle against a running server (see
+``docs/serve.md``): wait for ``/health``, build content-hashed
+scenarios, schedule a run, poll it to completion, and optionally
+verify that resubmitting the identical run is fully deduplicated.
+CI's ``serve-smoke`` job drives this script and then gates the
+server-written documents against a serial ``repro sweep --stats-json``
+with ``repro diff``.
+
+Usage::
+
+    python -m repro serve --port 8642 &
+    python examples/serve_client.py --base http://127.0.0.1:8642 health
+    python examples/serve_client.py --base http://127.0.0.1:8642 \\
+        sweep --kernel gemm --n 48 --tiles 12,48 \\
+        --out-dir /tmp/served-run --dup-check
+    python examples/serve_client.py --base http://127.0.0.1:8642 state
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def request(base: str, method: str, path: str, body=None):
+    """One API call; returns ``(status, parsed-JSON document)``."""
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def wait_health(base: str, timeout: float = 30.0) -> dict:
+    """Poll ``/health`` until the server answers 200."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            status, doc = request(base, "GET", "/health")
+            if status == 200:
+                return doc
+        except (urllib.error.URLError, ConnectionError):
+            pass
+        if time.monotonic() >= deadline:
+            raise SystemExit(f"server at {base} not healthy "
+                             f"after {timeout}s")
+        time.sleep(0.2)
+
+
+def wait_run(base: str, run_id: str, timeout: float = 600.0) -> dict:
+    """Poll one run until terminal (and its out_dir files, if any,
+    are flushed)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, doc = request(base, "GET", f"/v1/runs/{run_id}")
+        if status != 200:
+            raise SystemExit(f"poll {run_id}: HTTP {status}: {doc}")
+        if doc["status"] in ("done", "failed", "cancelled") and (
+                doc["status"] != "done" or "out_dir" not in doc
+                or "written" in doc):
+            return doc
+        time.sleep(0.25)
+    raise SystemExit(f"{run_id} not finished after {timeout}s")
+
+
+def cmd_health(args) -> int:
+    doc = wait_health(args.base)
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_state(args) -> int:
+    status, doc = request(args.base, "GET", "/debug/state")
+    if status != 200:
+        raise SystemExit(f"/debug/state: HTTP {status}")
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Scenario+run lifecycle for one kernel over a tile sweep."""
+    base = args.base
+    wait_health(base)
+    points = []
+    for tile in args.tiles:
+        status, doc = request(base, "POST", "/v1/scenarios",
+                              {"kernel": args.kernel, "n": args.n,
+                               "tile": tile})
+        if status not in (200, 201):
+            raise SystemExit(f"scenario tile={tile}: "
+                             f"HTTP {status}: {doc}")
+        print(f"scenario {doc['scenario']} tile={tile} "
+              f"created={doc['created']} "
+              f"source={doc['trace']['source']}")
+        points.append({"scenario": doc["scenario"],
+                       "config": {"scale": args.scale}})
+    run_body = {"points": points}
+    if args.out_dir:
+        run_body["out_dir"] = args.out_dir
+    status, doc = request(base, "POST", "/v1/runs", run_body)
+    if status != 202:
+        raise SystemExit(f"run submit: HTTP {status}: {doc}")
+    run_id = doc["run"]
+    print(f"{run_id}: {doc['points']} point(s), new={doc['new']} "
+          f"deduped={doc['deduped']}")
+    final = wait_run(base, run_id)
+    if final["status"] != "done":
+        raise SystemExit(f"{run_id} ended {final['status']}: "
+                         f"{final.get('errors')}")
+    names = ", ".join(final["names"])
+    print(f"{run_id}: done ({names})")
+    if args.out_dir:
+        print(f"{run_id}: wrote {final['written']} document(s) "
+              f"to {final['out_dir']}")
+
+    if args.dup_check:
+        # The identical submission must be fully deduplicated: every
+        # point is already known, nothing re-executes.
+        status, dup = request(base, "POST", "/v1/runs",
+                              {"points": points})
+        if status != 202:
+            raise SystemExit(f"dup submit: HTTP {status}: {dup}")
+        if dup["new"] != 0 or dup["deduped"] != len(points):
+            raise SystemExit(
+                f"dedup failed: new={dup['new']} "
+                f"deduped={dup['deduped']} of {len(points)}")
+        redo = wait_run(base, dup["run"])
+        if redo["documents"] != final["documents"]:
+            raise SystemExit("deduplicated run returned "
+                             "different documents")
+        print(f"{dup['run']}: duplicate fully deduplicated "
+              f"({dup['deduped']}/{len(points)} points shared)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter)
+    parser.add_argument("--base", default="http://127.0.0.1:8642",
+                        help="server base URL")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("health", help="wait for and print /health")
+    sub.add_parser("state", help="print /debug/state")
+    sw = sub.add_parser("sweep",
+                        help="scenario+run lifecycle for a tile sweep")
+    sw.add_argument("--kernel", default="gemm")
+    sw.add_argument("--n", type=int, default=48)
+    sw.add_argument("--tiles", default="12,48",
+                    type=lambda s: [int(t) for t in s.split(",")],
+                    help="comma-separated tile sizes")
+    sw.add_argument("--scale", type=int, default=32)
+    sw.add_argument("--out-dir", default=None,
+                    help="server-side directory for the documents")
+    sw.add_argument("--dup-check", action="store_true",
+                    help="resubmit the identical run and require "
+                         "full point dedup")
+    args = parser.parse_args(argv)
+    return {"health": cmd_health, "state": cmd_state,
+            "sweep": cmd_sweep}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

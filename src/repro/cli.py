@@ -10,6 +10,7 @@ Examples::
     python -m repro corun --tenants mcf,lbm,libquantum --accesses 4000
     python -m repro diff out/run_a out/run_b
     python -m repro fuzz --cases 200 --seed 0
+    python -m repro serve --port 8642 --workers 2
     python -m repro overheads
 """
 
@@ -436,6 +437,17 @@ def cmd_fuzz(args) -> int:
     return 1
 
 
+def cmd_serve(args) -> int:
+    """Run the long-lived simulation-as-a-service HTTP server."""
+    from repro.serve.app import main as serve_main
+
+    return serve_main(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue_limit, cache_dir=args.cache_dir,
+        verbose=args.verbose,
+    )
+
+
 def cmd_overheads(_args) -> int:
     """Print the Section 4.4 overhead summary for an 8 GB machine."""
     ov = storage_overheads(8 << 30)
@@ -553,6 +565,25 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--verbose", action="store_true",
                     help="log each failure as it shrinks")
 
+    sv = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service HTTP server "
+             "(scenario/run split; see docs/serve.md)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8642,
+                    help="listen port (default 8642; 0 = ephemeral)")
+    sv.add_argument("--workers", type=int, default=2,
+                    help="run-executing worker threads (default 2)")
+    sv.add_argument("--queue-limit", type=int, default=64,
+                    help="max pending points before requests are "
+                         "rejected with 429 (default 64)")
+    sv.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="trace-cache directory (default: "
+                         "REPRO_TRACE_CACHE / XDG cache; "
+                         "'off' disables the disk layer)")
+    sv.add_argument("--verbose", action="store_true",
+                    help="log each request line to stderr")
+
     sub.add_parser("overheads", help="Section 4.4 overhead summary")
     return parser
 
@@ -565,6 +596,7 @@ COMMANDS = {
     "corun": cmd_corun,
     "diff": cmd_diff,
     "fuzz": cmd_fuzz,
+    "serve": cmd_serve,
     "overheads": cmd_overheads,
 }
 

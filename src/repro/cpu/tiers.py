@@ -48,8 +48,16 @@ _ENV_VAR = "REPRO_ENGINE"
 def resolve_engine_tier(explicit: Optional[str] = None) -> str:
     """The active tier: ``explicit`` if given, else ``$REPRO_ENGINE``,
     else ``packed``.  Unknown names raise (typos must not silently run
-    a different interpreter)."""
-    tier = explicit or os.environ.get(_ENV_VAR) or "packed"
+    a different interpreter).
+
+    The value is stripped before matching, like every other ``REPRO_*``
+    knob (``REPRO_JOBS`` strips before parsing): ``REPRO_ENGINE="packed "``
+    from a shell export or an HTTP request must select ``packed``, not
+    raise.
+    """
+    tier = (explicit or os.environ.get(_ENV_VAR) or "packed").strip()
+    if not tier:
+        tier = "packed"
     if tier not in ENGINE_TIERS:
         raise ConfigurationError(
             f"unknown engine tier {tier!r}; choices: {ENGINE_TIERS}"

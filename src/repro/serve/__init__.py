@@ -1,0 +1,40 @@
+"""Simulation-as-a-service: the ``repro serve`` HTTP server.
+
+The paper's XMem design splits expensive semantic registration (atom
+setup, once) from cheap repeated use; this package applies the same
+split at service granularity.  ``POST /v1/scenarios`` packs and
+content-hashes the expensive half (trace + setup log, via the existing
+trace cache); ``POST /v1/runs`` replays cheap parameterized system
+configs against it on a bounded worker queue with request dedup.  See
+``docs/serve.md`` for the API reference.
+"""
+
+from repro.serve.app import ReproServer, ServerState, serve
+from repro.serve.jobs import (
+    QueueFullError,
+    RunScheduler,
+    ServeStats,
+    config_hash,
+    normalize_config,
+)
+from repro.serve.scenarios import (
+    ScenarioBuildError,
+    ScenarioEntry,
+    ScenarioSpec,
+    ScenarioStore,
+)
+
+__all__ = [
+    "QueueFullError",
+    "ReproServer",
+    "RunScheduler",
+    "ScenarioBuildError",
+    "ScenarioEntry",
+    "ScenarioSpec",
+    "ScenarioStore",
+    "ServeStats",
+    "ServerState",
+    "config_hash",
+    "normalize_config",
+    "serve",
+]

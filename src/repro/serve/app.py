@@ -1,0 +1,420 @@
+"""``repro serve``: the stdlib HTTP+JSON surface over scenarios/runs.
+
+Endpoints (all bodies and responses are JSON):
+
+* ``POST /v1/scenarios``      -- build (or reuse) a content-hashed
+  scenario; concurrent identical requests share one build.
+* ``GET  /v1/scenarios``      -- list built scenarios.
+* ``GET  /v1/scenarios/<h>``  -- one scenario's summary.
+* ``POST /v1/runs``           -- schedule sweep points against built
+  scenarios (``{"scenario": h, "configs": [...]}`` or
+  ``{"points": [{"scenario": h, "config": {...}}, ...]}``, plus an
+  optional ``out_dir`` the server writes completed documents into).
+* ``GET  /v1/runs``           -- list runs and their progress.
+* ``GET  /v1/runs/<id>``      -- progress; completed runs include the
+  per-point manifest+stats documents.
+* ``DELETE /v1/runs/<id>``    -- cancel a run's still-pending points.
+* ``GET  /health``            -- liveness: queue depth, worker counts.
+* ``GET  /debug/state``       -- full introspection: serve counters,
+  queue/worker state, scenario and run tables, trace memo bounds,
+  engine tier, ``REPRO_*`` env.
+
+Error mapping: malformed JSON and :class:`ConfigurationError` are 400
+(a bad config must never surface as a 500), unknown
+scenarios/runs/paths are 404, a full queue is 429, scenario build
+failures are 500.  Every response body parses as JSON, including
+errors -- the fuzz lane drives this surface with junk and concurrent
+duplicates and asserts exactly that.
+
+Built on ``http.server.ThreadingHTTPServer``: stdlib only, one thread
+per connection, shared state guarded inside
+:mod:`repro.serve.scenarios` / :mod:`repro.serve.jobs`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.stats import stat_values
+from repro.cpu.tiers import resolve_engine_tier
+from repro.serve.jobs import QueueFullError, RunScheduler, ServeStats
+from repro.serve.scenarios import (
+    ScenarioBuildError,
+    ScenarioSpec,
+    ScenarioStore,
+)
+from repro.sim.stats import collect_repro_env
+
+#: Request bodies past this size are rejected (413) before parsing.
+MAX_BODY_BYTES = 4 << 20
+
+
+class ServeHTTPError(Exception):
+    """An error with a definite HTTP status (maps straight to JSON)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServerState:
+    """Everything one ``repro serve`` process owns."""
+
+    def __init__(self, workers: int = 2, queue_limit: int = 64,
+                 cache_dir: Optional[str] = None,
+                 verbose: bool = False) -> None:
+        cache_root: Optional[Path] = None
+        cache_disabled = False
+        if cache_dir is not None:
+            if cache_dir.strip().lower() in ("0", "off", "none", "false"):
+                cache_disabled = True
+            else:
+                cache_root = Path(cache_dir).expanduser()
+        # Resolved once, up front: a bad REPRO_ENGINE should refuse to
+        # boot the server, not 500 every request.
+        self.engine_tier = resolve_engine_tier()
+        self.stats = ServeStats()
+        self.store = ScenarioStore(cache_root=cache_root,
+                                   cache_disabled=cache_disabled)
+        self.scheduler = RunScheduler(self.store, self.stats,
+                                      workers=workers,
+                                      queue_limit=queue_limit)
+        self.verbose = verbose
+        self.started_at = time.time()
+        self._t0 = time.monotonic()
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._t0
+
+    def health(self) -> Tuple[int, Dict[str, object]]:
+        """``GET /health``: 200 when every worker thread is alive."""
+        sched = self.scheduler
+        alive = sched.workers_alive()
+        configured = sched.configured_workers
+        healthy = alive == configured
+        doc = {
+            "status": "ok" if healthy else "degraded",
+            "uptime_s": round(self.uptime_s, 3),
+            "queue_depth": sched.queue_depth(),
+            "workers": {"alive": alive, "configured": configured},
+            "scenarios": len(self.store),
+            "runs": sched.run_count(),
+            "engine_tier": self.engine_tier,
+        }
+        return (200 if healthy else 503), doc
+
+    def debug_state(self) -> Dict[str, object]:
+        """``GET /debug/state``: the full introspection document."""
+        from repro.sim.runner import _MEMO, _MEMO_LIMIT
+
+        sched = self.scheduler
+        cache = self.store.new_cache()
+        return {
+            "serve": stat_values(self.stats),
+            "uptime_s": round(self.uptime_s, 3),
+            "engine_tier": self.engine_tier,
+            "env": collect_repro_env(),
+            "queue": {"depth": sched.queue_depth(),
+                      "limit": sched.queue_limit},
+            "workers": sched.worker_report(),
+            "memo": {"entries": len(_MEMO), "limit": _MEMO_LIMIT},
+            "trace_cache": {
+                "dir": (str(cache.root) if cache.root is not None
+                        else None),
+                "enabled": cache.enabled,
+            },
+            "scenarios": self.store.summaries(),
+            "runs": sched.runs_summary(),
+        }
+
+    def close(self) -> None:
+        self.scheduler.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Request handling
+# ---------------------------------------------------------------------------
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Route table + JSON plumbing for one request."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def state(self) -> ServerState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    # -- stdlib hooks -----------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:
+        if self.state.verbose:
+            sys.stderr.write("serve: %s\n" % (fmt % args))
+
+    def do_GET(self) -> None:          # noqa: N802 (stdlib casing)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:         # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:       # noqa: N802
+        self._dispatch("DELETE")
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _dispatch(self, method: str) -> None:
+        state = self.state
+        state.stats.bump("requests")
+        try:
+            status, doc = self._route(method)
+        except ConfigurationError as exc:
+            state.stats.bump("bad_requests")
+            status, doc = 400, {"error": str(exc)}
+        except ServeHTTPError as exc:
+            if exc.status == 404:
+                state.stats.bump("not_found")
+            elif exc.status == 400:
+                state.stats.bump("bad_requests")
+            status, doc = exc.status, {"error": str(exc)}
+        except QueueFullError as exc:
+            status, doc = 429, {"error": str(exc)}
+        except ScenarioBuildError as exc:
+            state.stats.bump("internal_errors")
+            status, doc = 500, {"error": str(exc)}
+        except Exception as exc:                 # noqa: BLE001
+            state.stats.bump("internal_errors")
+            status, doc = 500, {
+                "error": f"{type(exc).__name__}: {exc}"}
+        self._reply(status, doc)
+
+    def _route(self, method: str) -> Tuple[int, Dict[str, object]]:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+        if method == "GET":
+            if path == "/health":
+                return self.state.health()
+            if path == "/debug/state":
+                return 200, self.state.debug_state()
+            if path == "/v1/scenarios":
+                return 200, {"scenarios": self.state.store.summaries()}
+            if len(parts) == 3 and parts[:2] == ["v1", "scenarios"]:
+                entry = self.state.store.get(parts[2])
+                if entry is None:
+                    raise ServeHTTPError(
+                        404, f"unknown scenario {parts[2]!r}")
+                return 200, entry.summary()
+            if path == "/v1/runs":
+                return 200, {"runs": self.state.scheduler.runs_summary()}
+            if len(parts) == 3 and parts[:2] == ["v1", "runs"]:
+                return self._get_run(parts[2])
+        elif method == "POST":
+            if path == "/v1/scenarios":
+                return self._post_scenario()
+            if path == "/v1/runs":
+                return self._post_run()
+        elif method == "DELETE":
+            if len(parts) == 3 and parts[:2] == ["v1", "runs"]:
+                if not self.state.scheduler.cancel(parts[2]):
+                    raise ServeHTTPError(
+                        404, f"unknown run {parts[2]!r}")
+                return 200, {"run": parts[2], "status": "cancelled"}
+        raise ServeHTTPError(404, f"no route for {method} {self.path}")
+
+    # -- endpoints --------------------------------------------------------
+
+    def _post_scenario(self) -> Tuple[int, Dict[str, object]]:
+        body = self._read_json()
+        spec = ScenarioSpec.from_request(body)
+        entry, created, deduped = self.state.store.get_or_build(
+            spec, self.state.stats)
+        doc = entry.summary()
+        doc["created"] = created
+        doc["deduped"] = deduped
+        return (201 if created else 200), doc
+
+    def _post_run(self) -> Tuple[int, Dict[str, object]]:
+        body = self._read_json()
+        if not isinstance(body, dict):
+            raise ConfigurationError(
+                f"run request must be a JSON object, "
+                f"got {type(body).__name__}")
+        allowed = {"scenario", "configs", "points", "out_dir"}
+        unknown = sorted(set(body) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown run-request keys {unknown}; "
+                f"allowed: {sorted(allowed)}")
+        raw_points = []
+        if "points" in body:
+            if "scenario" in body or "configs" in body:
+                raise ConfigurationError(
+                    "pass either points or scenario+configs, not both")
+            if not isinstance(body["points"], list) or not body["points"]:
+                raise ConfigurationError(
+                    f"points must be a non-empty list, "
+                    f"got {body['points']!r}")
+            for item in body["points"]:
+                if not isinstance(item, dict):
+                    raise ConfigurationError(
+                        f"each point must be an object, got {item!r}")
+                bad = sorted(set(item) - {"scenario", "config"})
+                if bad:
+                    raise ConfigurationError(
+                        f"unknown point keys {bad}; "
+                        f"allowed: ['config', 'scenario']")
+                raw_points.append((item.get("scenario"),
+                                   item.get("config")))
+        else:
+            if "scenario" not in body:
+                raise ConfigurationError(
+                    "run request needs a scenario (or a points list)")
+            configs = body.get("configs", [{}])
+            if not isinstance(configs, list) or not configs:
+                raise ConfigurationError(
+                    f"configs must be a non-empty list, "
+                    f"got {configs!r}")
+            raw_points = [(body["scenario"], c) for c in configs]
+        resolved = []
+        for scenario_hash, config in raw_points:
+            if not isinstance(scenario_hash, str):
+                raise ConfigurationError(
+                    f"scenario must be a hash string, "
+                    f"got {scenario_hash!r}")
+            entry = self.state.store.get(scenario_hash)
+            if entry is None:
+                raise ServeHTTPError(
+                    404, f"unknown scenario {scenario_hash!r}; "
+                         f"POST /v1/scenarios first")
+            from repro.serve.jobs import normalize_config
+            resolved.append((entry, normalize_config(entry, config)))
+        out_dir = body.get("out_dir")
+        if out_dir is not None and not isinstance(out_dir, str):
+            raise ConfigurationError(
+                f"out_dir must be a path string, got {out_dir!r}")
+        run = self.state.scheduler.submit(
+            resolved,
+            out_dir=Path(out_dir).expanduser() if out_dir else None)
+        progress = self.state.scheduler.run_progress(run)
+        return 202, {
+            "run": run.id,
+            "url": f"/v1/runs/{run.id}",
+            "points": len(run.point_keys),
+            "new": run.new,
+            "deduped": run.deduped,
+            "status": progress["status"],
+        }
+
+    def _get_run(self, run_id: str) -> Tuple[int, Dict[str, object]]:
+        sched = self.state.scheduler
+        run = sched.get_run(run_id)
+        if run is None:
+            raise ServeHTTPError(404, f"unknown run {run_id!r}")
+        progress = sched.run_progress(run)
+        doc: Dict[str, object] = {
+            "run": run.id,
+            "status": progress["status"],
+            "points": progress["points"],
+            "names": list(run.names),
+            "created_at": run.created_at,
+        }
+        docs, errors = sched.run_documents(run)
+        if errors:
+            doc["errors"] = errors
+        if progress["status"] in ("done", "failed", "cancelled"):
+            doc["documents"] = docs
+            if run.out_dir is not None:
+                doc["out_dir"] = str(run.out_dir)
+                # -1 is the scheduler's internal claimed-but-flushing
+                # sentinel; expose the count only once the files exist.
+                if run.written is not None and run.written >= 0:
+                    doc["written"] = run.written
+        return 200, doc
+
+    # -- JSON plumbing ----------------------------------------------------
+
+    def _read_json(self) -> object:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise ServeHTTPError(400, "bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise ServeHTTPError(
+                413, f"body of {length} bytes exceeds "
+                     f"{MAX_BODY_BYTES}")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServeHTTPError(400, "empty request body")
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ServeHTTPError(
+                400, f"request body is not JSON: {exc}") from None
+
+    def _reply(self, status: int, doc: Dict[str, object]) -> None:
+        payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client went away mid-reply; a resident server shrugs.
+            pass
+
+
+class ReproServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the shared :class:`ServerState`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int],
+                 state: Optional[ServerState] = None) -> None:
+        super().__init__(address, ServeHandler)
+        self.state = state if state is not None else ServerState()
+
+    def close(self) -> None:
+        """Stop serving and drain the worker pool."""
+        self.state.close()
+        self.server_close()
+
+
+def serve(host: str = "127.0.0.1", port: int = 8642,
+          workers: int = 2, queue_limit: int = 64,
+          cache_dir: Optional[str] = None,
+          verbose: bool = False) -> ReproServer:
+    """Build a ready-to-run server (callers invoke ``serve_forever``)."""
+    state = ServerState(workers=workers, queue_limit=queue_limit,
+                        cache_dir=cache_dir, verbose=verbose)
+    return ReproServer((host, port), state)
+
+
+def main(host: str, port: int, workers: int, queue_limit: int,
+         cache_dir: Optional[str], verbose: bool) -> int:
+    """The ``repro serve`` entry point: run until interrupted."""
+    try:
+        server = serve(host=host, port=port, workers=workers,
+                       queue_limit=queue_limit, cache_dir=cache_dir,
+                       verbose=verbose)
+    except OSError as exc:
+        print(f"cannot bind {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    bound = server.server_address
+    print(f"repro serve: listening on http://{bound[0]}:{bound[1]} "
+          f"(workers={workers}, queue_limit={queue_limit}, "
+          f"engine={server.state.engine_tier})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0

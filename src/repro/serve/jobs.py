@@ -1,0 +1,572 @@
+"""Run phase of the serve split: bounded queue, dedup, worker threads.
+
+A *run* schedules sweep points against built scenarios.  Each point is
+``(scenario-hash, config-hash)``; identical points -- whether inside
+one request or across concurrent requests -- share a single execution
+through the point dedup table (the ``points_deduped`` counter in
+``/debug/state``).  Points flow through one bounded FIFO queue into a
+small pool of worker threads, each of which executes
+:func:`repro.sim.runner.run_any_point` with ``collect=True`` and a
+fresh per-job :class:`~repro.sim.runner.TraceCache`, producing exactly
+the manifest+stats JSON document ``repro sweep --stats-json`` writes
+(re-tagged ``kind: servepoint``), so served output is held to the CLI
+output by the ``repro diff`` gate.
+
+Bounded everywhere: the queue rejects submissions past
+``queue_limit`` (HTTP 429), and completed runs/points are retired
+oldest-first past the retention limits -- a long-lived server must not
+grow RSS with its request history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.serve.scenarios import ScenarioEntry, ScenarioStore
+from repro.sim.runner import (
+    SYSTEM_BUILDERS,
+    CorunPoint,
+    SimPoint,
+    point_document,
+    point_document_name,
+    run_any_point,
+)
+
+#: Completed runs retained for ``GET /v1/runs/<id>`` (oldest retired
+#: first; their documents go with them unless another live run shares
+#: the point).
+RUN_RETENTION = 64
+
+
+class QueueFullError(Exception):
+    """The bounded work queue cannot take this submission (HTTP 429)."""
+
+
+@dataclass
+class ServeStats:
+    """Server counters, exposed as the ``serve`` stat group.
+
+    Follows the repo-wide StatGroup protocol
+    (:func:`repro.core.stats.stat_values`), so the same object feeds
+    ``/debug/state`` and any registry that wants to mount it.
+    """
+
+    requests: int = 0
+    scenarios_built: int = 0
+    scenarios_cached: int = 0
+    scenarios_deduped: int = 0
+    runs_submitted: int = 0
+    runs_completed: int = 0
+    runs_cancelled: int = 0
+    points_submitted: int = 0
+    points_deduped: int = 0
+    points_executed: int = 0
+    points_failed: int = 0
+    queue_rejections: int = 0
+    bad_requests: int = 0
+    not_found: int = 0
+    internal_errors: int = 0
+
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def bump(self, name: str, by: int = 1) -> None:
+        """Increment one counter (handler threads race; stay exact)."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + by)
+
+    def stat_groups(self):
+        """StatGroup protocol (registers as ``serve``)."""
+        yield "serve", self
+
+
+# ---------------------------------------------------------------------------
+# Run configs -> points
+# ---------------------------------------------------------------------------
+
+_KERNEL_CONFIG_KEYS = ("scale", "llc_bytes", "bandwidth", "systems")
+_SUITE_CONFIG_KEYS = ("scale", "xmem_tenants", "modes")
+
+
+def normalize_config(entry: ScenarioEntry, config: object
+                     ) -> Dict[str, object]:
+    """Validate one run config against its scenario's kind.
+
+    Returns the fully defaulted, canonically ordered config dict (what
+    gets hashed); raises :class:`ConfigurationError` -- HTTP 400 -- on
+    anything malformed.  The engine tier is deliberately *not* a
+    per-run knob: ``REPRO_ENGINE`` is process-wide and fixed at server
+    start, so every served document carries the server's tier.
+    """
+    if config is None:
+        config = {}
+    if not isinstance(config, dict):
+        raise ConfigurationError(
+            f"run config must be a JSON object, "
+            f"got {type(config).__name__}")
+    allowed = (_KERNEL_CONFIG_KEYS if entry.spec.kind == "kernel"
+               else _SUITE_CONFIG_KEYS)
+    unknown = sorted(set(config) - set(allowed))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {entry.spec.kind}-run config keys {unknown}; "
+            f"allowed: {sorted(allowed)}")
+    scale = config.get("scale", 32)
+    if isinstance(scale, bool) or not isinstance(scale, int) or scale <= 0:
+        raise ConfigurationError(
+            f"scale must be a positive integer, got {scale!r}")
+    if entry.spec.kind == "kernel":
+        llc = config.get("llc_bytes")
+        if llc is not None and (isinstance(llc, bool)
+                                or not isinstance(llc, int) or llc <= 0):
+            raise ConfigurationError(
+                f"llc_bytes must be a positive integer or null, "
+                f"got {llc!r}")
+        bandwidth = config.get("bandwidth", 1.0)
+        if (isinstance(bandwidth, bool)
+                or not isinstance(bandwidth, (int, float))
+                or bandwidth <= 0):
+            raise ConfigurationError(
+                f"bandwidth must be a positive number, "
+                f"got {bandwidth!r}")
+        systems = config.get("systems", ["baseline", "xmem"])
+        if (not isinstance(systems, list) or not systems
+                or not all(isinstance(s, str) for s in systems)):
+            raise ConfigurationError(
+                f"systems must be a non-empty list of names, "
+                f"got {systems!r}")
+        bad = [s for s in systems if s not in SYSTEM_BUILDERS]
+        if bad:
+            raise ConfigurationError(
+                f"unknown systems {bad}; "
+                f"choices: {sorted(SYSTEM_BUILDERS)}")
+        return {"scale": scale, "llc_bytes": llc,
+                "bandwidth": float(bandwidth),
+                "systems": list(systems)}
+    modes = config.get("modes", ["baseline", "xmem"])
+    if (not isinstance(modes, list) or not modes
+            or any(m not in ("baseline", "xmem") for m in modes)):
+        raise ConfigurationError(
+            f"modes must be a non-empty list drawn from "
+            f"['baseline', 'xmem'], got {modes!r}")
+    xmem_tenants = config.get("xmem_tenants", [0])
+    if (not isinstance(xmem_tenants, list)
+            or not all(isinstance(i, int) and not isinstance(i, bool)
+                       for i in xmem_tenants)):
+        raise ConfigurationError(
+            f"xmem_tenants must be a list of core indices, "
+            f"got {xmem_tenants!r}")
+    if any(i != 0 for i in xmem_tenants):
+        # A suite scenario is one tenant; core 0 is the only index.
+        raise ConfigurationError(
+            f"xmem_tenants {xmem_tenants} outside the 1-tenant mix")
+    return {"scale": scale, "modes": list(modes),
+            "xmem_tenants": list(xmem_tenants)}
+
+
+def config_hash(config: Dict[str, object]) -> str:
+    """Content hash of one normalized run config (16 hex chars)."""
+    payload = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def build_point(entry: ScenarioEntry, config: Dict[str, object]):
+    """The runnable point for (scenario, normalized config)."""
+    spec = entry.spec
+    if spec.kind == "kernel":
+        return SimPoint(
+            kernel=spec.workload, n=spec.n, tile=spec.tile,
+            scale=config["scale"], llc_bytes=config["llc_bytes"],
+            bandwidth=config["bandwidth"],
+            systems=tuple(config["systems"]),
+        )
+    return CorunPoint(
+        tenants=(spec.workload,), accesses=spec.n,
+        footprint_div=spec.tile, scale=config["scale"],
+        xmem_tenants=tuple(config["xmem_tenants"]),
+        modes=tuple(config["modes"]),
+    )
+
+
+class _NamedResult:
+    """The ``.point``-only shim :func:`point_document_name` needs."""
+
+    def __init__(self, point) -> None:
+        self.point = point
+
+
+# ---------------------------------------------------------------------------
+# Point and run records
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PointEntry:
+    """One deduplicated unit of work: (scenario-hash, config-hash)."""
+
+    key: Tuple[str, str]
+    point: object
+    state: str = "pending"        # -> running -> done | failed
+    document: Optional[dict] = None
+    error: Optional[str] = None
+    wall_s: float = 0.0
+    done: threading.Event = field(default_factory=threading.Event,
+                                  repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+
+@dataclass
+class RunHandle:
+    """One submitted run: an ordered list of (possibly shared) points."""
+
+    id: str
+    point_keys: List[Tuple[str, str]]
+    names: List[str]
+    out_dir: Optional[Path]
+    created_at: float
+    new: int = 0
+    deduped: int = 0
+    cancelled: bool = False
+    written: Optional[int] = None
+
+
+class RunScheduler:
+    """The bounded work queue and its worker threads.
+
+    One instance per server.  ``submit`` deduplicates against the
+    point table and enqueues only new work; workers drain the queue
+    FIFO.  ``workers=0`` is the inspection mode used by tests: points
+    stay pending until a worker exists.
+    """
+
+    def __init__(self, store: ScenarioStore, stats: ServeStats,
+                 workers: int = 2, queue_limit: int = 64) -> None:
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0: {workers}")
+        if queue_limit <= 0:
+            raise ConfigurationError(
+                f"queue_limit must be > 0: {queue_limit}")
+        self.store = store
+        self.stats = stats
+        self.queue_limit = queue_limit
+        self._queue: "queue.Queue[Optional[PointEntry]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._points: Dict[Tuple[str, str], PointEntry] = {}
+        self._runs: Dict[str, RunHandle] = {}
+        self._run_order: List[str] = []
+        self._next_run = 1
+        self._pending = 0
+        self._stop = threading.Event()
+        self._workers: List[threading.Thread] = []
+        self._worker_info: List[Dict[str, object]] = []
+        for i in range(workers):
+            info: Dict[str, object] = {"name": f"worker-{i}",
+                                       "executed": 0, "failed": 0,
+                                       "current": None}
+            thread = threading.Thread(target=self._worker_loop,
+                                      args=(info,),
+                                      name=f"repro-serve-{i}",
+                                      daemon=True)
+            self._worker_info.append(info)
+            self._workers.append(thread)
+            thread.start()
+
+    # -- Submission -------------------------------------------------------
+
+    def submit(self, points: List[Tuple[ScenarioEntry,
+                                        Dict[str, object]]],
+               out_dir: Optional[Path] = None) -> RunHandle:
+        """Schedule one run over ``points``; returns its handle.
+
+        ``points`` is an ordered list of (scenario entry, normalized
+        config).  New (scenario, config) pairs enqueue; already known
+        pairs -- pending, running, or done -- are shared and counted as
+        ``points_deduped``.  Raises :class:`QueueFullError` when the
+        new work would push the queue past its bound.
+        """
+        keys: List[Tuple[str, str]] = []
+        names: List[str] = []
+        with self._lock:
+            fresh: List[PointEntry] = []
+            seen_new = set()
+            for index, (entry, config) in enumerate(points):
+                key = (entry.hash, config_hash(config))
+                point = build_point(entry, config)
+                keys.append(key)
+                names.append(point_document_name(index,
+                                                 _NamedResult(point)))
+                known = self._points.get(key)
+                if known is not None and known.state != "failed":
+                    self.stats.bump("points_deduped")
+                    continue
+                if key in seen_new:
+                    self.stats.bump("points_deduped")
+                    continue
+                seen_new.add(key)
+                fresh.append(PointEntry(key=key, point=point))
+            if self._pending + len(fresh) > self.queue_limit:
+                self.stats.bump("queue_rejections")
+                raise QueueFullError(
+                    f"queue full: {self._pending} pending + "
+                    f"{len(fresh)} new > limit {self.queue_limit}")
+            run = RunHandle(
+                id=f"run-{self._next_run:06d}",
+                point_keys=keys,
+                names=names,
+                out_dir=out_dir,
+                created_at=time.time(),
+                new=len(fresh),
+                deduped=len(keys) - len(fresh),
+            )
+            self._next_run += 1
+            self._runs[run.id] = run
+            self._run_order.append(run.id)
+            for pe in fresh:
+                self._points[pe.key] = pe
+                self._pending += 1
+            self.stats.bump("runs_submitted")
+            self.stats.bump("points_submitted", len(keys))
+            self._retire_locked()
+        for pe in fresh:
+            self._queue.put(pe)
+        return run
+
+    def cancel(self, run_id: str) -> bool:
+        """Mark a run cancelled; pending points referenced only by
+        cancelled runs are skipped by the workers."""
+        with self._lock:
+            run = self._runs.get(run_id)
+            if run is None:
+                return False
+            if run.cancelled:
+                return True
+            run.cancelled = True
+            self.stats.bump("runs_cancelled")
+            # A pending point survives iff some live run still wants it.
+            wanted = set()
+            for other in self._runs.values():
+                if not other.cancelled:
+                    wanted.update(other.point_keys)
+            for key in run.point_keys:
+                pe = self._points.get(key)
+                if (pe is not None and pe.state == "pending"
+                        and key not in wanted):
+                    pe.state = "cancelled"
+                    pe.error = f"cancelled by {run_id}"
+                    pe.done.set()
+                    self._pending -= 1
+        return True
+
+    # -- Introspection ----------------------------------------------------
+
+    def get_run(self, run_id: str) -> Optional[RunHandle]:
+        with self._lock:
+            return self._runs.get(run_id)
+
+    def run_progress(self, run: RunHandle) -> Dict[str, object]:
+        """Counts-by-state plus overall status for one run."""
+        counts = {"total": len(run.point_keys), "pending": 0,
+                  "running": 0, "done": 0, "failed": 0, "cancelled": 0}
+        with self._lock:
+            for key in run.point_keys:
+                pe = self._points.get(key)
+                state = pe.state if pe is not None else "failed"
+                counts[state] += 1
+        if run.cancelled:
+            status = "cancelled"
+        elif counts["failed"]:
+            status = ("failed" if counts["pending"] + counts["running"]
+                      == 0 else "running")
+        elif counts["done"] == counts["total"]:
+            status = "done"
+        elif counts["running"] or counts["done"]:
+            status = "running"
+        else:
+            status = "queued"
+        return {"status": status, "points": counts}
+
+    def run_documents(self, run: RunHandle
+                      ) -> Tuple[Dict[str, dict], Dict[str, str]]:
+        """``(documents, errors)`` keyed by per-point document name."""
+        docs: Dict[str, dict] = {}
+        errors: Dict[str, str] = {}
+        with self._lock:
+            for name, key in zip(run.names, run.point_keys):
+                pe = self._points.get(key)
+                if pe is None:
+                    errors[name] = "point retired"
+                elif pe.state == "done":
+                    docs[name] = pe.document
+                elif pe.state in ("failed", "cancelled"):
+                    errors[name] = pe.error or pe.state
+        return docs, errors
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def worker_report(self) -> List[Dict[str, object]]:
+        """Liveness and activity of every worker (``/debug/state``)."""
+        report = []
+        for thread, info in zip(self._workers, self._worker_info):
+            with self._lock:
+                snap = dict(info)
+            snap["alive"] = thread.is_alive()
+            report.append(snap)
+        return report
+
+    def workers_alive(self) -> int:
+        return sum(1 for t in self._workers if t.is_alive())
+
+    @property
+    def configured_workers(self) -> int:
+        return len(self._workers)
+
+    def runs_summary(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            ids = list(self._run_order)
+        out = {}
+        for run_id in ids:
+            run = self.get_run(run_id)
+            if run is None:
+                continue
+            progress = self.run_progress(run)
+            progress["created_at"] = run.created_at
+            out[run_id] = progress
+        return out
+
+    def run_count(self) -> int:
+        with self._lock:
+            return len(self._runs)
+
+    # -- Worker machinery -------------------------------------------------
+
+    def _worker_loop(self, info: Dict[str, object]) -> None:
+        while not self._stop.is_set():
+            try:
+                pe = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if pe is None:
+                break
+            with self._lock:
+                if pe.state != "pending":
+                    continue
+                pe.state = "running"
+                self._pending -= 1
+                info["current"] = pe.key
+            self._execute(pe, info)
+            with self._lock:
+                info["current"] = None
+
+    def _execute(self, pe: PointEntry, info: Dict[str, object]) -> None:
+        t0 = time.perf_counter()
+        try:
+            result = run_any_point(pe.point, cache=self.store.new_cache(),
+                                   collect=True)
+            doc = point_document(result)
+            manifest = doc["manifest"]
+            manifest["serve"] = {
+                "scenario": pe.key[0],
+                "config_hash": pe.key[1],
+                "base_kind": manifest["kind"],
+            }
+            manifest["kind"] = "servepoint"
+            with self._lock:
+                pe.document = doc
+                pe.wall_s = time.perf_counter() - t0
+                pe.state = "done"
+            self.stats.bump("points_executed")
+            info["executed"] = int(info["executed"]) + 1
+        except Exception as exc:
+            with self._lock:
+                pe.error = f"{type(exc).__name__}: {exc}"
+                pe.wall_s = time.perf_counter() - t0
+                pe.state = "failed"
+            self.stats.bump("points_failed")
+            info["failed"] = int(info["failed"]) + 1
+        finally:
+            pe.done.set()
+            self._maybe_complete(pe)
+
+    def _maybe_complete(self, pe: PointEntry) -> None:
+        """Count runs that just finished; write their out_dir docs."""
+        to_write: List[RunHandle] = []
+        with self._lock:
+            for run in self._runs.values():
+                if run.cancelled or pe.key not in run.point_keys:
+                    continue
+                if any(not self._finished_locked(k)
+                       for k in run.point_keys):
+                    continue
+                if run.written is None:
+                    self.stats.bump("runs_completed")
+                    run.written = -1   # claimed; actual count follows
+                    to_write.append(run)
+        for run in to_write:
+            run.written = self._write_documents(run)
+
+    def _finished_locked(self, key: Tuple[str, str]) -> bool:
+        pe = self._points.get(key)
+        return pe is None or pe.finished
+
+    def _write_documents(self, run: RunHandle) -> int:
+        """Persist a completed run's documents to its ``out_dir``.
+
+        Byte-for-byte the :func:`repro.sim.runner.
+        write_point_documents` format (sorted keys, indent 2, trailing
+        newline), so ``repro diff`` can gate a served directory against
+        a CLI sweep directly.
+        """
+        if run.out_dir is None:
+            return 0
+        docs, _ = self.run_documents(run)
+        run.out_dir.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for name in run.names:
+            doc = docs.get(name)
+            if doc is None:
+                continue
+            with open(run.out_dir / name, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True, indent=2)
+                fh.write("\n")
+            written += 1
+        return written
+
+    def _retire_locked(self) -> None:
+        """Drop the oldest completed runs past the retention bound."""
+        while len(self._run_order) > RUN_RETENTION:
+            oldest = self._run_order[0]
+            run = self._runs[oldest]
+            unfinished = any(not self._finished_locked(k)
+                             for k in run.point_keys)
+            if unfinished and not run.cancelled:
+                break
+            self._run_order.pop(0)
+            del self._runs[oldest]
+            wanted = set()
+            for other in self._runs.values():
+                wanted.update(other.point_keys)
+            for key in run.point_keys:
+                if key not in wanted and key in self._points:
+                    pe = self._points[key]
+                    if pe.finished:
+                        del self._points[key]
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the workers (drain signal + join)."""
+        self._stop.set()
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout)

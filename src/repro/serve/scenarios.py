@@ -1,0 +1,307 @@
+"""Scenario phase of the serve split: content-hashed trace + setup log.
+
+A *scenario* is the expensive, cacheable half of a simulation request:
+one recorded memory trace (packed columns + XMem setup log) identified
+by a content hash of its normalized spec.  Building a scenario walks
+the workload once -- through the existing memo / disk
+:class:`~repro.sim.runner.TraceCache` layers -- after which any number
+of cheap parameterized *runs* replay it (see :mod:`repro.serve.jobs`).
+This mirrors the paper's own split between semantic registration (atom
+setup, once) and use (every access), lifted to service granularity.
+
+Two spec kinds are accepted:
+
+* ``kernel`` -- a Polybench kernel invocation ``(kernel, n, tile)``;
+  runs against it are :class:`~repro.sim.runner.SimPoint` sweeps.
+* ``suite``  -- a suite-catalog workload ``(workload, accesses,
+  footprint_div)`` recorded as a co-run tenant; runs against it are
+  single-tenant :class:`~repro.sim.runner.CorunPoint` mixes.
+
+Concurrent identical ``POST /v1/scenarios`` requests share one build:
+the first requester generates, the rest park on an event and reuse the
+result (the ``scenarios_deduped`` counter in ``/debug/state`` counts
+the parked requests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.sim.runner import (
+    TraceCache,
+    get_recording_with_source,
+    get_suite_recording_with_source,
+    suite_trace_key,
+    trace_key,
+)
+
+#: How long a parked duplicate request waits for the in-flight build.
+BUILD_WAIT_S = 300.0
+
+
+class ScenarioBuildError(Exception):
+    """A scenario build failed (the waiting duplicates get this too)."""
+
+
+def make_trace_cache(root: Optional[Path],
+                     disabled: bool = False) -> TraceCache:
+    """One fresh :class:`TraceCache` with the server's configured root.
+
+    Fresh per request/job on purpose: the hit/miss counters that land
+    in manifests and ``/debug/state`` stay scoped to one request
+    instead of accumulating (and racing) across the server's lifetime.
+    """
+    cache = TraceCache(root)
+    if disabled:
+        cache.root = None
+    return cache
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One normalized scenario request.
+
+    ``workload``/``n``/``tile`` hold ``(kernel, n, tile)`` for kernel
+    scenarios and ``(workload, accesses, footprint_div)`` for suite
+    scenarios -- the same field-reuse discipline as
+    :func:`~repro.sim.runner.suite_trace_key`.
+    """
+
+    kind: str
+    workload: str
+    n: int
+    tile: int
+
+    @classmethod
+    def from_request(cls, body: object) -> "ScenarioSpec":
+        """Validate and normalize one request body (raises
+        :class:`ConfigurationError` -- an HTTP 400 -- on anything
+        malformed)."""
+        if not isinstance(body, dict):
+            raise ConfigurationError(
+                f"scenario request must be a JSON object, "
+                f"got {type(body).__name__}")
+        kind = body.get("kind")
+        if kind is None:
+            kind = "suite" if "workload" in body else "kernel"
+        if kind == "kernel":
+            allowed = {"kind", "kernel", "n", "tile"}
+            unknown = sorted(set(body) - allowed)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown kernel-scenario keys {unknown}; "
+                    f"allowed: {sorted(allowed)}")
+            from repro.workloads.polybench import KERNELS
+            kernel = body.get("kernel")
+            if kernel not in KERNELS:
+                raise ConfigurationError(
+                    f"unknown kernel {kernel!r}; "
+                    f"choices: {sorted(KERNELS)}")
+            n = _positive_int(body.get("n", 96), "n")
+            tile = _positive_int(body.get("tile", n), "tile")
+            return cls(kind="kernel", workload=kernel, n=n, tile=tile)
+        if kind == "suite":
+            allowed = {"kind", "workload", "accesses", "footprint_div"}
+            unknown = sorted(set(body) - allowed)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown suite-scenario keys {unknown}; "
+                    f"allowed: {sorted(allowed)}")
+            from repro.workloads.suite import BY_NAME
+            workload = body.get("workload")
+            if workload not in BY_NAME:
+                raise ConfigurationError(
+                    f"unknown suite workload {workload!r}; "
+                    f"choices: {sorted(BY_NAME)}")
+            accesses = _positive_int(body.get("accesses", 4000),
+                                     "accesses")
+            div = _positive_int(body.get("footprint_div", 1),
+                                "footprint_div")
+            return cls(kind="suite", workload=workload, n=accesses,
+                       tile=div)
+        raise ConfigurationError(
+            f"unknown scenario kind {kind!r}; choices: kernel, suite")
+
+    def canonical(self) -> Dict[str, object]:
+        """The normalized, kind-specific spec (what gets hashed)."""
+        if self.kind == "kernel":
+            return {"kind": "kernel", "kernel": self.workload,
+                    "n": self.n, "tile": self.tile}
+        return {"kind": "suite", "workload": self.workload,
+                "accesses": self.n, "footprint_div": self.tile}
+
+    @property
+    def scenario_hash(self) -> str:
+        """Content hash identifying this scenario (16 hex chars)."""
+        payload = json.dumps(self.canonical(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    @property
+    def trace_cache_key(self) -> str:
+        """The underlying trace-cache key the build populates."""
+        if self.kind == "kernel":
+            return trace_key(self.workload, self.n, self.tile, True)
+        return suite_trace_key(self.workload, self.n, self.tile)
+
+    def build(self, cache: TraceCache):
+        """Generate (or fetch) the recording; returns
+        ``(recording, source)``."""
+        if self.kind == "kernel":
+            return get_recording_with_source(
+                self.workload, self.n, self.tile, cache=cache)
+        return get_suite_recording_with_source(
+            self.workload, self.n, self.tile, cache=cache)
+
+
+def _positive_int(value: object, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"{name} must be a positive integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0: {value}")
+    return value
+
+
+@dataclass
+class ScenarioEntry:
+    """Metadata of one built scenario.
+
+    Deliberately does *not* hold the recording itself: recordings run
+    to millions of events and live in the bounded in-process memo plus
+    the on-disk trace cache.  Holding them here would reintroduce the
+    unbounded-RSS bug class this PR's sweep fixes.
+    """
+
+    spec: ScenarioSpec
+    hash: str
+    trace_key: str
+    source: str
+    events: int
+    setup_calls: int
+    build_wall_s: float
+    created_at: float
+    cache_counters: Dict[str, int]
+
+    def summary(self) -> Dict[str, object]:
+        """The JSON view returned by the scenario endpoints."""
+        return {
+            "scenario": self.hash,
+            "spec": self.spec.canonical(),
+            "trace": {
+                "key": self.trace_key,
+                "source": self.source,
+                "events": self.events,
+                "setup_calls": self.setup_calls,
+                "cache": dict(self.cache_counters),
+            },
+            "build_wall_s": round(self.build_wall_s, 6),
+            "created_at": self.created_at,
+        }
+
+
+class ScenarioStore:
+    """The scenario registry: build-once semantics under concurrency.
+
+    ``get_or_build`` is the only mutation path.  The first requester of
+    a hash builds; concurrent requesters of the same hash wait on the
+    builder's event instead of generating the trace a second time.
+    """
+
+    def __init__(self, cache_root: Optional[Path] = None,
+                 cache_disabled: bool = False) -> None:
+        self.cache_root = cache_root
+        self.cache_disabled = cache_disabled
+        self._lock = threading.Lock()
+        self._entries: Dict[str, ScenarioEntry] = {}
+        self._building: Dict[str, threading.Event] = {}
+        self._errors: Dict[str, str] = {}
+
+    def new_cache(self) -> TraceCache:
+        """A fresh per-request trace cache on the server's root."""
+        return make_trace_cache(self.cache_root, self.cache_disabled)
+
+    def get(self, scenario_hash: str) -> Optional[ScenarioEntry]:
+        """One built scenario by hash, or None."""
+        with self._lock:
+            return self._entries.get(scenario_hash)
+
+    def summaries(self) -> Dict[str, Dict[str, object]]:
+        """All built scenarios (the ``GET /v1/scenarios`` listing)."""
+        with self._lock:
+            return {h: e.summary() for h, e in
+                    sorted(self._entries.items())}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_build(self, spec: ScenarioSpec, stats
+                     ) -> Tuple[ScenarioEntry, bool, bool]:
+        """The entry for ``spec``: ``(entry, created, deduped)``.
+
+        ``created`` is True for the request that performed the build;
+        ``deduped`` is True for a request that parked behind an
+        in-flight identical build.  ``stats`` is the server's
+        :class:`~repro.serve.jobs.ServeStats`.
+        """
+        h = spec.scenario_hash
+        with self._lock:
+            entry = self._entries.get(h)
+            if entry is not None:
+                stats.bump("scenarios_cached")
+                return entry, False, False
+            event = self._building.get(h)
+            if event is None:
+                event = threading.Event()
+                self._building[h] = event
+                self._errors.pop(h, None)
+                builder = True
+            else:
+                builder = False
+        if not builder:
+            stats.bump("scenarios_deduped")
+            if not event.wait(BUILD_WAIT_S):
+                raise ScenarioBuildError(
+                    f"timed out waiting for in-flight build of {h}")
+            with self._lock:
+                entry = self._entries.get(h)
+                error = self._errors.get(h)
+            if entry is None:
+                raise ScenarioBuildError(
+                    error or f"in-flight build of {h} failed")
+            return entry, False, True
+        try:
+            cache = self.new_cache()
+            t0 = time.perf_counter()
+            recording, source = spec.build(cache)
+            entry = ScenarioEntry(
+                spec=spec,
+                hash=h,
+                trace_key=spec.trace_cache_key,
+                source=source,
+                events=len(recording.packed),
+                setup_calls=len(recording.setup),
+                build_wall_s=time.perf_counter() - t0,
+                created_at=time.time(),
+                cache_counters=cache.counters(),
+            )
+            with self._lock:
+                self._entries[h] = entry
+            stats.bump("scenarios_built")
+            return entry, True, False
+        except Exception as exc:
+            with self._lock:
+                self._errors[h] = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            with self._lock:
+                self._building.pop(h, None)
+            event.set()

@@ -307,10 +307,16 @@ class TraceCache:
     replayed.
     """
 
+    #: Tmp files older than this are stale (a crashed/killed writer's
+    #: leftovers); :meth:`sweep_stale_tmp` removes them.  Generous --
+    #: no live trace write takes minutes.
+    STALE_TMP_S = 600
+
     def __init__(self, root: Optional[Path] = None) -> None:
         self.root = root if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self._swept_tmp = False
 
     @property
     def enabled(self) -> bool:
@@ -369,11 +375,53 @@ class TraceCache:
         """StatGroup protocol (registers as ``trace_cache``)."""
         yield "trace_cache", self.counters
 
+    def sweep_stale_tmp(self, max_age_s: Optional[float] = None) -> int:
+        """Delete abandoned ``*.trace.tmp`` files older than the bound.
+
+        A writer that dies between ``mkstemp`` and ``os.replace``
+        (SIGKILL, power loss) strands its tmp file; in a long-lived
+        server those would otherwise accumulate forever.  Young tmp
+        files belong to live concurrent writers and are left alone.
+        Returns the number of files removed.
+        """
+        if self.root is None or not self.root.is_dir():
+            return 0
+        if max_age_s is None:
+            max_age_s = self.STALE_TMP_S
+        import time
+        cutoff = time.time() - max_age_s
+        swept = 0
+        for tmp in self.root.glob("*.trace.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    swept += 1
+            except OSError:
+                # Vanished (a concurrent sweeper) or unreadable: either
+                # way not ours to crash on.
+                continue
+        return swept
+
     def store(self, key: str, recording: TraceRecording) -> None:
-        """Persist a recording (atomic rename; concurrent-writer safe)."""
+        """Persist a recording (atomic rename; concurrent-writer safe).
+
+        The tmp file is cleaned up on *every* failure path -- not just
+        ``OSError``.  A ``KeyboardInterrupt`` or pickling error between
+        ``mkstemp`` and ``os.replace`` used to strand a ``.trace.tmp``
+        file per incident; ``_purge`` after a successful rename is a
+        no-op (the path no longer exists).
+        """
         if self.root is None:
             return
-        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return
+        if not self._swept_tmp:
+            # Once per cache instance: collect tmp files stranded by
+            # earlier crashed writers before adding our own.
+            self._swept_tmp = True
+            self.sweep_stale_tmp()
         # The columns compress well (regular address deltas, repeated
         # flag words); zlib is stdlib and decompression is a small
         # fraction of a cold trace walk.  Uncompressed v1/v2 entries
@@ -388,10 +436,13 @@ class TraceCache:
         fd, tmp = tempfile.mkstemp(dir=str(self.root),
                                    suffix=".trace.tmp")
         try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(wrapper, fh, protocol=4)
-            os.replace(tmp, self._path(key))
-        except OSError:
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(wrapper, fh, protocol=4)
+                os.replace(tmp, self._path(key))
+            except OSError:
+                pass
+        finally:
             self._purge(Path(tmp))
 
 
@@ -400,6 +451,20 @@ class TraceCache:
 #: recordings run to millions of events.
 _MEMO: Dict[str, TraceRecording] = {}
 _MEMO_LIMIT = 4
+
+
+def _memo_put(key: str, recording: TraceRecording) -> None:
+    """Insert into the in-process memo, holding the size bound.
+
+    Every insertion -- first generation and the stale-recording
+    regeneration paths alike -- must come through here: a direct
+    ``_MEMO[key] = ...`` bypasses the eviction loop, and in a
+    long-lived ``repro serve`` process that bypass grows RSS without
+    bound (each recording can run to millions of events).
+    """
+    while len(_MEMO) >= _MEMO_LIMIT and key not in _MEMO:
+        _MEMO.pop(next(iter(_MEMO)))
+    _MEMO[key] = recording
 
 
 def _cached_recording(key: str, generate: Callable[[], TraceRecording],
@@ -423,9 +488,7 @@ def _cached_recording(key: str, generate: Callable[[], TraceRecording],
         recording = generate()
         cache.store(key, recording)
         source = "generated"
-    while len(_MEMO) >= _MEMO_LIMIT:
-        _MEMO.pop(next(iter(_MEMO)))
-    _MEMO[key] = recording
+    _memo_put(key, recording)
     return recording, source
 
 
@@ -559,7 +622,7 @@ def run_point(point: SimPoint,
             source = "regenerated"
             key = trace_key(point.kernel, point.n, point.tile, True)
             cache.store(key, recording)
-            _MEMO[key] = recording
+            _memo_put(key, recording)
             handle = build(cfg)
             trace = recording.replay(handle.xmemlib)
         stats = handle.run(trace)
@@ -934,7 +997,7 @@ def run_corun_point(point: CorunPoint,
             key = suite_trace_key(name, point.accesses,
                                   point.footprint_div)
             cache.store(key, recording)
-            _MEMO[key] = recording
+            _memo_put(key, recording)
         tenants.append((recording, source))
     if timer is not None:
         timer.stop()
@@ -992,6 +1055,24 @@ def run_corun_point(point: CorunPoint,
 def _run_corun_collecting(point: CorunPoint) -> CorunResult:
     """Module-level ``collect=True`` wrapper (pickles into workers)."""
     return run_corun_point(point, collect=True)
+
+
+def run_any_point(point, cache: Optional[TraceCache] = None,
+                  collect: bool = False):
+    """Execute one point of either kind (the serve job-queue adapter).
+
+    ``repro serve`` queues :class:`SimPoint` and :class:`CorunPoint`
+    work items through one bounded queue; this is the single dispatch
+    its workers call.  Passing a fresh :class:`TraceCache` per request
+    keeps the manifest's hit/miss provenance scoped to that request
+    instead of accumulating across the server's lifetime.
+    """
+    if isinstance(point, CorunPoint):
+        return run_corun_point(point, cache=cache, collect=collect)
+    if isinstance(point, SimPoint):
+        return run_point(point, cache=cache, collect=collect)
+    raise ConfigurationError(
+        f"not a runnable point: {type(point).__name__}")
 
 
 def corun_sweep(points: Sequence[CorunPoint],

@@ -1,6 +1,6 @@
 """Differential fuzzing: optimized models vs. reference models.
 
-Seven lanes, each pairing a hot-path implementation with its oracle
+Eight lanes, each pairing a hot-path implementation with its oracle
 (:mod:`repro.testing.oracles`) over seeded random input
 (:mod:`repro.testing.generators`):
 
@@ -40,6 +40,15 @@ Seven lanes, each pairing a hot-path implementation with its oracle
   serviced exactly once, completions self-consistent, service never
   before arrival (starvation bounds are the scheduler's own
   ``REPRO_CHECK`` hook).
+* ``serve``   -- random request sequences (including concurrent
+  duplicate POSTs and deliberate junk) against a real in-process
+  ``repro serve`` HTTP server (:mod:`repro.serve`): every response is
+  JSON with the documented status, concurrent identical scenario
+  requests share one build (build-once accounting), completed runs
+  carry ``servepoint`` documents, and the final ``/debug/state``
+  shows zero internal errors, zero failed points, a drained queue,
+  and a memo within its bound.  Items are self-contained request
+  descriptors, so shrinking drops whole requests.
 
 A failing case is shrunk (:mod:`repro.testing.shrink`) against the
 same lane predicate and written to the corpus directory as a JSON
@@ -534,10 +543,277 @@ class SchedLane(Lane):
         return None
 
 
+class ServeLane(Lane):
+    """The ``repro serve`` HTTP surface under random and concurrent load.
+
+    Each case boots a real in-process server (ephemeral port, disk
+    trace cache off so cases are hermetic) and drives it with a random
+    sequence of self-contained request descriptors: health/state
+    probes, kernel and suite scenario builds, full run lifecycles, and
+    deliberately malformed requests.  ``dup`` descriptors issue the
+    same POST twice *concurrently* (barrier-synchronized threads), so
+    the build-once and point-dedup paths are exercised under real
+    races.  The oracle is the server's own contract: documented status
+    codes, JSON-only bodies, build-once accounting in
+    ``/debug/state``, and a clean final state (no internal errors, no
+    failed points, drained queue, bounded memo).
+    """
+
+    name = "serve"
+
+    KERNEL_NAMES = ("mvt", "gemver", "jacobi2d")
+    SUITE_NAMES = ("mcf", "libquantum", "milc")
+    #: Every op runs real simulations; keep sequences short.
+    MAX_OPS = 8
+
+    def make(self, rng: random.Random, length: int) -> Tuple[dict, list]:
+        ops: list = []
+        for _ in range(max(1, min(length // 50, self.MAX_OPS))):
+            r = rng.random()
+            dup = int(rng.random() < 0.5)
+            if r < 0.12:
+                ops.append(("health",))
+            elif r < 0.22:
+                ops.append(("state",))
+            elif r < 0.42:
+                ops.append(("scenario", "kernel",
+                            rng.choice(self.KERNEL_NAMES),
+                            rng.choice((8, 12, 16)),
+                            rng.choice((4, 8)), dup))
+            elif r < 0.57:
+                ops.append(("scenario", "suite",
+                            rng.choice(self.SUITE_NAMES),
+                            rng.choice((300, 500, 800)),
+                            rng.choice((16, 64)), dup))
+            elif r < 0.85:
+                ops.append(("run", rng.choice(self.KERNEL_NAMES),
+                            rng.choice((8, 12)), 4,
+                            rng.choice((16, 32)), dup))
+            else:
+                ops.append(("bad", rng.randrange(6)))
+        params = {"workers": rng.choice((1, 2)), "queue_limit": 32}
+        return params, ops
+
+    def fail(self, params: dict, items: list) -> Optional[str]:
+        import http.client
+        import threading
+        import time
+
+        from repro.serve.app import serve
+
+        server = serve(port=0, workers=params["workers"],
+                       queue_limit=params["queue_limit"], cache_dir="off")
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+
+        def call(method: str, path: str, body: object = None,
+                 raw: Optional[bytes] = None):
+            payload = raw
+            if payload is None and body is not None:
+                payload = json.dumps(body).encode()
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            try:
+                conn.request(method, path, body=payload,
+                             headers={"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                data = resp.read()
+                status = resp.status
+            finally:
+                conn.close()
+            try:
+                return status, json.loads(data)
+            except ValueError:
+                return status, None
+
+        def concurrent_pair(method: str, path: str, body: object):
+            results: list = [None, None]
+            barrier = threading.Barrier(2)
+
+            def shoot(slot: int) -> None:
+                barrier.wait()
+                results[slot] = call(method, path, body)
+
+            threads = [threading.Thread(target=shoot, args=(i,))
+                       for i in (0, 1)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return results
+
+        def post_scenario(body: object, dup: int):
+            if dup:
+                return concurrent_pair("POST", "/v1/scenarios", body)
+            return [call("POST", "/v1/scenarios", body)]
+
+        def wait_run(run_id: str) -> Optional[str]:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                status, doc = call("GET", f"/v1/runs/{run_id}")
+                if status != 200 or doc is None:
+                    return f"poll {run_id}: HTTP {status}, doc {doc!r}"
+                if doc["status"] in ("done", "failed", "cancelled"):
+                    if doc["status"] != "done":
+                        return (f"{run_id} ended {doc['status']}: "
+                                f"{doc.get('errors')}")
+                    for name, d in (doc.get("documents") or {}).items():
+                        kind = (d or {}).get("manifest", {}).get("kind")
+                        if kind != "servepoint":
+                            return (f"{run_id} doc {name}: kind "
+                                    f"{kind!r} != 'servepoint'")
+                        if "stats" not in d:
+                            return f"{run_id} doc {name}: no stats"
+                    return None
+                time.sleep(0.02)
+            return f"{run_id} still {doc['status']} after 120s"
+
+        # Per-hash count of created=True responses: build-once says
+        # the whole session sees exactly one per distinct scenario.
+        created: Dict[str, int] = {}
+
+        def check_scenario(results, want_hash_of=None) -> Optional[str]:
+            hashes = set()
+            for status, doc in results:
+                if status not in (200, 201) or doc is None:
+                    return (f"scenario POST: HTTP {status}, "
+                            f"doc {doc!r}")
+                hashes.add(doc["scenario"])
+                if doc["created"]:
+                    created[doc["scenario"]] = (
+                        created.get(doc["scenario"], 0) + 1)
+                else:
+                    created.setdefault(doc["scenario"], 0)
+            if len(hashes) != 1:
+                return f"duplicate POSTs returned hashes {hashes}"
+            return None
+
+        bad_cases = (
+            ("POST", "/v1/scenarios", {"kernel": "nope"}, None, 400),
+            ("POST", "/v1/scenarios", {"kernel": "mvt", "n": -3},
+             None, 400),
+            ("POST", "/v1/runs",
+             {"scenario": "0" * 16, "configs": [{}]}, None, 404),
+            ("POST", "/v1/runs", {}, None, 400),
+            ("GET", "/v1/runs/run-999999", None, None, 404),
+            ("POST", "/v1/scenarios", None, b"not json", 400),
+        )
+
+        try:
+            for step, item in enumerate(items):
+                op = item[0]
+                where = f"step {step} [{op}]"
+                if op == "health":
+                    status, doc = call("GET", "/health")
+                    if status != 200 or doc is None:
+                        return (f"{where}: HTTP {status}, doc {doc!r}")
+                    missing = {"status", "queue_depth", "workers",
+                               "engine_tier"} - set(doc)
+                    if missing:
+                        return f"{where}: missing keys {sorted(missing)}"
+                elif op == "state":
+                    status, doc = call("GET", "/debug/state")
+                    if status != 200 or doc is None:
+                        return f"{where}: HTTP {status}, doc {doc!r}"
+                    missing = {"serve", "queue", "workers", "memo",
+                               "scenarios", "runs"} - set(doc)
+                    if missing:
+                        return f"{where}: missing keys {sorted(missing)}"
+                elif op == "scenario":
+                    _, kind, workload, n, tile, dup = item
+                    if kind == "kernel":
+                        body = {"kernel": workload, "n": n, "tile": tile}
+                    else:
+                        body = {"workload": workload, "accesses": n,
+                                "footprint_div": tile}
+                    error = check_scenario(post_scenario(body, dup))
+                    if error:
+                        return f"{where}: {error}"
+                elif op == "run":
+                    _, kernel, n, tile, scale, dup = item
+                    error = check_scenario(post_scenario(
+                        {"kernel": kernel, "n": n, "tile": tile}, 0))
+                    if error:
+                        return f"{where}: {error}"
+                    run_body = {"scenario": _kernel_scenario_hash(
+                        kernel, n, tile), "configs": [{"scale": scale}]}
+                    if dup:
+                        results = concurrent_pair("POST", "/v1/runs",
+                                                  run_body)
+                    else:
+                        results = [call("POST", "/v1/runs", run_body)]
+                    new_total = 0
+                    for status, doc in results:
+                        if status != 202 or doc is None:
+                            return (f"{where}: HTTP {status}, "
+                                    f"doc {doc!r}")
+                        if doc["new"] + doc["deduped"] != doc["points"]:
+                            return (f"{where}: new {doc['new']} + "
+                                    f"deduped {doc['deduped']} != "
+                                    f"points {doc['points']}")
+                        new_total += doc["new"]
+                    if new_total > results[0][1]["points"]:
+                        # The point table must hand each (scenario,
+                        # config) pair to exactly one submission.
+                        return (f"{where}: {new_total} creations for "
+                                f"{results[0][1]['points']} point(s)")
+                    for _, doc in results:
+                        error = wait_run(doc["run"])
+                        if error:
+                            return f"{where}: {error}"
+                elif op == "bad":
+                    method, path, body, raw, want = bad_cases[item[1]]
+                    status, doc = call(method, path, body, raw=raw)
+                    if status != want or doc is None:
+                        return (f"{where}: {method} {path} gave HTTP "
+                                f"{status} (doc {doc!r}), want {want}")
+                    if "error" not in doc:
+                        return f"{where}: {want} body without error key"
+                else:
+                    return f"{where}: unknown op {op!r}"
+
+            status, doc = call("GET", "/debug/state")
+            if status != 200 or doc is None:
+                return f"final state: HTTP {status}, doc {doc!r}"
+            counters = doc["serve"]
+            if counters["internal_errors"]:
+                return (f"final state: {counters['internal_errors']} "
+                        f"internal error(s)")
+            if counters["points_failed"]:
+                return (f"final state: {counters['points_failed']} "
+                        f"failed point(s)")
+            over = [h for h, c in created.items() if c > 1]
+            if over:
+                return f"build-once violated for scenarios {over}"
+            if created and counters["scenarios_built"] != len(created):
+                return (f"scenarios_built {counters['scenarios_built']}"
+                        f" != {len(created)} distinct scenario(s)")
+            if doc["queue"]["depth"] != 0:
+                return (f"final state: queue depth "
+                        f"{doc['queue']['depth']} after all runs done")
+            if doc["memo"]["entries"] > doc["memo"]["limit"]:
+                return (f"final state: memo {doc['memo']['entries']} "
+                        f"entries over limit {doc['memo']['limit']}")
+            return None
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=10)
+
+
+def _kernel_scenario_hash(kernel: str, n: int, tile: int) -> str:
+    """Client-side scenario hash, for addressing runs in the lane."""
+    from repro.serve.scenarios import ScenarioSpec
+
+    return ScenarioSpec(kind="kernel", workload=kernel, n=n,
+                        tile=tile).scenario_hash
+
+
 LANES: Dict[str, Lane] = {
     lane.name: lane
     for lane in (PackedLane(), VectorLane(), CorunLane(), CacheLane(),
-                 EngineLane(), DramLane(), SchedLane())
+                 EngineLane(), DramLane(), SchedLane(), ServeLane())
 }
 
 

@@ -151,6 +151,45 @@ class TestStatsJsonAndDiff:
         assert "only in" in capsys.readouterr().err
 
 
+class TestServeCommand:
+    """`repro serve`: parser wiring (the server itself is tested in
+    tests/serve/)."""
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.workers == 2
+        assert args.queue_limit == 64
+        assert args.cache_dir is None
+        assert args.verbose is False
+
+    def test_parser_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4",
+             "--queue-limit", "8", "--cache-dir", "off", "--verbose"])
+        assert args.port == 0
+        assert args.workers == 4
+        assert args.queue_limit == 8
+        assert args.cache_dir == "off"
+        assert args.verbose is True
+
+    def test_bind_failure_exits_two(self, capsys):
+        import socket
+
+        # Hold a port so the server cannot bind it.
+        holder = socket.socket()
+        holder.bind(("127.0.0.1", 0))
+        holder.listen(1)
+        port = holder.getsockname()[1]
+        try:
+            rc = main(["serve", "--port", str(port)])
+        finally:
+            holder.close()
+        assert rc == 2
+        assert "cannot bind" in capsys.readouterr().err
+
+
 class TestFuzzCommand:
     """`repro fuzz`: exit codes, corpus, replay."""
 
