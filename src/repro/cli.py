@@ -444,7 +444,7 @@ def cmd_serve(args) -> int:
     return serve_main(
         host=args.host, port=args.port, workers=args.workers,
         queue_limit=args.queue_limit, cache_dir=args.cache_dir,
-        verbose=args.verbose,
+        out_root=args.out_root, verbose=args.verbose,
     )
 
 
@@ -581,6 +581,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="trace-cache directory (default: "
                          "REPRO_TRACE_CACHE / XDG cache; "
                          "'off' disables the disk layer)")
+    sv.add_argument("--out-root", default=None, metavar="DIR",
+                    help="confine client out_dir paths under DIR "
+                         "(default: trust clients with any writable "
+                         "path; fine on the loopback bind)")
     sv.add_argument("--verbose", action="store_true",
                     help="log each request line to stderr")
 

@@ -55,6 +55,30 @@ from repro.sim.stats import collect_repro_env
 MAX_BODY_BYTES = 4 << 20
 
 
+def resolve_out_dir(raw: str, out_root: Optional[Path]) -> Path:
+    """Validate a client-supplied ``out_dir`` against the server policy.
+
+    The scheduler mkdirs and writes JSON documents under this path, so
+    it is filesystem write access handed to the client.  ``..``
+    components are always rejected.  With ``--out-root`` configured,
+    ``out_dir`` must additionally be a relative path and is resolved
+    inside that root; without it, the server trusts its clients with
+    any writable path -- acceptable on the default loopback bind, and
+    documented as such in docs/serve.md.
+    """
+    path = Path(raw).expanduser()
+    if any(part == ".." for part in path.parts):
+        raise ConfigurationError(
+            f"out_dir must not contain '..' components: {raw!r}")
+    if out_root is None:
+        return path
+    if path.is_absolute():
+        raise ConfigurationError(
+            f"out_dir must be relative to the server's --out-root, "
+            f"got absolute path {raw!r}")
+    return out_root / path
+
+
 class ServeHTTPError(Exception):
     """An error with a definite HTTP status (maps straight to JSON)."""
 
@@ -68,6 +92,7 @@ class ServerState:
 
     def __init__(self, workers: int = 2, queue_limit: int = 64,
                  cache_dir: Optional[str] = None,
+                 out_root: Optional[str] = None,
                  verbose: bool = False) -> None:
         cache_root: Optional[Path] = None
         cache_disabled = False
@@ -85,6 +110,8 @@ class ServerState:
         self.scheduler = RunScheduler(self.store, self.stats,
                                       workers=workers,
                                       queue_limit=queue_limit)
+        self.out_root = (Path(out_root).expanduser()
+                         if out_root is not None else None)
         self.verbose = verbose
         self.started_at = time.time()
         self._t0 = time.monotonic()
@@ -300,7 +327,8 @@ class ServeHandler(BaseHTTPRequestHandler):
                 f"out_dir must be a path string, got {out_dir!r}")
         run = self.state.scheduler.submit(
             resolved,
-            out_dir=Path(out_dir).expanduser() if out_dir else None)
+            out_dir=(resolve_out_dir(out_dir, self.state.out_root)
+                     if out_dir else None))
         progress = self.state.scheduler.run_progress(run)
         return 202, {
             "run": run.id,
@@ -343,8 +371,19 @@ class ServeHandler(BaseHTTPRequestHandler):
         try:
             length = int(self.headers.get("Content-Length", 0))
         except (TypeError, ValueError):
+            self.close_connection = True
             raise ServeHTTPError(400, "bad Content-Length") from None
+        if length < 0:
+            # A negative length would pass the size check below and
+            # turn rfile.read(length) into read-until-EOF, parking the
+            # handler thread on a keep-alive connection.
+            self.close_connection = True
+            raise ServeHTTPError(
+                400, f"bad Content-Length {length}")
         if length > MAX_BODY_BYTES:
+            # Refused without reading: close the connection so the
+            # unread body cannot desync later keep-alive requests.
+            self.close_connection = True
             raise ServeHTTPError(
                 413, f"body of {length} bytes exceeds "
                      f"{MAX_BODY_BYTES}")
@@ -363,6 +402,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(payload)))
+            if self.close_connection:
+                self.send_header("Connection", "close")
             self.end_headers()
             self.wfile.write(payload)
         except (BrokenPipeError, ConnectionResetError):
@@ -390,20 +431,23 @@ class ReproServer(ThreadingHTTPServer):
 def serve(host: str = "127.0.0.1", port: int = 8642,
           workers: int = 2, queue_limit: int = 64,
           cache_dir: Optional[str] = None,
+          out_root: Optional[str] = None,
           verbose: bool = False) -> ReproServer:
     """Build a ready-to-run server (callers invoke ``serve_forever``)."""
     state = ServerState(workers=workers, queue_limit=queue_limit,
-                        cache_dir=cache_dir, verbose=verbose)
+                        cache_dir=cache_dir, out_root=out_root,
+                        verbose=verbose)
     return ReproServer((host, port), state)
 
 
 def main(host: str, port: int, workers: int, queue_limit: int,
-         cache_dir: Optional[str], verbose: bool) -> int:
+         cache_dir: Optional[str], verbose: bool,
+         out_root: Optional[str] = None) -> int:
     """The ``repro serve`` entry point: run until interrupted."""
     try:
         server = serve(host=host, port=port, workers=workers,
                        queue_limit=queue_limit, cache_dir=cache_dir,
-                       verbose=verbose)
+                       out_root=out_root, verbose=verbose)
     except OSError as exc:
         print(f"cannot bind {host}:{port}: {exc}", file=sys.stderr)
         return 2

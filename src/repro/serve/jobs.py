@@ -207,13 +207,21 @@ class _NamedResult:
 # Point and run records
 # ---------------------------------------------------------------------------
 
-@dataclass
+@dataclass(eq=False)
 class PointEntry:
-    """One deduplicated unit of work: (scenario-hash, config-hash)."""
+    """One deduplicated unit of work: (scenario-hash, config-hash).
+
+    Entries compare by identity (``eq=False``): the point table maps
+    each key to its *latest* entry, but every run also keeps direct
+    references to the entries it was submitted with.  A failed or
+    cancelled entry is terminal forever -- a later submission of the
+    same key builds a *fresh* entry rather than mutating this one, so
+    completed runs never see their history rewritten by a retry.
+    """
 
     key: Tuple[str, str]
     point: object
-    state: str = "pending"        # -> running -> done | failed
+    state: str = "pending"    # -> running -> done | failed | cancelled
     document: Optional[dict] = None
     error: Optional[str] = None
     wall_s: float = 0.0
@@ -227,10 +235,17 @@ class PointEntry:
 
 @dataclass
 class RunHandle:
-    """One submitted run: an ordered list of (possibly shared) points."""
+    """One submitted run: an ordered list of (possibly shared) points.
+
+    ``entries`` pins the exact :class:`PointEntry` objects this run
+    was submitted against; progress and documents are read from those,
+    never from the point table, so retries of the same key by later
+    runs cannot change this run's story.
+    """
 
     id: str
     point_keys: List[Tuple[str, str]]
+    entries: List[PointEntry]
     names: List[str]
     out_dir: Optional[Path]
     created_at: float
@@ -290,30 +305,40 @@ class RunScheduler:
 
         ``points`` is an ordered list of (scenario entry, normalized
         config).  New (scenario, config) pairs enqueue; already known
-        pairs -- pending, running, or done -- are shared and counted as
-        ``points_deduped``.  Raises :class:`QueueFullError` when the
-        new work would push the queue past its bound.
+        *live* pairs -- pending, running, or done -- are shared and
+        counted as ``points_deduped``.  A key whose latest entry is
+        terminal-unsuccessful (failed or cancelled) is rebuilt and
+        re-enqueued: deduping onto a dead entry would park the new run
+        in ``queued`` forever with nothing in the queue.  Raises
+        :class:`QueueFullError` when the new work would push the queue
+        past its bound.
         """
         keys: List[Tuple[str, str]] = []
         names: List[str] = []
+        entries: List[PointEntry] = []
         with self._lock:
             fresh: List[PointEntry] = []
-            seen_new = set()
+            fresh_by_key: Dict[Tuple[str, str], PointEntry] = {}
             for index, (entry, config) in enumerate(points):
                 key = (entry.hash, config_hash(config))
                 point = build_point(entry, config)
                 keys.append(key)
                 names.append(point_document_name(index,
                                                  _NamedResult(point)))
+                if key in fresh_by_key:
+                    self.stats.bump("points_deduped")
+                    entries.append(fresh_by_key[key])
+                    continue
                 known = self._points.get(key)
-                if known is not None and known.state != "failed":
+                if known is not None and known.state not in (
+                        "failed", "cancelled"):
                     self.stats.bump("points_deduped")
+                    entries.append(known)
                     continue
-                if key in seen_new:
-                    self.stats.bump("points_deduped")
-                    continue
-                seen_new.add(key)
-                fresh.append(PointEntry(key=key, point=point))
+                pe = PointEntry(key=key, point=point)
+                fresh_by_key[key] = pe
+                fresh.append(pe)
+                entries.append(pe)
             if self._pending + len(fresh) > self.queue_limit:
                 self.stats.bump("queue_rejections")
                 raise QueueFullError(
@@ -322,6 +347,7 @@ class RunScheduler:
             run = RunHandle(
                 id=f"run-{self._next_run:06d}",
                 point_keys=keys,
+                entries=entries,
                 names=names,
                 out_dir=out_dir,
                 created_at=time.time(),
@@ -352,15 +378,15 @@ class RunScheduler:
                 return True
             run.cancelled = True
             self.stats.bump("runs_cancelled")
-            # A pending point survives iff some live run still wants it.
+            # A pending point survives iff some live run still wants
+            # this exact entry (identity, not key: a later retry owns
+            # a different entry).
             wanted = set()
             for other in self._runs.values():
                 if not other.cancelled:
-                    wanted.update(other.point_keys)
-            for key in run.point_keys:
-                pe = self._points.get(key)
-                if (pe is not None and pe.state == "pending"
-                        and key not in wanted):
+                    wanted.update(id(e) for e in other.entries)
+            for pe in run.entries:
+                if pe.state == "pending" and id(pe) not in wanted:
                     pe.state = "cancelled"
                     pe.error = f"cancelled by {run_id}"
                     pe.done.set()
@@ -374,22 +400,26 @@ class RunScheduler:
             return self._runs.get(run_id)
 
     def run_progress(self, run: RunHandle) -> Dict[str, object]:
-        """Counts-by-state plus overall status for one run."""
-        counts = {"total": len(run.point_keys), "pending": 0,
+        """Counts-by-state plus overall status for one run.
+
+        A run with every point terminal is never ``queued`` -- there is
+        nothing left in the queue that could advance it, so reporting
+        ``queued`` would promise progress that cannot come.
+        """
+        counts = {"total": len(run.entries), "pending": 0,
                   "running": 0, "done": 0, "failed": 0, "cancelled": 0}
         with self._lock:
-            for key in run.point_keys:
-                pe = self._points.get(key)
-                state = pe.state if pe is not None else "failed"
-                counts[state] += 1
+            for pe in run.entries:
+                counts[pe.state] += 1
+        terminal = (counts["done"] + counts["failed"]
+                    + counts["cancelled"])
         if run.cancelled:
             status = "cancelled"
-        elif counts["failed"]:
-            status = ("failed" if counts["pending"] + counts["running"]
-                      == 0 else "running")
         elif counts["done"] == counts["total"]:
             status = "done"
-        elif counts["running"] or counts["done"]:
+        elif terminal == counts["total"]:
+            status = "failed" if counts["failed"] else "cancelled"
+        elif counts["running"] or terminal:
             status = "running"
         else:
             status = "queued"
@@ -401,11 +431,8 @@ class RunScheduler:
         docs: Dict[str, dict] = {}
         errors: Dict[str, str] = {}
         with self._lock:
-            for name, key in zip(run.names, run.point_keys):
-                pe = self._points.get(key)
-                if pe is None:
-                    errors[name] = "point retired"
-                elif pe.state == "done":
+            for name, pe in zip(run.names, run.entries):
+                if pe.state == "done":
                     docs[name] = pe.document
                 elif pe.state in ("failed", "cancelled"):
                     errors[name] = pe.error or pe.state
@@ -504,10 +531,9 @@ class RunScheduler:
         to_write: List[RunHandle] = []
         with self._lock:
             for run in self._runs.values():
-                if run.cancelled or pe.key not in run.point_keys:
+                if run.cancelled or pe not in run.entries:
                     continue
-                if any(not self._finished_locked(k)
-                       for k in run.point_keys):
+                if any(not e.finished for e in run.entries):
                     continue
                 if run.written is None:
                     self.stats.bump("runs_completed")
@@ -515,10 +541,6 @@ class RunScheduler:
                     to_write.append(run)
         for run in to_write:
             run.written = self._write_documents(run)
-
-    def _finished_locked(self, key: Tuple[str, str]) -> bool:
-        pe = self._points.get(key)
-        return pe is None or pe.finished
 
     def _write_documents(self, run: RunHandle) -> int:
         """Persist a completed run's documents to its ``out_dir``.
@@ -548,8 +570,7 @@ class RunScheduler:
         while len(self._run_order) > RUN_RETENTION:
             oldest = self._run_order[0]
             run = self._runs[oldest]
-            unfinished = any(not self._finished_locked(k)
-                             for k in run.point_keys)
+            unfinished = any(not e.finished for e in run.entries)
             if unfinished and not run.cancelled:
                 break
             self._run_order.pop(0)

@@ -53,6 +53,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 import zlib
 from array import array
 from concurrent.futures import ProcessPoolExecutor
@@ -451,6 +452,11 @@ class TraceCache:
 #: recordings run to millions of events.
 _MEMO: Dict[str, TraceRecording] = {}
 _MEMO_LIMIT = 4
+#: ``repro serve`` hits the memo from its worker pool and its
+#: scenario-build handler threads at once; unguarded, two threads
+#: evicting at the bound can race ``next(iter(_MEMO))`` into a
+#: ``KeyError`` (or transiently exceed the bound).
+_MEMO_LOCK = threading.Lock()
 
 
 def _memo_put(key: str, recording: TraceRecording) -> None:
@@ -462,9 +468,10 @@ def _memo_put(key: str, recording: TraceRecording) -> None:
     long-lived ``repro serve`` process that bypass grows RSS without
     bound (each recording can run to millions of events).
     """
-    while len(_MEMO) >= _MEMO_LIMIT and key not in _MEMO:
-        _MEMO.pop(next(iter(_MEMO)))
-    _MEMO[key] = recording
+    with _MEMO_LOCK:
+        while len(_MEMO) >= _MEMO_LIMIT and key not in _MEMO:
+            _MEMO.pop(next(iter(_MEMO)), None)
+        _MEMO[key] = recording
 
 
 def _cached_recording(key: str, generate: Callable[[], TraceRecording],
@@ -477,7 +484,8 @@ def _cached_recording(key: str, generate: Callable[[], TraceRecording],
     upgrade it to ``regenerated`` when a cached recording turns out
     stale at replay time.
     """
-    recording = _MEMO.get(key)
+    with _MEMO_LOCK:
+        recording = _MEMO.get(key)
     if recording is not None:
         return recording, "memo"
     if cache is None:

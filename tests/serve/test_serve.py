@@ -362,6 +362,146 @@ class TestQueueAndCancel:
         assert status == 200      # zero configured == zero required
         assert doc["workers"] == {"alive": 0, "configured": 0}
 
+    def test_resubmit_after_cancel_reenqueues(self, idle_server):
+        """A cancelled point must not swallow later identical work.
+
+        Pre-fix, the dedup table matched the dead cancelled entry:
+        the second run reported new=0, nothing was queued, and its
+        progress said 'queued' forever.
+        """
+        _, sdoc = call(idle_server, "POST", "/v1/scenarios", SCENARIO)
+        body = {"scenario": sdoc["scenario"], "configs": [{"scale": 16}]}
+        _, first = call(idle_server, "POST", "/v1/runs", body)
+        call(idle_server, "DELETE", f"/v1/runs/{first['run']}")
+        assert idle_server.state.scheduler.queue_depth() == 0
+        status, second = call(idle_server, "POST", "/v1/runs", body)
+        assert status == 202
+        assert (second["new"], second["deduped"]) == (1, 0)
+        assert second["status"] == "queued"
+        assert idle_server.state.scheduler.queue_depth() == 1
+        # The first run's story is unchanged by the retry.
+        old = call(idle_server, "GET", f"/v1/runs/{first['run']}")[1]
+        assert old["status"] == "cancelled"
+
+    def test_failed_point_retry_does_not_rewrite_history(
+            self, idle_server):
+        """A retried point gets a fresh entry; the run that recorded
+        the failure keeps reporting it (no retroactive 'queued')."""
+        sched = idle_server.state.scheduler
+        _, sdoc = call(idle_server, "POST", "/v1/scenarios", SCENARIO)
+        body = {"scenario": sdoc["scenario"], "configs": [{"scale": 16}]}
+        _, first = call(idle_server, "POST", "/v1/runs", body)
+        run_a = sched.get_run(first["run"])
+        with sched._lock:
+            (pe,) = run_a.entries
+            pe.state = "failed"
+            pe.error = "RuntimeError: injected"
+            pe.done.set()
+            sched._pending -= 1
+        doc_a = call(idle_server, "GET", f"/v1/runs/{first['run']}")[1]
+        assert doc_a["status"] == "failed"      # terminal, not 'queued'
+        status, second = call(idle_server, "POST", "/v1/runs", body)
+        assert status == 202
+        assert (second["new"], second["deduped"]) == (1, 0)
+        # The retry owns a different entry; run A still shows failed.
+        run_b = sched.get_run(second["run"])
+        assert run_b.entries[0] is not pe
+        doc_a = call(idle_server, "GET", f"/v1/runs/{first['run']}")[1]
+        assert doc_a["status"] == "failed"
+        assert doc_a["points"]["failed"] == 1
+        assert "injected" in str(doc_a["errors"])
+
+
+class TestBodyPlumbing:
+    """Hostile Content-Length values must not park handler threads."""
+
+    def _request_without_body(self, server, content_length):
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            conn.putrequest("POST", "/v1/scenarios")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(content_length))
+            conn.endheaders()
+            resp = conn.getresponse()
+            doc = json.loads(resp.read())
+            return resp.status, resp.getheader("Connection"), doc
+        finally:
+            conn.close()
+
+    def test_negative_content_length_is_400(self, server):
+        # Pre-fix: rfile.read(-5) reads until EOF, blocking the
+        # keep-alive handler thread until the client gives up.
+        status, connection, doc = self._request_without_body(server, -5)
+        assert status == 400
+        assert "Content-Length" in doc["error"]
+        assert connection == "close"
+
+    def test_oversize_body_closes_connection(self, server):
+        from repro.serve.app import MAX_BODY_BYTES
+
+        status, connection, doc = self._request_without_body(
+            server, MAX_BODY_BYTES + 1)
+        assert status == 413
+        # The body was never read; a kept-alive connection would
+        # desync on the next request, so the server must close it.
+        assert connection == "close"
+
+
+class TestOutDirPolicy:
+    def test_dotdot_out_dir_is_400(self, idle_server, tmp_path):
+        _, sdoc = call(idle_server, "POST", "/v1/scenarios", SCENARIO)
+        status, doc = call(idle_server, "POST", "/v1/runs",
+                           {"scenario": sdoc["scenario"],
+                            "configs": [{"scale": 16}],
+                            "out_dir": str(tmp_path / ".." / "escape")})
+        assert status == 400
+        assert ".." in doc["error"]
+
+    def test_out_root_rejects_absolute_paths(self, tmp_path):
+        srv, thread = boot(workers=0, out_root=str(tmp_path))
+        try:
+            _, sdoc = call(srv, "POST", "/v1/scenarios", SCENARIO)
+            status, doc = call(srv, "POST", "/v1/runs",
+                               {"scenario": sdoc["scenario"],
+                                "configs": [{"scale": 16}],
+                                "out_dir": "/tmp/anywhere"})
+            assert status == 400
+            assert "out-root" in doc["error"]
+        finally:
+            srv.shutdown()
+            srv.close()
+            thread.join(timeout=10)
+
+    def test_out_root_confines_writes(self, tmp_path):
+        srv, thread = boot(workers=2, out_root=str(tmp_path))
+        try:
+            _, sdoc = call(srv, "POST", "/v1/scenarios", SCENARIO)
+            status, rdoc = call(srv, "POST", "/v1/runs",
+                                {"scenario": sdoc["scenario"],
+                                 "configs": [{"scale": 16}],
+                                 "out_dir": "sub/run"})
+            assert status == 202
+            final = wait_run(srv, rdoc["run"])
+            assert final["status"] == "done"
+            assert final["written"] == 1
+            name = final["names"][0]
+            assert (tmp_path / "sub" / "run" / name).is_file()
+        finally:
+            srv.shutdown()
+            srv.close()
+            thread.join(timeout=10)
+
+    def test_resolve_out_dir_unit(self, tmp_path):
+        from repro.serve.app import resolve_out_dir
+
+        assert resolve_out_dir("/tmp/x", None) == Path("/tmp/x")
+        assert resolve_out_dir("sub", tmp_path) == tmp_path / "sub"
+        with pytest.raises(ConfigurationError, match="\\.\\."):
+            resolve_out_dir("a/../b", None)
+        with pytest.raises(ConfigurationError, match="relative"):
+            resolve_out_dir(str(tmp_path / "abs"), tmp_path)
+
 
 class TestMemoBoundRegression:
     """The regen paths must respect the ``_MEMO`` size bound."""
@@ -379,6 +519,38 @@ class TestMemoBoundRegression:
             # Replacing a resident key must not evict anything.
             runner._memo_put(f"k{runner._MEMO_LIMIT + 2}", object())
             assert len(runner._MEMO) == runner._MEMO_LIMIT
+        finally:
+            runner._MEMO.clear()
+            runner._MEMO.update(saved)
+
+    def test_memo_put_is_thread_safe(self):
+        """Concurrent eviction at the bound must not KeyError.
+
+        The serve worker pool and scenario-build handler threads hit
+        the memo together; pre-lock, two threads racing the eviction
+        loop could both pick the same victim and the loser's pop blew
+        up as a failed point.
+        """
+        saved = dict(runner._MEMO)
+        runner._MEMO.clear()
+        errors = []
+
+        def hammer(tid):
+            try:
+                for i in range(400):
+                    runner._memo_put(f"t{tid}-{i % 7}", object())
+            except Exception as exc:     # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(8)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert errors == []
+            assert len(runner._MEMO) <= runner._MEMO_LIMIT
         finally:
             runner._MEMO.clear()
             runner._MEMO.update(saved)
