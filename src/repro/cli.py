@@ -38,13 +38,26 @@ from repro.workloads.suite import BY_NAME, SUITE
 
 
 def cmd_list(_args) -> int:
-    """List the available kernels and workloads."""
+    """List the available kernels, workloads, and scenario specs."""
+    from repro.scenarios import example_names, get_example
+
     print("Use Case 1 kernels (Polybench):")
     for name in FIGURE4_KERNELS:
         print(f"  {name:<10} {KERNELS[name].description}")
     print("\nUse Case 2 workloads (SPEC/Rodinia/Parboil models):")
     for w in SUITE:
         print(f"  {w.name:<14} {w.description}")
+    print("\nScenario specs (repro.scenarios examples; "
+          "also `repro sweep --scenarios` / `scenario:` corun tenants):")
+    for name in example_names():
+        canonical = get_example(name)
+        detail = canonical["kind"]
+        if detail == "import":
+            detail = f"import ({canonical['format']})"
+        else:
+            detail = (f"workload ({len(canonical['phases'])} phase(s), "
+                      f"{len(canonical['regions'])} region(s))")
+        print(f"  {name:<14} {detail}")
     return 0
 
 
@@ -118,6 +131,7 @@ def cmd_sweep(args) -> int:
     from repro.cpu.tiers import ENGINE_TIERS, EXACT_TIERS
     from repro.sim.runner import (
         SYSTEM_BUILDERS,
+        ScenarioPoint,
         SimPoint,
         jobs_from_env,
         sweep,
@@ -168,6 +182,25 @@ def cmd_sweep(args) -> int:
                  systems=systems)
         for k in kernels for t in tile_list
     ]
+    if args.scenarios:
+        from repro.core.errors import ScenarioError
+        from repro.scenarios import resolve
+        from repro.scenarios.spec import canonical_json
+        refs = [r.strip() for r in args.scenarios.split(",")
+                if r.strip()]
+        for ref in refs:
+            try:
+                canonical = resolve(ref)
+            except ScenarioError as exc:
+                print(f"bad scenario {ref!r}: {exc}", file=sys.stderr)
+                return 2
+            points.append(ScenarioPoint(
+                spec_json=canonical_json(canonical), scale=args.scale,
+                systems=systems))
+    if not points:
+        print("nothing to sweep: no kernels and no --scenarios",
+              file=sys.stderr)
+        return 2
     jobs = args.jobs if args.jobs else jobs_from_env()
     collect = args.stats_json is not None
     results = sweep(points, jobs=jobs, collect_stats=collect)
@@ -178,7 +211,10 @@ def cmd_sweep(args) -> int:
 
     rows = []
     for res in results:
-        row = [res.point.kernel, res.point.tile]
+        if isinstance(res.point, ScenarioPoint):
+            row = [f"scn:{res.point.name}", "-"]
+        else:
+            row = [res.point.kernel, res.point.tile]
         for system in systems:
             row.append(f"{res.runs[system].cycles:.0f}")
         if "baseline" in systems:
@@ -212,11 +248,29 @@ def cmd_corun(args) -> int:
 
     tenants = tuple(t.strip() for t in args.tenants.split(",")
                     if t.strip())
-    unknown = [t for t in tenants if t not in BY_NAME]
+    unknown = [t for t in tenants
+               if not t.startswith("scenario:") and t not in BY_NAME]
     if unknown:
         print(f"unknown workloads {unknown}; see `repro list`",
               file=sys.stderr)
         return 2
+    scenario_tenants = [t for t in tenants
+                        if t.startswith("scenario:")]
+    if scenario_tenants:
+        from repro.core.errors import ScenarioError
+        from repro.scenarios import resolve
+        if args.footprint_div != 1:
+            print(f"--footprint-div scales suite structures; scenario "
+                  f"tenants {scenario_tenants} have fixed declared "
+                  f"footprints", file=sys.stderr)
+            return 2
+        for t in scenario_tenants:
+            try:
+                resolve(t[len("scenario:"):])
+            except ScenarioError as exc:
+                print(f"bad scenario tenant {t!r}: {exc}",
+                      file=sys.stderr)
+                return 2
     try:
         xmem = tuple(int(t) for t in args.xmem_tenants.split(","))
     except ValueError:
@@ -495,7 +549,12 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="parallel (kernel x tile) sweep on the experiment runner")
     sw.add_argument("--kernels", default="gemm",
-                    help="comma-separated kernel names, or 'all'")
+                    help="comma-separated kernel names, 'all', or '' "
+                         "for a scenario-only sweep")
+    sw.add_argument("--scenarios", default=None,
+                    help="comma-separated scenario refs (shipped "
+                         "example names or spec-file paths); each "
+                         "compiles to one extra sweep point")
     sw.add_argument("--n", type=int, default=96)
     sw.add_argument("--tiles", default=None,
                     help="comma-separated tile sizes "
@@ -517,7 +576,8 @@ def build_parser() -> argparse.ArgumentParser:
         "corun",
         help="multi-tenant co-run mix on the shared LLC")
     co.add_argument("--tenants", default="mcf,lbm",
-                    help="comma-separated suite workloads, one per core")
+                    help="comma-separated suite workloads (or "
+                         "'scenario:<ref>' spec tenants), one per core")
     co.add_argument("--accesses", type=int, default=4000,
                     help="dense events per tenant (default 4000)")
     co.add_argument("--scale", type=int, default=32,

@@ -68,3 +68,14 @@ class AllocationError(XMemError):
 
 class ConfigurationError(XMemError):
     """A simulator component was configured with inconsistent parameters."""
+
+
+class ScenarioError(ConfigurationError):
+    """A declarative scenario spec or imported trace is malformed.
+
+    Raised by :mod:`repro.scenarios` for schema violations, malformed
+    importer input (truncated lines, bad hex, out-of-range sizes), and
+    integrity-check failures.  Subclasses :class:`ConfigurationError`
+    so every existing boundary keeps working: the CLI's exit-2 paths
+    and ``repro serve``'s HTTP-400 mapping catch it for free.
+    """

@@ -199,6 +199,19 @@ class PackedTrace:
             return self
         return PackedTrace(self.vaddr, self.meta, ())
 
+    def truncated(self, n: int) -> "PackedTrace":
+        """The first ``n`` dense events (side-table ops at positions
+        <= ``n`` kept, so head-of-trace atom setup survives).
+
+        Lets a long recorded stream (e.g. a compiled scenario) serve
+        as a fixed-length co-run tenant without recompiling.
+        """
+        if n >= len(self.vaddr):
+            return self
+        return PackedTrace(self.vaddr[:n], self.meta[:n],
+                           tuple((i, op) for i, op in self.xmem
+                                 if i <= n))
+
     def counts(self) -> Tuple[int, int, int]:
         """(memory, work-instr, xmem-op) counts, column-scan only."""
         mem = work = 0

@@ -1,0 +1,56 @@
+"""Scenario factory: declarative workload specs + trace ingestion.
+
+Hundreds of scenarios as data, not code.  A *scenario spec* is a JSON
+dict that either describes a synthetic workload (phases over the
+promoted generator primitives -- strided, pointer-chase, hot-set, mix
+-- plus footprint regions and atom annotations) or imports a foreign
+address stream (valgrind-lackey-style text or CSV), and compiles into
+the same :class:`~repro.cpu.trace.PackedTrace` +
+:class:`~repro.sim.runner.TraceRecording` the hand-written kernels
+produce.  The canonical spec's content hash keys the trace cache and
+lands in run manifests as provenance, so a scenario's identity is its
+bytes.
+
+Layer map (strictly one-directional):
+
+* :mod:`repro.scenarios.spec` -- validate/canonicalize/hash/compile
+  workload specs (pure; raises
+  :class:`~repro.core.errors.ScenarioError`).
+* :mod:`repro.scenarios.importer` -- the versioned lackey/CSV
+  ingestion path with sha256 integrity checks.
+* :mod:`repro.scenarios.registry` -- shipped examples and spec-file
+  loading; the only layer that reads the filesystem.
+
+Wiring into the harness lives in :mod:`repro.sim.runner`
+(``ScenarioPoint``, ``scenario_trace_key``), :mod:`repro.cli`
+(``sweep --scenarios``, ``scenario:`` corun tenants), and
+:mod:`repro.serve` (a spec is just another scenario body).
+"""
+
+from repro.core.errors import ScenarioError
+from repro.scenarios.spec import (
+    SCENARIO_SPEC_VERSION,
+    canonical_json,
+    canonicalize,
+    compile_canonical,
+    spec_hash,
+)
+from repro.scenarios.registry import (
+    example_names,
+    get_example,
+    load_spec_file,
+    resolve,
+)
+
+__all__ = [
+    "SCENARIO_SPEC_VERSION",
+    "ScenarioError",
+    "canonical_json",
+    "canonicalize",
+    "compile_canonical",
+    "spec_hash",
+    "example_names",
+    "get_example",
+    "load_spec_file",
+    "resolve",
+]

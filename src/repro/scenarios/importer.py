@@ -1,0 +1,358 @@
+"""External-trace ingestion: pack foreign address streams.
+
+Two versioned text formats come in, one :class:`PackedTrace` comes
+out, with optional atom-mapping rules so an imported stream rides the
+same atom-annotated pipeline as the synthetic suite:
+
+* ``lackey-v1`` -- valgrind ``lackey --trace-mem=yes`` style lines::
+
+      I 0x4000a0,4        # instruction fetch (coalesced into Work)
+       L 0x1fff0010,8     # data load
+       S 0x1fff0018,8     # data store
+       M 0x1fff0020,4     # modify (load+store; packed as a write)
+
+  Consecutive ``I`` lines coalesce into one pending instruction count
+  flushed as a :class:`~repro.cpu.trace.Work`-style block before the
+  next data access (scaled by ``work_per_instr``).
+
+* ``csv-v1`` -- ``addr,rw[,size[,work]]`` rows; ``addr`` is 0x-hex or
+  decimal, ``rw`` is ``R``/``W`` (also ``r/w/0/1``), ``size`` defaults
+  to 1 byte, ``work`` prefixes the access with ALU instructions.
+  Lines starting with ``#`` and an optional ``addr...`` header are
+  skipped.
+
+Both parsers are strict: every malformed line (truncated, bad hex,
+size out of range) raises :class:`~repro.core.errors.ScenarioError`
+naming the line number.  Nothing is skipped silently -- a short trace
+from a corrupt input would poison the content-addressed cache forever,
+so refusal is the only safe behavior.
+
+Integrity: the canonical import spec embeds the trace text alongside
+its full sha256.  A user-supplied ``sha256`` field is verified against
+the text at canonicalization (and again at compile), the same
+end-to-end check ``pack_trace_v1``-style packers apply, so a spec that
+traveled through mail/paste/git detects corruption instead of packing
+it.  Accesses wider than one cache line split into one access per
+touched line, matching the line-granular synthetic generators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ScenarioError
+from repro.cpu.trace import TraceBuilder, XMemOp
+from repro.scenarios.spec import (
+    PATTERNS,
+    RW_CHARS,
+    SCENARIO_SPEC_VERSION,
+    _check_keys,
+    _err,
+    _get_choice,
+    _get_int,
+    _get_name,
+    _require_dict,
+)
+
+#: Accepted ``format`` values -> canonical versioned name.
+FORMATS = {
+    "lackey": "lackey-v1",
+    "lackey-v1": "lackey-v1",
+    "csv": "csv-v1",
+    "csv-v1": "csv-v1",
+}
+
+#: One access may touch at most this many bytes (a lackey size field
+#: beyond it is corrupt input, not a wide vector access).
+MAX_ACCESS_SIZE = 512
+#: Virtual addresses above 2^48 are rejected (no real stream has them;
+#: a parse that produced one mis-read the line).
+MAX_ADDR = 1 << 48
+MAX_TEXT_BYTES = 8 << 20
+MAX_IMPORT_ATOMS = 64
+
+
+def canonicalize_import(body: dict) -> Dict[str, object]:
+    """Validate a raw import spec; return its canonical form.
+
+    Mirrors :func:`repro.scenarios.spec.canonicalize` for workload
+    specs: defaults materialized, unknown keys rejected, the embedded
+    text parsed once up front so a malformed stream is refused at
+    submission time, not at first compile.
+    """
+    path = "spec"
+    _check_keys(body, {"kind": None, "version": None, "name": None,
+                       "format": None, "line_bytes": None,
+                       "work_per_instr": None, "atoms": None,
+                       "text": None, "sha256": None}, path)
+    kind = body.get("kind", "import")
+    if kind != "import":
+        raise _err(f"{path}.kind",
+                   f"must be 'import' for a trace import, got {kind!r}")
+    version = _get_int(body, "version", path, SCENARIO_SPEC_VERSION, 1,
+                       SCENARIO_SPEC_VERSION)
+    name = _get_name(body, "name", path)
+    fmt = body.get("format")
+    if fmt not in FORMATS:
+        raise _err(f"{path}.format",
+                   f"must be one of {sorted(set(FORMATS))}, got {fmt!r}")
+    fmt = FORMATS[fmt]
+    line_bytes = _get_int(body, "line_bytes", path, 64, 8, 4096)
+    if line_bytes & (line_bytes - 1):
+        raise _err(f"{path}.line_bytes",
+                   f"must be a power of two, got {line_bytes}")
+    work_per_instr = _get_int(body, "work_per_instr", path, 1, 0, 64)
+
+    text = body.get("text")
+    if not isinstance(text, str) or not text:
+        raise _err(f"{path}.text",
+                   "must be the non-empty trace text (file loading "
+                   "happens in the registry layer, never here)")
+    if len(text.encode()) > MAX_TEXT_BYTES:
+        raise _err(f"{path}.text",
+                   f"over the {MAX_TEXT_BYTES}-byte bound")
+    digest = hashlib.sha256(text.encode()).hexdigest()
+    claimed = body.get("sha256")
+    if claimed is not None and claimed != digest:
+        raise _err(f"{path}.sha256",
+                   f"integrity check failed: claimed {claimed!r}, "
+                   f"text hashes to {digest}")
+
+    raw_atoms = body.get("atoms", [])
+    if not isinstance(raw_atoms, list):
+        raise _err(f"{path}.atoms",
+                   f"must be a list, got {raw_atoms!r}")
+    if len(raw_atoms) > MAX_IMPORT_ATOMS:
+        raise _err(f"{path}.atoms",
+                   f"at most {MAX_IMPORT_ATOMS} atoms, got "
+                   f"{len(raw_atoms)}")
+    atoms: List[dict] = []
+    atom_names = set()
+    for i, raw in enumerate(raw_atoms):
+        apath = f"{path}.atoms[{i}]"
+        raw = _require_dict(raw, apath)
+        _check_keys(raw, {"name": None, "start": None, "bytes": None,
+                          "pattern": None, "stride_bytes": None,
+                          "rw": None, "intensity": None, "reuse": None},
+                    apath)
+        aname = _get_name(raw, "name", apath)
+        if aname in atom_names:
+            raise _err(apath, f"duplicate atom name {aname!r}")
+        atom_names.add(aname)
+        start = _get_int(raw, "start", apath, None, 0, MAX_ADDR)
+        nbytes = _get_int(raw, "bytes", apath, None, 1, MAX_ADDR)
+        pattern = _get_choice(raw, "pattern", apath, "non_det", PATTERNS)
+        stride = raw.get("stride_bytes",
+                         line_bytes if pattern == "regular" else None)
+        if stride is not None:
+            if isinstance(stride, bool) or not isinstance(stride, int) \
+                    or stride <= 0:
+                raise _err(f"{apath}.stride_bytes",
+                           f"must be a positive integer or null, "
+                           f"got {stride!r}")
+        atoms.append({
+            "name": aname, "start": start, "bytes": nbytes,
+            "pattern": pattern, "stride_bytes": stride,
+            "rw": _get_choice(raw, "rw", apath, "read_write", RW_CHARS),
+            "intensity": _get_int(raw, "intensity", apath, 128, 0, 255),
+            "reuse": _get_int(raw, "reuse", apath, 128, 0, 255),
+        })
+
+    canonical = {
+        "kind": "import",
+        "version": version,
+        "name": name,
+        "format": fmt,
+        "line_bytes": line_bytes,
+        "work_per_instr": work_per_instr,
+        "atoms": atoms,
+        "text": text,
+        "sha256": digest,
+    }
+    # Parse now: a malformed stream must be refused at submission.
+    parse_text(fmt, text, line_bytes, work_per_instr)
+    return canonical
+
+
+# ---------------------------------------------------------------------------
+# Parsers
+# ---------------------------------------------------------------------------
+
+#: Parsed access: (line-aligned vaddr, is_write, preceding work).
+_Access = Tuple[int, bool, int]
+
+
+def _parse_addr(field: str, lineno: int, what: str) -> int:
+    field = field.strip()
+    try:
+        addr = int(field, 16) if field.lower().startswith("0x") \
+            else int(field, 16 if what == "lackey" else 10)
+    except ValueError:
+        raise _err(f"line {lineno}",
+                   f"bad {what} address {field!r}") from None
+    if not 0 <= addr < MAX_ADDR:
+        raise _err(f"line {lineno}",
+                   f"address {addr:#x} out of range [0, 2^48)")
+    return addr
+
+
+def _parse_size(field: str, lineno: int) -> int:
+    try:
+        size = int(field.strip())
+    except ValueError:
+        raise _err(f"line {lineno}",
+                   f"bad size {field!r}") from None
+    if not 1 <= size <= MAX_ACCESS_SIZE:
+        raise _err(f"line {lineno}",
+                   f"size {size} out of range [1, {MAX_ACCESS_SIZE}]")
+    return size
+
+
+def _split_lines(addr: int, size: int, is_write: bool, work: int,
+                 line_bytes: int, out: List[_Access]) -> None:
+    """One raw access -> one access per touched cache line; the
+    pending work rides on the first."""
+    first = (addr // line_bytes) * line_bytes
+    for line_addr in range(first, addr + size, line_bytes):
+        out.append((line_addr, is_write, work))
+        work = 0
+
+
+def parse_lackey(text: str, line_bytes: int,
+                 work_per_instr: int) -> List[_Access]:
+    """Parse lackey-v1 text into line-granular accesses.  Strict:
+    every non-banner, non-blank line must parse or the whole import
+    is refused."""
+    out: List[_Access] = []
+    pending_instrs = 0
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("==") or line.startswith("--"):
+            continue  # valgrind banner / blank
+        tag, _, rest = line.partition(" ")
+        if tag not in ("I", "L", "S", "M"):
+            raise _err(f"line {lineno}",
+                       f"bad lackey tag {tag!r} (want I/L/S/M): "
+                       f"{raw!r}")
+        addr_s, comma, size_s = rest.partition(",")
+        if not comma or not addr_s.strip() or not size_s.strip():
+            raise _err(f"line {lineno}",
+                       f"truncated lackey line (want 'tag addr,size'): "
+                       f"{raw!r}")
+        addr = _parse_addr(addr_s, lineno, "lackey")
+        size = _parse_size(size_s, lineno)
+        if tag == "I":
+            pending_instrs += 1
+            continue
+        work = pending_instrs * work_per_instr
+        pending_instrs = 0
+        _split_lines(addr, size, tag in ("S", "M"), work, line_bytes,
+                     out)
+    if not out:
+        raise _err("spec.text",
+                   "no data accesses in lackey input (empty trace)")
+    return out
+
+
+def parse_csv(text: str, line_bytes: int,
+              work_per_instr: int) -> List[_Access]:
+    """Parse csv-v1 rows (``addr,rw[,size[,work]]``)."""
+    del work_per_instr  # csv rows carry explicit work counts
+    out: List[_Access] = []
+    seen_payload = False
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if not seen_payload and line.lower().startswith("addr"):
+            continue  # header row (first payload line only)
+        seen_payload = True
+        fields = [f.strip() for f in line.split(",")]
+        if not 2 <= len(fields) <= 4:
+            raise _err(f"line {lineno}",
+                       f"want 'addr,rw[,size[,work]]', got {raw!r}")
+        addr = _parse_addr(fields[0], lineno, "csv")
+        rw = fields[1].lower()
+        if rw in ("r", "0"):
+            is_write = False
+        elif rw in ("w", "1"):
+            is_write = True
+        else:
+            raise _err(f"line {lineno}",
+                       f"bad rw flag {fields[1]!r} (want R/W/0/1)")
+        size = _parse_size(fields[2], lineno) if len(fields) >= 3 else 1
+        work = 0
+        if len(fields) == 4:
+            try:
+                work = int(fields[3])
+            except ValueError:
+                raise _err(f"line {lineno}",
+                           f"bad work count {fields[3]!r}") from None
+            if not 0 <= work <= 1 << 20:
+                raise _err(f"line {lineno}",
+                           f"work count {work} out of range")
+        _split_lines(addr, size, is_write, work, line_bytes, out)
+    if not out:
+        raise _err("spec.text", "no data accesses in csv input "
+                                "(empty trace)")
+    return out
+
+
+def parse_text(fmt: str, text: str, line_bytes: int,
+               work_per_instr: int) -> List[_Access]:
+    if fmt == "lackey-v1":
+        return parse_lackey(text, line_bytes, work_per_instr)
+    if fmt == "csv-v1":
+        return parse_csv(text, line_bytes, work_per_instr)
+    raise _err("spec.format", f"unknown canonical format {fmt!r}")
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+def compile_import(canonical: Dict[str, object]):
+    """Compile one canonical import spec into a ``TraceRecording``.
+
+    Re-verifies the embedded sha256 before packing -- the canonical
+    dict may have been persisted and reloaded since canonicalization.
+    """
+    from repro.scenarios.spec import spec_hash
+    from repro.core.attributes import PatternType, RWChar
+    from repro.sim.runner import SetupRecorder, TraceRecording
+
+    text = canonical["text"]
+    digest = hashlib.sha256(text.encode()).hexdigest()
+    if digest != canonical["sha256"]:
+        raise _err("spec.sha256",
+                   f"integrity check failed at compile: recorded "
+                   f"{canonical['sha256']!r}, text hashes to {digest}")
+
+    accesses = parse_text(canonical["format"], text,
+                          canonical["line_bytes"],
+                          canonical["work_per_instr"])
+    recorder = SetupRecorder()
+    builder = TraceBuilder()
+    for atom in canonical["atoms"]:
+        atom_id = recorder.create_atom(
+            f"{canonical['name']}.{atom['name']}",
+            pattern=PatternType(atom["pattern"]),
+            stride_bytes=atom["stride_bytes"],
+            rw=RWChar(atom["rw"]),
+            access_intensity=atom["intensity"],
+            reuse=atom["reuse"],
+        )
+        builder.op(XMemOp("atom_map", atom_id, atom["start"],
+                          atom["bytes"]))
+        builder.op(XMemOp("atom_activate", atom_id))
+    for vaddr, is_write, work in accesses:
+        if work:
+            builder.work(work)
+        builder.access(vaddr, is_write)
+    packed = builder.build()
+    return TraceRecording(
+        kernel=f"scenario:{spec_hash(canonical)}",
+        n=len(packed), tile=0, instrumented=True,
+        setup=recorder.log, packed=packed,
+    )

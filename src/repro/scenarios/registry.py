@@ -1,0 +1,89 @@
+"""The shipped-example registry and spec-file loading.
+
+This is the *only* layer that touches the filesystem.  Everything
+below it (:func:`~repro.scenarios.spec.canonicalize`, the importer,
+``repro serve``) works on fully inlined dicts -- a spec that names a
+trace file has the file's text substituted in here, so server-side
+request bodies can never read server paths.
+
+Shipped examples live in ``repro/scenarios/examples/`` as JSON files
+and are addressable by bare name everywhere a scenario reference is
+accepted: ``repro sweep --scenarios streamgrid``, a
+``scenario:streamgrid`` corun tenant, ``repro list``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.core.errors import ScenarioError
+from repro.scenarios.spec import canonicalize
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "examples")
+
+
+def example_names() -> List[str]:
+    """Sorted names of the shipped example specs."""
+    names = []
+    for entry in os.listdir(EXAMPLES_DIR):
+        if entry.endswith(".json"):
+            names.append(entry[:-len(".json")])
+    return sorted(names)
+
+
+def load_spec_file(path: str) -> Dict[str, object]:
+    """Read, inline, and canonicalize one spec file.
+
+    Import specs may carry ``"path": "relative/to/spec.trace"``
+    instead of embedded ``"text"``; the referenced file is read here
+    (relative to the spec file) and inlined, so the canonical form is
+    always self-contained.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            body = json.load(fh)
+    except OSError as exc:
+        raise ScenarioError(f"cannot read spec file {path!r}: {exc}")
+    except ValueError as exc:
+        raise ScenarioError(f"spec file {path!r} is not JSON: {exc}")
+    if isinstance(body, dict) and "path" in body:
+        if "text" in body:
+            raise ScenarioError(
+                f"spec file {path!r}: give 'path' or 'text', not both")
+        rel = body.pop("path")
+        if not isinstance(rel, str) or not rel:
+            raise ScenarioError(
+                f"spec file {path!r}: 'path' must be a relative "
+                f"filename, got {rel!r}")
+        trace_path = os.path.join(os.path.dirname(os.path.abspath(path)),
+                                  rel)
+        try:
+            with open(trace_path, "r", encoding="utf-8") as fh:
+                body["text"] = fh.read()
+        except OSError as exc:
+            raise ScenarioError(
+                f"cannot read trace file {trace_path!r} referenced by "
+                f"{path!r}: {exc}")
+    return canonicalize(body)
+
+
+def get_example(name: str) -> Dict[str, object]:
+    """Canonical form of one shipped example, by bare name."""
+    if name not in example_names():
+        raise ScenarioError(
+            f"unknown example scenario {name!r}; "
+            f"shipped: {example_names()}")
+    return load_spec_file(os.path.join(EXAMPLES_DIR, f"{name}.json"))
+
+
+def resolve(ref: str) -> Dict[str, object]:
+    """A scenario reference -> canonical spec.
+
+    ``ref`` is a file path when it looks like one (contains a path
+    separator or ends in ``.json``), otherwise a shipped-example name.
+    """
+    if os.sep in ref or "/" in ref or ref.endswith(".json"):
+        return load_spec_file(ref)
+    return get_example(ref)

@@ -1,0 +1,559 @@
+"""The declarative workload-spec DSL: validate, canonicalize, compile.
+
+A *scenario spec* is a plain JSON/dict description of a synthetic
+workload -- footprint regions, atom annotations, and a phase list
+drawn from the seeded generator primitives (strided, pointer-chase,
+hot-set, and a weighted mix of the three).  The spec promotes what
+:mod:`repro.testing.generators` does in code to data: hundreds of new
+scenarios are JSON files, not Python.
+
+The pipeline has exactly three stages, each a pure function:
+
+* :func:`canonicalize` -- validate a raw spec dict and return its
+  canonical form: every default materialized, every field
+  range-checked, keys at every level rejected when unknown.  Raises
+  :class:`~repro.core.errors.ScenarioError` on anything malformed.
+* :func:`spec_hash` -- the 16-hex-char content hash of the canonical
+  form (compact sorted JSON).  Identical specs hash identically; any
+  single-field change rehashes.  This hash keys the trace cache (see
+  :func:`repro.sim.runner.scenario_trace_key`) and lands in run
+  manifests as scenario provenance.
+* :func:`compile_canonical` -- walk the canonical spec into a
+  :class:`~repro.sim.runner.TraceRecording`: atoms become a recorded
+  ``create_atom`` setup log plus ``atom_map``/``atom_activate``
+  :class:`~repro.cpu.trace.XMemOp` events at the head of the stream
+  (the same discipline as suite tenants), phases emit straight into a
+  :class:`~repro.cpu.trace.TraceBuilder`.  Deterministic: each phase
+  draws from its own RNG seeded by (spec seed, phase index), so
+  recompiling a spec is bit-identical, serial or parallel, cold or
+  hot cache.
+
+Import specs (``"format": "lackey" | "csv"``) are dispatched to
+:mod:`repro.scenarios.importer` from the same two entry points, so a
+foreign address stream is just another scenario body.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import re
+from typing import Dict, List, Optional
+
+from repro.core.errors import ScenarioError
+from repro.cpu.trace import TraceBuilder, XMemOp
+
+#: Bump when the canonical schema changes incompatibly; canonical
+#: specs carry it, so old hashes cannot collide with new semantics.
+SCENARIO_SPEC_VERSION = 1
+
+#: Structure bases are page-aligned, like suite tenants.
+PAGE_BYTES = 4096
+
+#: Auto-laid regions start here (clear of address 0 so a zero vaddr
+#: in a trace is visibly wrong, matching the generators' discipline).
+LAYOUT_BASE = 0x10000
+
+PHASE_KINDS = ("strided", "pointer_chase", "hot_set", "mix")
+PATTERNS = ("regular", "irregular", "non_det")
+RW_CHARS = ("read_only", "read_write", "write_heavy", "write_only")
+
+MAX_REGIONS = 64
+MAX_ATOMS = 64
+MAX_PHASES = 256
+MAX_REGION_BYTES = 1 << 30
+MAX_ACCESSES_PER_PHASE = 1_000_000
+MAX_TOTAL_ACCESSES = 4_000_000
+MAX_WORK_PER_ACCESS = 1 << 20
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.\-]{0,47}$")
+
+#: The generators' strided-phase stride menu, reused by ``mix``.
+_MIX_STRIDES = (1, 1, 2, 3, 5, 8, 16)
+#: The generators' hot-set hit fraction, reused by ``mix``.
+_MIX_HOT_FRAC = 0.85
+
+
+def _err(path: str, message: str) -> ScenarioError:
+    return ScenarioError(f"{path}: {message}")
+
+
+def _require_dict(value: object, path: str) -> dict:
+    if not isinstance(value, dict):
+        raise _err(path, f"must be an object, got {type(value).__name__}")
+    return value
+
+
+def _check_keys(body: dict, allowed: Dict[str, object], path: str) -> None:
+    unknown = sorted(set(body) - set(allowed))
+    if unknown:
+        raise _err(path, f"unknown keys {unknown}; "
+                         f"allowed: {sorted(allowed)}")
+
+
+def _get_int(body: dict, key: str, path: str, default: Optional[int],
+             lo: int, hi: int) -> int:
+    value = body.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _err(f"{path}.{key}",
+                   f"must be an integer, got {value!r}")
+    if not lo <= value <= hi:
+        raise _err(f"{path}.{key}",
+                   f"must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def _get_frac(body: dict, key: str, path: str, default: float) -> float:
+    value = body.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _err(f"{path}.{key}", f"must be a number, got {value!r}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise _err(f"{path}.{key}",
+                   f"must be in [0.0, 1.0], got {value}")
+    return value
+
+
+def _get_name(body: dict, key: str, path: str) -> str:
+    value = body.get(key)
+    if not isinstance(value, str) or not _NAME_RE.match(value):
+        raise _err(f"{path}.{key}",
+                   f"must be an identifier matching "
+                   f"{_NAME_RE.pattern!r}, got {value!r}")
+    return value
+
+
+def _get_choice(body: dict, key: str, path: str, default: str,
+                choices) -> str:
+    value = body.get(key, default)
+    if value not in choices:
+        raise _err(f"{path}.{key}",
+                   f"must be one of {list(choices)}, got {value!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization
+# ---------------------------------------------------------------------------
+
+def canonicalize(body: object) -> Dict[str, object]:
+    """Validate a raw spec dict; return its fully defaulted canonical
+    form (what :func:`spec_hash` hashes and :func:`compile_canonical`
+    compiles).  Idempotent: canonicalizing a canonical spec returns an
+    equal dict.  Raises :class:`ScenarioError` on anything malformed.
+    """
+    body = _require_dict(body, "spec")
+    if "format" in body:
+        from repro.scenarios.importer import canonicalize_import
+        return canonicalize_import(body)
+    return _canonicalize_workload(body)
+
+
+def _canonicalize_workload(body: dict) -> Dict[str, object]:
+    path = "spec"
+    allowed = {"kind": None, "version": None, "name": None,
+               "seed": None, "line_bytes": None,
+               "work_per_access": None, "regions": None,
+               "atoms": None, "phases": None}
+    _check_keys(body, allowed, path)
+    kind = body.get("kind", "workload")
+    if kind != "workload":
+        raise _err(f"{path}.kind",
+                   f"must be 'workload' for a phase spec, got {kind!r}")
+    version = _get_int(body, "version", path, SCENARIO_SPEC_VERSION, 1,
+                       SCENARIO_SPEC_VERSION)
+    name = _get_name(body, "name", path)
+    seed = _get_int(body, "seed", path, 0, 0, (1 << 63) - 1)
+    line_bytes = _get_int(body, "line_bytes", path, 64, 8, 4096)
+    if line_bytes & (line_bytes - 1):
+        raise _err(f"{path}.line_bytes",
+                   f"must be a power of two, got {line_bytes}")
+    work = _get_int(body, "work_per_access", path, 0, 0,
+                    MAX_WORK_PER_ACCESS)
+
+    raw_regions = body.get("regions")
+    if not isinstance(raw_regions, list) or not raw_regions:
+        raise _err(f"{path}.regions",
+                   f"must be a non-empty list, got {raw_regions!r}")
+    if len(raw_regions) > MAX_REGIONS:
+        raise _err(f"{path}.regions",
+                   f"at most {MAX_REGIONS} regions, got "
+                   f"{len(raw_regions)}")
+    regions: List[dict] = []
+    region_names: Dict[str, int] = {}
+    for i, raw in enumerate(raw_regions):
+        rpath = f"{path}.regions[{i}]"
+        raw = _require_dict(raw, rpath)
+        _check_keys(raw, {"name": None, "bytes": None, "base": None},
+                    rpath)
+        rname = _get_name(raw, "name", rpath)
+        if rname in region_names:
+            raise _err(rpath, f"duplicate region name {rname!r}")
+        nbytes = _get_int(raw, "bytes", rpath, None, line_bytes,
+                          MAX_REGION_BYTES)
+        base = raw.get("base")
+        if base is not None:
+            if isinstance(base, bool) or not isinstance(base, int):
+                raise _err(f"{rpath}.base",
+                           f"must be an integer or null, got {base!r}")
+            if base < 0 or base % line_bytes:
+                raise _err(f"{rpath}.base",
+                           f"must be >= 0 and {line_bytes}-byte "
+                           f"aligned, got {base}")
+        region_names[rname] = len(regions)
+        regions.append({"name": rname, "bytes": nbytes, "base": base})
+
+    raw_atoms = body.get("atoms", [])
+    if not isinstance(raw_atoms, list):
+        raise _err(f"{path}.atoms",
+                   f"must be a list, got {raw_atoms!r}")
+    if len(raw_atoms) > MAX_ATOMS:
+        raise _err(f"{path}.atoms",
+                   f"at most {MAX_ATOMS} atoms, got {len(raw_atoms)}")
+    atoms: List[dict] = []
+    atom_names = set()
+    for i, raw in enumerate(raw_atoms):
+        apath = f"{path}.atoms[{i}]"
+        raw = _require_dict(raw, apath)
+        _check_keys(raw, {"name": None, "region": None, "pattern": None,
+                          "stride_bytes": None, "rw": None,
+                          "intensity": None, "reuse": None}, apath)
+        aname = _get_name(raw, "name", apath)
+        if aname in atom_names:
+            raise _err(apath, f"duplicate atom name {aname!r}")
+        atom_names.add(aname)
+        region = raw.get("region")
+        if region not in region_names:
+            raise _err(f"{apath}.region",
+                       f"unknown region {region!r}; "
+                       f"regions: {sorted(region_names)}")
+        pattern = _get_choice(raw, "pattern", apath, "regular", PATTERNS)
+        stride = raw.get("stride_bytes",
+                         line_bytes if pattern == "regular" else None)
+        if stride is not None:
+            if isinstance(stride, bool) or not isinstance(stride, int) \
+                    or stride <= 0:
+                raise _err(f"{apath}.stride_bytes",
+                           f"must be a positive integer or null, "
+                           f"got {stride!r}")
+        atoms.append({
+            "name": aname, "region": region, "pattern": pattern,
+            "stride_bytes": stride,
+            "rw": _get_choice(raw, "rw", apath, "read_write", RW_CHARS),
+            "intensity": _get_int(raw, "intensity", apath, 128, 0, 255),
+            "reuse": _get_int(raw, "reuse", apath, 128, 0, 255),
+        })
+
+    raw_phases = body.get("phases")
+    if not isinstance(raw_phases, list) or not raw_phases:
+        raise _err(f"{path}.phases",
+                   f"must be a non-empty list, got {raw_phases!r}")
+    if len(raw_phases) > MAX_PHASES:
+        raise _err(f"{path}.phases",
+                   f"at most {MAX_PHASES} phases, got "
+                   f"{len(raw_phases)}")
+    phases: List[dict] = []
+    total_accesses = 0
+    for i, raw in enumerate(raw_phases):
+        ppath = f"{path}.phases[{i}]"
+        phase = _canonicalize_phase(raw, ppath, regions, region_names,
+                                    line_bytes)
+        total_accesses += phase["accesses"]
+        phases.append(phase)
+    if total_accesses > MAX_TOTAL_ACCESSES:
+        raise _err(f"{path}.phases",
+                   f"total accesses {total_accesses} over the "
+                   f"{MAX_TOTAL_ACCESSES} bound")
+
+    return {
+        "kind": "workload",
+        "version": version,
+        "name": name,
+        "seed": seed,
+        "line_bytes": line_bytes,
+        "work_per_access": work,
+        "regions": regions,
+        "atoms": atoms,
+        "phases": phases,
+    }
+
+
+def _region_lines(region: dict, line_bytes: int) -> int:
+    return region["bytes"] // line_bytes
+
+
+def _canonicalize_phase(raw: object, path: str, regions: List[dict],
+                        region_names: Dict[str, int],
+                        line_bytes: int) -> dict:
+    raw = _require_dict(raw, path)
+    kind = raw.get("kind")
+    if kind not in PHASE_KINDS:
+        raise _err(f"{path}.kind",
+                   f"must be one of {list(PHASE_KINDS)}, got {kind!r}")
+    accesses = _get_int(raw, "accesses", path, None, 1,
+                        MAX_ACCESSES_PER_PHASE)
+    write_frac = _get_frac(raw, "write_frac", path, 0.0)
+
+    def one_region() -> dict:
+        rname = raw.get("region")
+        if rname not in region_names:
+            raise _err(f"{path}.region",
+                       f"unknown region {rname!r}; "
+                       f"regions: {sorted(region_names)}")
+        return regions[region_names[rname]]
+
+    if kind == "strided":
+        _check_keys(raw, {"kind": None, "region": None, "accesses": None,
+                          "stride_lines": None, "start_line": None,
+                          "write_frac": None}, path)
+        region = one_region()
+        lines = _region_lines(region, line_bytes)
+        stride = _get_int(raw, "stride_lines", path, 1, 1, lines)
+        start = _get_int(raw, "start_line", path, 0, 0, lines - 1)
+        return {"kind": kind, "region": region["name"],
+                "accesses": accesses, "stride_lines": stride,
+                "start_line": start, "write_frac": write_frac}
+    if kind == "pointer_chase":
+        _check_keys(raw, {"kind": None, "region": None, "accesses": None,
+                          "write_frac": None}, path)
+        region = one_region()
+        return {"kind": kind, "region": region["name"],
+                "accesses": accesses, "write_frac": write_frac}
+    if kind == "hot_set":
+        _check_keys(raw, {"kind": None, "region": None, "accesses": None,
+                          "hot_lines": None, "hot_frac": None,
+                          "write_frac": None}, path)
+        region = one_region()
+        lines = _region_lines(region, line_bytes)
+        hot_lines = _get_int(raw, "hot_lines", path, min(8, lines), 1,
+                             lines)
+        hot_frac = _get_frac(raw, "hot_frac", path, _MIX_HOT_FRAC)
+        return {"kind": kind, "region": region["name"],
+                "accesses": accesses, "hot_lines": hot_lines,
+                "hot_frac": hot_frac, "write_frac": write_frac}
+    # mix
+    _check_keys(raw, {"kind": None, "regions": None, "accesses": None,
+                      "weights": None, "run_len": None,
+                      "hot_lines": None, "write_frac": None}, path)
+    rnames = raw.get("regions", [r["name"] for r in regions])
+    if not isinstance(rnames, list) or not rnames:
+        raise _err(f"{path}.regions",
+                   f"must be a non-empty list of region names, "
+                   f"got {rnames!r}")
+    min_lines = None
+    for rname in rnames:
+        if rname not in region_names:
+            raise _err(f"{path}.regions",
+                       f"unknown region {rname!r}; "
+                       f"regions: {sorted(region_names)}")
+        lines = _region_lines(regions[region_names[rname]], line_bytes)
+        min_lines = lines if min_lines is None else min(min_lines, lines)
+    weights = raw.get("weights", [1.0, 1.0, 1.0])
+    if (not isinstance(weights, list) or len(weights) != 3
+            or any(isinstance(w, bool)
+                   or not isinstance(w, (int, float)) or w < 0
+                   for w in weights)):
+        raise _err(f"{path}.weights",
+                   f"must be three non-negative numbers "
+                   f"(strided, pointer_chase, hot_set), got {weights!r}")
+    weights = [float(w) for w in weights]
+    if sum(weights) <= 0:
+        raise _err(f"{path}.weights", "must sum to > 0")
+    run_len = raw.get("run_len", [4, 40])
+    if (not isinstance(run_len, list) or len(run_len) != 2
+            or any(isinstance(v, bool) or not isinstance(v, int)
+                   for v in run_len)
+            or not 1 <= run_len[0] <= run_len[1]):
+        raise _err(f"{path}.run_len",
+                   f"must be [lo, hi] with 1 <= lo <= hi, "
+                   f"got {run_len!r}")
+    hot_lines = _get_int(raw, "hot_lines", path, min(8, min_lines), 1,
+                         min_lines)
+    return {"kind": kind, "regions": list(rnames), "accesses": accesses,
+            "weights": weights, "run_len": list(run_len),
+            "hot_lines": hot_lines, "write_frac": write_frac}
+
+
+# ---------------------------------------------------------------------------
+# Hashing
+# ---------------------------------------------------------------------------
+
+def canonical_json(canonical: Dict[str, object]) -> str:
+    """The canonical spec as compact sorted JSON (the hashed bytes;
+    also the picklable form a :class:`~repro.sim.runner.ScenarioPoint`
+    carries into worker processes)."""
+    return json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+
+
+def spec_hash(canonical: Dict[str, object]) -> str:
+    """Content hash of one canonical spec (16 hex chars)."""
+    return hashlib.sha256(
+        canonical_json(canonical).encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+def _phase_rng(seed: int, index: int) -> random.Random:
+    """One RNG per phase, deterministic in (spec seed, phase index).
+
+    Per-phase streams mean editing one phase leaves every other
+    phase's addresses untouched -- spec diffs map to trace diffs.
+    """
+    return random.Random(((seed + 1) * 0x9E3779B97F4A7C15)
+                         ^ (index * 0xBF58476D1CE4E5B9))
+
+
+def layout_regions(canonical: Dict[str, object]) -> Dict[str, dict]:
+    """Region name -> ``{"base", "bytes"}`` with auto bases laid out.
+
+    Explicit bases are honored; ``null`` bases are assigned
+    page-aligned, in declaration order, from :data:`LAYOUT_BASE`
+    (past the end of any explicit region seen so far).  Deterministic
+    -- the layout is part of the compiled trace's identity.
+    """
+    cursor = LAYOUT_BASE
+    out: Dict[str, dict] = {}
+    for region in canonical["regions"]:
+        base = region["base"]
+        if base is None:
+            base = cursor
+        span = -(-region["bytes"] // PAGE_BYTES) * PAGE_BYTES
+        cursor = max(cursor, base + span)
+        out[region["name"]] = {"base": base, "bytes": region["bytes"]}
+    return out
+
+
+def _setup_atoms(canonical: Dict[str, object], recorder,
+                 builder: TraceBuilder,
+                 layout: Dict[str, dict]) -> None:
+    """Create the spec's atoms and head the stream with their
+    map/activate ops (the suite-tenant discipline)."""
+    from repro.core.attributes import PatternType, RWChar
+
+    for atom in canonical["atoms"]:
+        region = layout[atom["region"]]
+        atom_id = recorder.create_atom(
+            f"{canonical['name']}.{atom['name']}",
+            pattern=PatternType(atom["pattern"]),
+            stride_bytes=atom["stride_bytes"],
+            rw=RWChar(atom["rw"]),
+            access_intensity=atom["intensity"],
+            reuse=atom["reuse"],
+        )
+        builder.op(XMemOp("atom_map", atom_id, region["base"],
+                          region["bytes"]))
+        builder.op(XMemOp("atom_activate", atom_id))
+
+
+def _emit_strided(builder: TraceBuilder, rng: random.Random,
+                  base: int, lines: int, line: int, accesses: int,
+                  stride_lines: int, start_line: int,
+                  write_frac: float, work: int) -> None:
+    pos = start_line
+    for _ in range(accesses):
+        builder.access(base + (pos % lines) * line,
+                       rng.random() < write_frac, work)
+        pos += stride_lines
+
+
+def _emit_chase(builder: TraceBuilder, rng: random.Random,
+                base: int, lines: int, line: int, accesses: int,
+                write_frac: float, work: int) -> None:
+    # The generators' LCG walk: every address depends on the previous
+    # one, defeating stride prefetchers.
+    pos = rng.randrange(lines)
+    for _ in range(accesses):
+        builder.access(base + pos * line, rng.random() < write_frac,
+                       work)
+        pos = (pos * 1103515245 + 12345) % lines
+
+
+def _emit_hot_set(builder: TraceBuilder, rng: random.Random,
+                  base: int, lines: int, line: int, accesses: int,
+                  hot_lines: int, hot_frac: float,
+                  write_frac: float, work: int) -> None:
+    hot = [rng.randrange(lines) * line for _ in range(hot_lines)]
+    for _ in range(accesses):
+        if rng.random() < hot_frac:
+            addr = base + rng.choice(hot)
+        else:
+            addr = base + rng.randrange(lines) * line
+        builder.access(addr, rng.random() < write_frac, work)
+
+
+def _emit_mix(builder: TraceBuilder, rng: random.Random, phase: dict,
+              layout: Dict[str, dict], line: int, work: int) -> None:
+    remaining = phase["accesses"]
+    weights = phase["weights"]
+    total = sum(weights)
+    lo, hi = phase["run_len"]
+    write_frac = phase["write_frac"]
+    while remaining:
+        count = min(rng.randint(lo, hi), remaining)
+        remaining -= count
+        region = layout[rng.choice(phase["regions"])]
+        base, lines = region["base"], region["bytes"] // line
+        pick = rng.random() * total
+        if pick < weights[0]:
+            stride = rng.choice(_MIX_STRIDES)
+            _emit_strided(builder, rng, base, lines, line, count,
+                          stride, rng.randrange(lines), write_frac,
+                          work)
+        elif pick < weights[0] + weights[1]:
+            _emit_chase(builder, rng, base, lines, line, count,
+                        write_frac, work)
+        else:
+            _emit_hot_set(builder, rng, base, lines, line, count,
+                          phase["hot_lines"], _MIX_HOT_FRAC,
+                          write_frac, work)
+
+
+def compile_canonical(canonical: Dict[str, object]):
+    """Compile one canonical spec into a
+    :class:`~repro.sim.runner.TraceRecording`.
+
+    Pure function of the canonical dict: identical specs compile to
+    bit-identical recordings (packed columns, side-table, and setup
+    log alike), which is what lets the content hash key the trace
+    cache.
+    """
+    from repro.sim.runner import SetupRecorder, TraceRecording
+
+    if canonical.get("kind") == "import":
+        from repro.scenarios.importer import compile_import
+        return compile_import(canonical)
+
+    line = canonical["line_bytes"]
+    work = canonical["work_per_access"]
+    layout = layout_regions(canonical)
+    recorder = SetupRecorder()
+    builder = TraceBuilder()
+    _setup_atoms(canonical, recorder, builder, layout)
+    for index, phase in enumerate(canonical["phases"]):
+        rng = _phase_rng(canonical["seed"], index)
+        if phase["kind"] == "mix":
+            _emit_mix(builder, rng, phase, layout, line, work)
+            continue
+        region = layout[phase["region"]]
+        base, lines = region["base"], region["bytes"] // line
+        if phase["kind"] == "strided":
+            _emit_strided(builder, rng, base, lines, line,
+                          phase["accesses"], phase["stride_lines"],
+                          phase["start_line"], phase["write_frac"],
+                          work)
+        elif phase["kind"] == "pointer_chase":
+            _emit_chase(builder, rng, base, lines, line,
+                        phase["accesses"], phase["write_frac"], work)
+        else:
+            _emit_hot_set(builder, rng, base, lines, line,
+                          phase["accesses"], phase["hot_lines"],
+                          phase["hot_frac"], phase["write_frac"], work)
+    packed = builder.build()
+    return TraceRecording(
+        kernel=f"scenario:{spec_hash(canonical)}",
+        n=len(packed), tile=0, instrumented=True,
+        setup=recorder.log, packed=packed,
+    )

@@ -34,6 +34,7 @@ from repro.serve.scenarios import ScenarioEntry, ScenarioStore
 from repro.sim.runner import (
     SYSTEM_BUILDERS,
     CorunPoint,
+    ScenarioPoint,
     SimPoint,
     point_document,
     point_document_name,
@@ -112,7 +113,10 @@ def normalize_config(entry: ScenarioEntry, config: object
         raise ConfigurationError(
             f"run config must be a JSON object, "
             f"got {type(config).__name__}")
-    allowed = (_KERNEL_CONFIG_KEYS if entry.spec.kind == "kernel"
+    # Spec scenarios run as ScenarioPoint sweeps: same machine knobs
+    # as kernel scenarios.
+    kernel_like = entry.spec.kind in ("kernel", "spec")
+    allowed = (_KERNEL_CONFIG_KEYS if kernel_like
                else _SUITE_CONFIG_KEYS)
     unknown = sorted(set(config) - set(allowed))
     if unknown:
@@ -123,7 +127,7 @@ def normalize_config(entry: ScenarioEntry, config: object
     if isinstance(scale, bool) or not isinstance(scale, int) or scale <= 0:
         raise ConfigurationError(
             f"scale must be a positive integer, got {scale!r}")
-    if entry.spec.kind == "kernel":
+    if kernel_like:
         llc = config.get("llc_bytes")
         if llc is not None and (isinstance(llc, bool)
                                 or not isinstance(llc, int) or llc <= 0):
@@ -181,6 +185,13 @@ def config_hash(config: Dict[str, object]) -> str:
 def build_point(entry: ScenarioEntry, config: Dict[str, object]):
     """The runnable point for (scenario, normalized config)."""
     spec = entry.spec
+    if spec.kind == "spec":
+        return ScenarioPoint(
+            spec_json=spec.spec, scale=config["scale"],
+            llc_bytes=config["llc_bytes"],
+            bandwidth=config["bandwidth"],
+            systems=tuple(config["systems"]),
+        )
     if spec.kind == "kernel":
         return SimPoint(
             kernel=spec.workload, n=spec.n, tile=spec.tile,

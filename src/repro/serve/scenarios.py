@@ -9,13 +9,22 @@ of cheap parameterized *runs* replay it (see :mod:`repro.serve.jobs`).
 This mirrors the paper's own split between semantic registration (atom
 setup, once) and use (every access), lifted to service granularity.
 
-Two spec kinds are accepted:
+Three scenario kinds are accepted:
 
 * ``kernel`` -- a Polybench kernel invocation ``(kernel, n, tile)``;
   runs against it are :class:`~repro.sim.runner.SimPoint` sweeps.
 * ``suite``  -- a suite-catalog workload ``(workload, accesses,
   footprint_div)`` recorded as a co-run tenant; runs against it are
   single-tenant :class:`~repro.sim.runner.CorunPoint` mixes.
+* ``spec``   -- a declarative :mod:`repro.scenarios` workload/import
+  spec, inlined in the request body (the server never reads
+  server-side paths); runs against it are
+  :class:`~repro.sim.runner.ScenarioPoint` sweeps.
+
+Bodies without an explicit ``kind`` are inferred from their
+distinguishing keys (``kernel``/``workload``/``spec``/``phases``/
+``format``); a body matching none of them is rejected with a 400
+rather than half-parsed against the kernel schema.
 
 Concurrent identical ``POST /v1/scenarios`` requests share one build:
 the first requester generates, the rest park on an event and reuse the
@@ -37,7 +46,9 @@ from repro.core.errors import ConfigurationError
 from repro.sim.runner import (
     TraceCache,
     get_recording_with_source,
+    get_scenario_recording_with_source,
     get_suite_recording_with_source,
+    scenario_trace_key,
     suite_trace_key,
     trace_key,
 )
@@ -71,13 +82,16 @@ class ScenarioSpec:
     ``workload``/``n``/``tile`` hold ``(kernel, n, tile)`` for kernel
     scenarios and ``(workload, accesses, footprint_div)`` for suite
     scenarios -- the same field-reuse discipline as
-    :func:`~repro.sim.runner.suite_trace_key`.
+    :func:`~repro.sim.runner.suite_trace_key`.  ``spec`` scenarios
+    carry their canonical compact JSON in ``spec`` (``workload`` holds
+    the declared name; ``n``/``tile`` are 0).
     """
 
     kind: str
     workload: str
     n: int
     tile: int
+    spec: Optional[str] = None
 
     @classmethod
     def from_request(cls, body: object) -> "ScenarioSpec":
@@ -90,7 +104,47 @@ class ScenarioSpec:
                 f"got {type(body).__name__}")
         kind = body.get("kind")
         if kind is None:
-            kind = "suite" if "workload" in body else "kernel"
+            # Infer from the distinguishing keys; a body matching none
+            # of them is rejected outright instead of half-parsing
+            # against the kernel schema (which used to turn a typo'd
+            # spec body into a baffling "unknown kernel None").
+            if ("spec" in body or "phases" in body
+                    or "format" in body):
+                kind = "spec"
+            elif "workload" in body:
+                kind = "suite"
+            elif "kernel" in body:
+                kind = "kernel"
+            else:
+                raise ConfigurationError(
+                    "cannot infer scenario kind: give 'kind' "
+                    "explicitly, or one of the distinguishing keys "
+                    "'kernel' / 'workload' / 'spec' / 'phases' / "
+                    "'format'")
+        elif kind in ("workload", "import"):
+            # A repro.scenarios spec body pasted in directly, its own
+            # kind field intact.
+            kind = "spec"
+        if kind == "spec":
+            from repro.scenarios.spec import (
+                canonical_json,
+                canonicalize,
+            )
+            if "spec" in body:
+                unknown = sorted(set(body) - {"kind", "spec"})
+                if unknown:
+                    raise ConfigurationError(
+                        f"unknown spec-scenario keys {unknown}; "
+                        f"allowed: ['kind', 'spec']")
+                raw = body["spec"]
+            else:
+                # The spec fields inline in the scenario body.
+                raw = {k: v for k, v in body.items() if k != "kind"}
+            # canonicalize raises ScenarioError (a ConfigurationError
+            # subclass) on unknown fields at any level -> HTTP 400.
+            canonical = canonicalize(raw)
+            return cls(kind="spec", workload=canonical["name"], n=0,
+                       tile=0, spec=canonical_json(canonical))
         if kind == "kernel":
             allowed = {"kind", "kernel", "n", "tile"}
             unknown = sorted(set(body) - allowed)
@@ -127,15 +181,32 @@ class ScenarioSpec:
             return cls(kind="suite", workload=workload, n=accesses,
                        tile=div)
         raise ConfigurationError(
-            f"unknown scenario kind {kind!r}; choices: kernel, suite")
+            f"unknown scenario kind {kind!r}; "
+            f"choices: kernel, suite, spec")
 
     def canonical(self) -> Dict[str, object]:
         """The normalized, kind-specific spec (what gets hashed)."""
+        if self.kind == "spec":
+            return json.loads(self.spec)
         if self.kind == "kernel":
             return {"kind": "kernel", "kernel": self.workload,
                     "n": self.n, "tile": self.tile}
         return {"kind": "suite", "workload": self.workload,
                 "accesses": self.n, "footprint_div": self.tile}
+
+    def display(self) -> Dict[str, object]:
+        """The canonical spec, safe for listings.
+
+        An import spec's canonical form embeds the whole trace text;
+        the scenario-listing endpoints replace it with a size
+        placeholder (the sha256 stays, so provenance is intact).
+        """
+        canonical = self.canonical()
+        if self.kind == "spec" and canonical.get("kind") == "import":
+            text = canonical["text"]
+            canonical = dict(canonical)
+            canonical["text"] = f"<{len(text)} chars inlined>"
+        return canonical
 
     @property
     def scenario_hash(self) -> str:
@@ -147,6 +218,8 @@ class ScenarioSpec:
     @property
     def trace_cache_key(self) -> str:
         """The underlying trace-cache key the build populates."""
+        if self.kind == "spec":
+            return scenario_trace_key(self.scenario_hash)
         if self.kind == "kernel":
             return trace_key(self.workload, self.n, self.tile, True)
         return suite_trace_key(self.workload, self.n, self.tile)
@@ -154,6 +227,9 @@ class ScenarioSpec:
     def build(self, cache: TraceCache):
         """Generate (or fetch) the recording; returns
         ``(recording, source)``."""
+        if self.kind == "spec":
+            return get_scenario_recording_with_source(
+                self.spec, cache=cache)
         if self.kind == "kernel":
             return get_recording_with_source(
                 self.workload, self.n, self.tile, cache=cache)
@@ -194,7 +270,7 @@ class ScenarioEntry:
         """The JSON view returned by the scenario endpoints."""
         return {
             "scenario": self.hash,
-            "spec": self.spec.canonical(),
+            "spec": self.spec.display(),
             "trace": {
                 "key": self.trace_key,
                 "source": self.source,

@@ -710,9 +710,11 @@ def sweep(points: Sequence[SimPoint],
 
     ``collect_stats=True`` makes every point also return its registry
     snapshots and run manifest (see :func:`run_point`); pair with
-    :func:`write_point_documents` to persist them.
+    :func:`write_point_documents` to persist them.  Points may mix
+    :class:`SimPoint`, :class:`ScenarioPoint`, and :class:`CorunPoint`
+    freely -- dispatch is per point via :func:`run_any_point`.
     """
-    fn = _run_point_collecting if collect_stats else run_point
+    fn = _run_any_collecting if collect_stats else run_any_point
     return run_parallel(fn, points, jobs=jobs)
 
 
@@ -736,13 +738,19 @@ def point_document_name(index: int, result) -> str:
 
     Accepts :class:`PointResult` and :class:`CorunResult` (suite
     workload names are filename-safe identifiers, so a mix joins with
-    ``+``).
+    ``+``; a ``scenario:`` tenant's colon becomes ``-``).  Scenario
+    points name themselves by declared name plus hash prefix, so two
+    specs sharing a name cannot collide in one sweep directory.
     """
     p = result.point
     if isinstance(p, CorunPoint):
         div = f"_d{p.footprint_div}" if p.footprint_div != 1 else ""
-        return (f"{index:03d}_corun_{'+'.join(p.tenants)}"
-                f"_a{p.accesses}{div}.json")
+        mix = "+".join(t.replace(":", "-").replace("/", "-")
+                       for t in p.tenants)
+        return f"{index:03d}_corun_{mix}_a{p.accesses}{div}.json"
+    if isinstance(p, ScenarioPoint):
+        return (f"{index:03d}_scn_{p.name}"
+                f"_{p.scenario_hash[:8]}.json")
     return f"{index:03d}_{p.kernel}_n{p.n}_t{p.tile}.json"
 
 
@@ -814,6 +822,187 @@ def uc2_sweep(points: Sequence[UC2Point],
               jobs: Optional[int] = None) -> List[dict]:
     """Run independent Use-Case-2 points, fanned out over processes."""
     return run_parallel(run_uc2_point, points, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# Scenario points (declarative workload specs; repro.scenarios)
+# ---------------------------------------------------------------------------
+
+def scenario_trace_key(scenario_hash: str) -> str:
+    """Cache key of one compiled scenario recording.
+
+    Shares :func:`trace_key`'s keyspace: the ``scenario:`` prefix
+    cannot collide with a Polybench kernel or a ``suite:`` tenant, and
+    the spec's content hash *is* the identity -- the n/tile slots
+    carry nothing.
+    """
+    return trace_key(f"scenario:{scenario_hash}", 0, 0, True)
+
+
+def get_scenario_recording_with_source(
+        spec_json: str, cache: Optional[TraceCache] = None
+) -> Tuple[TraceRecording, str]:
+    """One compiled-scenario recording plus where it came from.
+
+    ``spec_json`` is the canonical compact JSON of the spec (see
+    :func:`repro.scenarios.spec.canonical_json`) -- a plain string so
+    scenario points pickle cleanly into sweep workers.  The content
+    hash keys all three cache layers, so identical specs share one
+    compilation across processes and sessions.
+    """
+    from repro.scenarios.spec import compile_canonical, spec_hash
+
+    canonical = json.loads(spec_json)
+    key = scenario_trace_key(spec_hash(canonical))
+    return _cached_recording(
+        key, lambda: compile_canonical(canonical), cache)
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One independent spec-defined simulation point.
+
+    The mirror of :class:`SimPoint` with the kernel identity replaced
+    by a canonical spec (as compact JSON, so the point stays plain
+    picklable data).  Runs on the same machines, caches, manifests,
+    and diff tooling.
+    """
+
+    spec_json: str
+    scale: int = 32
+    llc_bytes: Optional[int] = None
+    bandwidth: float = 1.0
+    systems: Tuple[str, ...] = ("baseline", "xmem")
+
+    def canonical(self) -> dict:
+        """The canonical spec dict (parsed on demand)."""
+        return json.loads(self.spec_json)
+
+    @property
+    def name(self) -> str:
+        """The spec's declared name."""
+        return self.canonical()["name"]
+
+    @property
+    def scenario_hash(self) -> str:
+        """The spec's 16-hex content hash."""
+        from repro.scenarios.spec import spec_hash
+        return spec_hash(self.canonical())
+
+    def config(self) -> SimConfig:
+        """The machine configuration this point runs on."""
+        cfg = scaled_config(self.scale)
+        if self.llc_bytes is not None:
+            cfg = cfg.with_llc(self.llc_bytes)
+        if self.bandwidth != 1.0:
+            cfg = cfg.with_bandwidth(self.bandwidth)
+        return cfg
+
+
+def run_scenario_point(point: ScenarioPoint,
+                       cache: Optional[TraceCache] = None,
+                       collect: bool = False) -> PointResult:
+    """Execute every system of one scenario point (see
+    :func:`run_point`).
+
+    The manifest's ``point`` block carries the scenario's name and
+    content hash rather than the full spec (an import spec embeds the
+    whole trace text); the ``scenario`` block records the provenance a
+    reader needs to re-resolve it.
+    """
+    from repro.scenarios.spec import compile_canonical, spec_hash
+
+    timer = PhaseTimer() if collect else None
+    cfg = point.config()
+    if cache is None:
+        cache = TraceCache()
+    canonical = point.canonical()
+    scn_hash = spec_hash(canonical)
+    key = scenario_trace_key(scn_hash)
+    if timer is not None:
+        timer.start("trace")
+    recording, source = get_scenario_recording_with_source(
+        point.spec_json, cache=cache)
+    if timer is not None:
+        timer.stop()
+    runs: Dict[str, SystemRun] = {}
+    snapshots: Optional[Dict[str, Snapshot]] = {} if collect else None
+    for system in point.systems:
+        try:
+            build = SYSTEM_BUILDERS[system]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown system {system!r}; "
+                f"choices: {sorted(SYSTEM_BUILDERS)}"
+            ) from None
+        handle = build(cfg)
+        if timer is not None:
+            timer.start(f"run:{system}")
+        try:
+            trace = recording.replay(handle.xmemlib)
+        except StaleRecordingError:
+            # The cached compilation predates a library change:
+            # recompile from the spec and refresh the caches.
+            recording = compile_canonical(canonical)
+            source = "regenerated"
+            cache.store(key, recording)
+            _memo_put(key, recording)
+            handle = build(cfg)
+            trace = recording.replay(handle.xmemlib)
+        stats = handle.run(trace)
+        if timer is not None:
+            timer.stop()
+        runs[system] = SystemRun(
+            system=system,
+            stats=stats,
+            llc_miss_rate=handle.llc.stats.miss_rate,
+            llc_accesses=handle.llc.stats.accesses,
+            dram_reads=handle.dram.stats.reads,
+            dram_row_hit_rate=handle.dram.stats.row_hit_rate,
+        )
+        if snapshots is not None:
+            snapshots[system] = handle.stats_snapshot()
+    manifest = None
+    if collect:
+        scenario_block = {
+            "name": canonical["name"],
+            "hash": scn_hash,
+            "kind": canonical["kind"],
+            "version": canonical["version"],
+            "events": len(recording.packed),
+            "setup_calls": len(recording.setup),
+        }
+        if canonical["kind"] == "import":
+            scenario_block["format"] = canonical["format"]
+            scenario_block["sha256"] = canonical["sha256"]
+        manifest = {
+            "schema": 1,
+            "kind": "scenariopoint",
+            "point": {
+                "scenario": canonical["name"],
+                "hash": scn_hash,
+                "scale": point.scale,
+                "llc_bytes": point.llc_bytes,
+                "bandwidth": point.bandwidth,
+                "systems": list(point.systems),
+            },
+            "config": dataclasses.asdict(cfg),
+            "trace": {
+                "key": key,
+                "source": source,
+                "format_version": TRACE_FORMAT_VERSION,
+                "tier": resolve_engine_tier(),
+                "cache_dir": (str(cache.root) if cache.root is not None
+                              else None),
+                "cache_hits": cache.hits,
+                "cache_misses": cache.misses,
+            },
+            "scenario": scenario_block,
+            "env": collect_repro_env(),
+            "phases": timer.phases,
+        }
+    return PointResult(point=point, runs=runs, stats=snapshots,
+                       manifest=manifest)
 
 
 # ---------------------------------------------------------------------------
@@ -912,6 +1101,36 @@ def get_suite_recording_with_source(
         cache)
 
 
+def _scenario_tenant(ref: str, accesses: int, cache: TraceCache
+                     ) -> Tuple[TraceRecording, str, str]:
+    """Resolve one ``scenario:<ref>`` co-run tenant.
+
+    The full compiled trace is what the cache holds (keyed by the
+    spec's content hash alone); the mix's ``accesses`` budget is
+    applied in-memory via :meth:`PackedTrace.truncated`, so every
+    budget shares one compilation.
+    """
+    from repro.scenarios import resolve
+    from repro.scenarios.spec import compile_canonical, spec_hash
+
+    canonical = resolve(ref)
+    key = scenario_trace_key(spec_hash(canonical))
+    recording, source = _cached_recording(
+        key, lambda: compile_canonical(canonical), cache)
+    try:
+        apply_setup(XMemLib(), recording.setup)
+    except StaleRecordingError:
+        recording = compile_canonical(canonical)
+        source = "regenerated"
+        cache.store(key, recording)
+        _memo_put(key, recording)
+    packed = recording.packed.truncated(accesses)
+    if packed is not recording.packed:
+        recording = dataclasses.replace(recording, n=accesses,
+                                        packed=packed)
+    return recording, source, key
+
+
 @dataclass(frozen=True)
 class CorunPoint:
     """One independent multi-tenant co-location point.
@@ -993,20 +1212,33 @@ def run_corun_point(point: CorunPoint,
     if timer is not None:
         timer.start("trace")
     tenants: List[Tuple[TraceRecording, str]] = []
+    tenant_info: List[Dict[str, str]] = []
     for name in point.tenants:
-        recording, source = get_suite_recording_with_source(
-            name, point.accesses, point.footprint_div, cache=cache)
-        try:
-            apply_setup(XMemLib(), recording.setup)
-        except StaleRecordingError:
-            recording = record_suite_trace(name, point.accesses,
-                                           point.footprint_div)
-            source = "regenerated"
+        if name.startswith("scenario:"):
+            # A compiled spec as a tenant: full-trace cache key,
+            # truncated in-memory to the mix's access budget.
+            if point.footprint_div != 1:
+                raise ConfigurationError(
+                    f"footprint_div scales suite structures; scenario "
+                    f"tenant {name!r} has a fixed declared footprint")
+            recording, source, key = _scenario_tenant(
+                name[len("scenario:"):], point.accesses, cache)
+        else:
             key = suite_trace_key(name, point.accesses,
                                   point.footprint_div)
-            cache.store(key, recording)
-            _memo_put(key, recording)
+            recording, source = get_suite_recording_with_source(
+                name, point.accesses, point.footprint_div, cache=cache)
+            try:
+                apply_setup(XMemLib(), recording.setup)
+            except StaleRecordingError:
+                recording = record_suite_trace(name, point.accesses,
+                                               point.footprint_div)
+                source = "regenerated"
+                cache.store(key, recording)
+                _memo_put(key, recording)
         tenants.append((recording, source))
+        tenant_info.append({"workload": name, "key": key,
+                            "source": source})
     if timer is not None:
         timer.stop()
     runs: Dict[str, List[CoreStats]] = {}
@@ -1041,13 +1273,7 @@ def run_corun_point(point: CorunPoint,
                 # cross-engine documents to zero deltas.
                 "tier": corun_tier(),
                 "format_version": TRACE_FORMAT_VERSION,
-                "tenants": [
-                    {"workload": name,
-                     "key": suite_trace_key(name, point.accesses,
-                                            point.footprint_div),
-                     "source": source}
-                    for name, (_, source) in zip(point.tenants, tenants)
-                ],
+                "tenants": tenant_info,
                 "cache_dir": (str(cache.root) if cache.root is not None
                               else None),
                 "cache_hits": cache.hits,
@@ -1077,10 +1303,17 @@ def run_any_point(point, cache: Optional[TraceCache] = None,
     """
     if isinstance(point, CorunPoint):
         return run_corun_point(point, cache=cache, collect=collect)
+    if isinstance(point, ScenarioPoint):
+        return run_scenario_point(point, cache=cache, collect=collect)
     if isinstance(point, SimPoint):
         return run_point(point, cache=cache, collect=collect)
     raise ConfigurationError(
         f"not a runnable point: {type(point).__name__}")
+
+
+def _run_any_collecting(point):
+    """Module-level ``collect=True`` wrapper (pickles into workers)."""
+    return run_any_point(point, collect=True)
 
 
 def corun_sweep(points: Sequence[CorunPoint],

@@ -1,6 +1,6 @@
 """Differential fuzzing: optimized models vs. reference models.
 
-Eight lanes, each pairing a hot-path implementation with its oracle
+Nine lanes, each pairing a hot-path implementation with its oracle
 (:mod:`repro.testing.oracles`) over seeded random input
 (:mod:`repro.testing.generators`):
 
@@ -49,6 +49,16 @@ Eight lanes, each pairing a hot-path implementation with its oracle
   shows zero internal errors, zero failed points, a drained queue,
   and a memo within its bound.  Items are self-contained request
   descriptors, so shrinking drops whole requests.
+* ``scenario`` -- random declarative workload specs
+  (:mod:`repro.scenarios`) against the spec pipeline's own contract:
+  canonicalization is idempotent and hash-stable through a JSON
+  round-trip, compiling the same canonical spec twice yields
+  bit-identical setup logs and packed columns, the recording survives
+  its versioned payload round-trip, and the packed trace round-trips
+  through the object event stream.  Items are raw phase dicts over a
+  fixed base spec, so shrinking drops phases; sublists that are no
+  longer valid specs are vacuously passing and ddmin converges on
+  the smallest *valid* diverging spec.
 
 A failing case is shrunk (:mod:`repro.testing.shrink`) against the
 same lane predicate and written to the corpus directory as a JSON
@@ -802,6 +812,130 @@ class ServeLane(Lane):
             thread.join(timeout=10)
 
 
+class ScenarioLane(Lane):
+    """Workload-spec canonicalization and compile determinism.
+
+    The generator draws a random but *valid* base spec (regions,
+    atoms, global knobs) into ``params`` and a list of raw phase
+    dicts as the shrinkable ``items``.  There is no second
+    implementation to diff against; the oracle is the scenario
+    pipeline's own contract, every clause of which the trace cache
+    and the manifest hashes depend on.  A shrunk sublist can stop
+    being a valid spec (e.g. zero phases); ``fail`` treats
+    :class:`~repro.core.errors.ScenarioError` on a candidate as
+    vacuously passing so ddmin only explores real specs.
+    """
+
+    name = "scenario"
+
+    PATTERNS = ("regular", "irregular", "non_det")
+    RW = ("read_only", "read_write", "write_heavy")
+    MAX_PHASES = 8
+
+    def make(self, rng: random.Random, length: int) -> Tuple[dict, list]:
+        regions = [{"name": f"r{i}",
+                    "bytes": rng.choice((4096, 8192, 16384))}
+                   for i in range(rng.randint(1, 3))]
+        atoms = []
+        for i in range(rng.randint(0, 2)):
+            pattern = rng.choice(self.PATTERNS)
+            atom = {"name": f"a{i}",
+                    "region": rng.choice(regions)["name"],
+                    "pattern": pattern,
+                    "rw": rng.choice(self.RW),
+                    "intensity": rng.randrange(256),
+                    "reuse": rng.randrange(256)}
+            if pattern == "regular":
+                atom["stride_bytes"] = rng.choice((64, 128, 256))
+            atoms.append(atom)
+        base = {"kind": "workload", "name": "fuzzspec",
+                "seed": rng.randrange(1 << 16), "line_bytes": 64,
+                "work_per_access": rng.choice((0, 1, 2)),
+                "regions": regions, "atoms": atoms}
+        items = [self._phase(rng, regions)
+                 for _ in range(max(1, min(length // 50,
+                                           self.MAX_PHASES)))]
+        return {"base": base}, items
+
+    def _phase(self, rng: random.Random, regions: list) -> dict:
+        region = rng.choice(regions)
+        lines = region["bytes"] // 64
+        kind = rng.choice(("strided", "pointer_chase", "hot_set",
+                           "mix"))
+        accesses = rng.randint(50, 400)
+        wf = round(rng.uniform(0.0, 0.8), 3)
+        if kind == "strided":
+            return {"kind": kind, "region": region["name"],
+                    "accesses": accesses,
+                    "stride_lines": rng.choice((1, 2, 3, 8, 16)),
+                    "start_line": rng.randrange(lines),
+                    "write_frac": wf}
+        if kind == "pointer_chase":
+            return {"kind": kind, "region": region["name"],
+                    "accesses": accesses, "write_frac": wf}
+        if kind == "hot_set":
+            return {"kind": kind, "region": region["name"],
+                    "accesses": accesses,
+                    "hot_lines": rng.randint(1, min(64, lines)),
+                    "hot_frac": round(rng.uniform(0.3, 0.95), 3),
+                    "write_frac": wf}
+        min_lines = min(r["bytes"] // 64 for r in regions)
+        lo = rng.randint(1, 8)
+        return {"kind": "mix",
+                "regions": [r["name"] for r in regions],
+                "accesses": accesses,
+                "weights": [rng.randint(1, 4) for _ in range(3)],
+                "run_len": [lo, lo + rng.randint(0, 24)],
+                "hot_lines": rng.randint(1, min(64, min_lines)),
+                "write_frac": wf}
+
+    def fail(self, params: dict, items: list) -> Optional[str]:
+        from repro.core.errors import ScenarioError
+        from repro.scenarios import (
+            canonical_json,
+            canonicalize,
+            compile_canonical,
+            spec_hash,
+        )
+        from repro.sim.runner import TraceRecording
+
+        if not items:
+            return None
+        body = dict(params["base"])
+        body["phases"] = [dict(p) for p in items]
+        try:
+            canonical = canonicalize(body)
+        except ScenarioError:
+            return None    # shrunk candidate is not a valid spec
+        again = canonicalize(json.loads(canonical_json(canonical)))
+        if again != canonical:
+            return "canonicalize is not idempotent over its own output"
+        if spec_hash(again) != spec_hash(canonical):
+            return (f"spec hash unstable through JSON round-trip: "
+                    f"{spec_hash(canonical)} != {spec_hash(again)}")
+        rec_a = compile_canonical(canonical)
+        rec_b = compile_canonical(json.loads(canonical_json(canonical)))
+        if rec_a.setup != rec_b.setup:
+            return "setup logs diverged between identical compiles"
+        if rec_a.packed != rec_b.packed:
+            ca, cb = rec_a.packed.counts(), rec_b.packed.counts()
+            return (f"packed traces diverged between identical "
+                    f"compiles: counts {ca} vs {cb}")
+        back = TraceRecording.from_payload(rec_a.to_payload())
+        if back.packed != rec_a.packed or back.setup != rec_a.setup:
+            return "recording diverged through payload round-trip"
+        if PackedTrace.from_events(list(rec_a.packed.events())) \
+                != rec_a.packed:
+            return "packed trace diverged through object event stream"
+        return None
+
+    def to_json(self, items: list) -> list:
+        return [dict(p) for p in items]
+
+    def from_json(self, data: list) -> list:
+        return [dict(p) for p in data]
+
+
 def _kernel_scenario_hash(kernel: str, n: int, tile: int) -> str:
     """Client-side scenario hash, for addressing runs in the lane."""
     from repro.serve.scenarios import ScenarioSpec
@@ -813,7 +947,8 @@ def _kernel_scenario_hash(kernel: str, n: int, tile: int) -> str:
 LANES: Dict[str, Lane] = {
     lane.name: lane
     for lane in (PackedLane(), VectorLane(), CorunLane(), CacheLane(),
-                 EngineLane(), DramLane(), SchedLane(), ServeLane())
+                 EngineLane(), DramLane(), SchedLane(), ServeLane(),
+                 ScenarioLane())
 }
 
 

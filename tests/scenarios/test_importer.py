@@ -1,0 +1,187 @@
+"""External-trace ingestion: parsers, integrity checks, and the
+malformed-input property sweep (clean ScenarioError, never a crash or
+a silently short trace)."""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.core.errors import ScenarioError
+from repro.cpu.trace import MemAccess, Work
+from repro.scenarios import canonicalize, compile_canonical
+from repro.scenarios.importer import (
+    canonicalize_import,
+    parse_csv,
+    parse_lackey,
+)
+
+LACKEY = """\
+==1234== banner noise the parser must skip
+--1234-- more noise
+I  0x400000,4
+I  0x400004,4
+ L 0x1000,8
+ S 0x1040,4
+I  0x400008,4
+ M 0x1080,8
+"""
+
+CSV = """\
+# comment
+addr,rw,size,work
+0x2000,R,8,3
+0x2040,W
+8320,r,4,0
+"""
+
+
+def imp(fmt, text, **over):
+    body = {"kind": "import", "name": "t", "format": fmt,
+            "line_bytes": 64, "text": text}
+    body.update(over)
+    return body
+
+
+class TestLackeyParser:
+    def test_parses_and_coalesces_instr_work(self):
+        accesses = parse_lackey(LACKEY, 64, work_per_instr=2)
+        # 2 instrs ride the first data access, 1 on the third.
+        assert accesses == [(0x1000, False, 4), (0x1040, True, 0),
+                            (0x1080, True, 2)]
+
+    def test_multi_line_access_split(self):
+        accesses = parse_lackey("L 0x103c,16\n", 64, 1)
+        assert accesses == [(0x1000, False, 0), (0x1040, False, 0)]
+
+    def test_compiled_event_stream(self):
+        canonical = canonicalize(imp("lackey", LACKEY,
+                                     work_per_instr=2))
+        packed = compile_canonical(canonical).packed
+        mem = [ev for ev in packed.events()
+               if isinstance(ev, MemAccess)]
+        assert [(ev.vaddr, ev.is_write) for ev in mem] == [
+            (0x1000, False), (0x1040, True), (0x1080, True)]
+        work = sum(ev.count for ev in packed.events()
+                   if isinstance(ev, Work))
+        work += sum(ev.work for ev in mem)
+        assert work == 4 + 2
+
+
+class TestCsvParser:
+    def test_parses_header_comments_defaults(self):
+        accesses = parse_csv(CSV, 64, 1)
+        assert accesses == [(0x2000, False, 3), (0x2040, True, 0),
+                            (8320, False, 0)]
+
+    def test_decimal_and_hex_addresses_agree(self):
+        assert parse_csv("8192,r\n", 64, 1) \
+            == parse_csv("0x2000,R\n", 64, 1)
+
+
+class TestIntegrity:
+    def test_sha256_computed_when_omitted(self):
+        canonical = canonicalize(imp("csv", CSV))
+        assert canonical["sha256"] \
+            == hashlib.sha256(CSV.encode()).hexdigest()
+
+    def test_claimed_sha256_mismatch_rejected(self):
+        with pytest.raises(ScenarioError, match="integrity"):
+            canonicalize(imp("csv", CSV, sha256="0" * 64))
+
+    def test_compile_reverifies_after_tamper(self):
+        canonical = canonicalize(imp("csv", CSV))
+        canonical["text"] += "0x9000,w\n"
+        with pytest.raises(ScenarioError, match="at compile"):
+            compile_canonical(canonical)
+
+    def test_path_and_text_only_resolved_by_registry(self):
+        # The canonicalizer must never read the filesystem: a "path"
+        # key is unknown here (the registry inlines it first), so a
+        # serve request can't point the server at its own disk.
+        with pytest.raises(ScenarioError, match="unknown keys"):
+            canonicalize_import(imp("csv", CSV, path="/etc/passwd"))
+
+
+MALFORMED_LACKEY = [
+    "L 0x1000",                       # truncated: no comma
+    "L 0x1000,",                      # truncated: empty size
+    "L ,8",                           # truncated: empty address
+    "L zzzz,8",                       # bad hex
+    "Q 0x1000,8",                     # unknown tag
+    "L 0x1000,0",                     # size below range
+    "L 0x1000,4096",                  # size above range
+    f"L {1 << 48:#x},8",              # address out of range
+    "L 0x1000 8",                     # space instead of comma
+    "I 0x400000,4",                   # instrs only: empty trace
+    "==1234== banner only",           # banners only: empty trace
+    "",                               # empty text (refused pre-parse)
+]
+
+MALFORMED_CSV = [
+    "0x1000",                         # one field
+    "0x1000,r,4,1,9",                 # five fields
+    "0x1000,x",                       # bad rw flag
+    "zzzz,r",                         # bad address
+    "0x1000,r,0",                     # size below range
+    "0x1000,r,513",                   # size above range
+    "0x1000,r,4,nope",                # bad work count
+    "0x1000,r,4,-1",                  # negative work
+    f"0x1000,r,4,{1 << 21}",          # work above range
+    "# only a comment",               # empty trace
+]
+
+
+class TestMalformedRejection:
+    """The property ISSUE 9 pins: a malformed stream is a clean
+    ScenarioError at submission -- never another exception type,
+    never a silently short trace."""
+
+    @pytest.mark.parametrize("text", MALFORMED_LACKEY)
+    def test_lackey_rejected(self, text):
+        with pytest.raises(ScenarioError):
+            canonicalize(imp("lackey", text))
+
+    @pytest.mark.parametrize("text", MALFORMED_CSV)
+    def test_csv_rejected(self, text):
+        with pytest.raises(ScenarioError):
+            canonicalize(imp("csv", text))
+
+    @pytest.mark.parametrize("fmt,corpus", [
+        ("lackey", "L 0x1000,8\nS 0x1040,4\nI 0x400000,4\nM 0x1080,8"),
+        ("csv", "0x1000,r,8\n0x1040,w\n0x1080,r,4,2"),
+    ])
+    def test_random_corruption_never_short_reads(self, fmt, corpus):
+        """Randomly corrupt a valid stream: every outcome is either a
+        ScenarioError or a full parse of a still-valid stream (the
+        parser must not drop the tail of a damaged input)."""
+        rng = random.Random(99)
+        corruptions = (
+            lambda t, i: t[:i],                       # truncate
+            lambda t, i: t[:i] + "zz" + t[i:],        # inject junk
+            lambda t, i: t.replace(",", " ", 1),      # break a field
+            lambda t, i: t[:i] + t[i + 1:],           # drop a char
+        )
+        for trial in range(200):
+            corrupt = rng.choice(corruptions)
+            text = corrupt(corpus, rng.randrange(len(corpus)))
+            try:
+                canonical = canonicalize(imp(fmt, text))
+            except ScenarioError:
+                continue
+            # Survivors must be genuinely well-formed: every non-blank,
+            # non-banner/comment payload line parsed into >= 1 access.
+            packed = compile_canonical(canonical).packed
+            assert len(packed) > 0
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ScenarioError, match="format"):
+            canonicalize(imp("pin-v9", "0x1000,r"))
+
+    def test_unknown_import_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown keys"):
+            canonicalize(imp("csv", CSV, endianness="little"))
+
+    def test_non_string_text_rejected(self):
+        with pytest.raises(ScenarioError, match="text"):
+            canonicalize(imp("csv", ["0x1000,r"]))

@@ -1,0 +1,156 @@
+"""The workload-spec DSL: canonicalization, defaults, rejection."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ConfigurationError, ScenarioError
+from repro.scenarios import (
+    SCENARIO_SPEC_VERSION,
+    canonical_json,
+    canonicalize,
+    spec_hash,
+)
+from repro.scenarios.spec import (
+    MAX_ACCESSES_PER_PHASE,
+    MAX_PHASES,
+    MAX_TOTAL_ACCESSES,
+)
+
+MINIMAL = {
+    "kind": "workload",
+    "name": "m",
+    "regions": [{"name": "r", "bytes": 4096}],
+    "phases": [{"kind": "strided", "region": "r", "accesses": 10}],
+}
+
+
+def minimal(**over):
+    body = json.loads(json.dumps(MINIMAL))
+    body.update(over)
+    return body
+
+
+class TestCanonicalization:
+    def test_defaults_filled(self):
+        c = canonicalize(minimal())
+        assert c["kind"] == "workload"
+        assert c["version"] == SCENARIO_SPEC_VERSION
+        assert c["seed"] == 0
+        assert c["line_bytes"] == 64
+        assert c["work_per_access"] == 0
+        assert c["atoms"] == []
+        assert c["regions"] == [{"name": "r", "bytes": 4096,
+                                 "base": None}]
+        assert c["phases"] == [{"kind": "strided", "region": "r",
+                                "accesses": 10, "stride_lines": 1,
+                                "start_line": 0, "write_frac": 0.0}]
+
+    def test_kind_defaults_to_workload(self):
+        body = minimal()
+        del body["kind"]
+        assert canonicalize(body) == canonicalize(minimal())
+
+    def test_idempotent(self):
+        c = canonicalize(minimal())
+        assert canonicalize(c) == c
+        assert canonicalize(json.loads(canonical_json(c))) == c
+
+    def test_atom_defaults(self):
+        c = canonicalize(minimal(
+            atoms=[{"name": "a", "region": "r"}]))
+        assert c["atoms"] == [{
+            "name": "a", "region": "r", "pattern": "regular",
+            "stride_bytes": 64, "rw": "read_write",
+            "intensity": 128, "reuse": 128}]
+
+    def test_irregular_atom_has_no_default_stride(self):
+        c = canonicalize(minimal(
+            atoms=[{"name": "a", "region": "r",
+                    "pattern": "irregular"}]))
+        assert c["atoms"][0]["stride_bytes"] is None
+
+    def test_hash_insensitive_to_key_order(self):
+        a = canonicalize(minimal())
+        shuffled = dict(reversed(list(minimal().items())))
+        b = canonicalize(shuffled)
+        assert spec_hash(a) == spec_hash(b)
+
+    def test_scenario_error_is_a_configuration_error(self):
+        # The CLI (exit 2) and serve (HTTP 400) paths both key off
+        # ConfigurationError; spec problems must ride the same rail.
+        assert issubclass(ScenarioError, ConfigurationError)
+
+
+class TestRejection:
+    @pytest.mark.parametrize("body,fragment", [
+        ([1, 2], "must be an object"),
+        (minimal(bogus=1), "unknown keys"),
+        (minimal(kind="warp"), "must be 'workload'"),
+        (minimal(version=SCENARIO_SPEC_VERSION + 1), "version"),
+        (minimal(name="!!"), "identifier"),
+        (minimal(name=7), "identifier"),
+        (minimal(seed=True), "integer"),
+        (minimal(seed=-1), "in ["),
+        (minimal(line_bytes=96), "power of two"),
+        (minimal(work_per_access=-1), "in ["),
+        (minimal(regions=[]), "non-empty list"),
+        (minimal(regions=[{"name": "r", "bytes": 4096, "huge": 1}]),
+         "unknown keys"),
+        (minimal(regions=[{"name": "r", "bytes": 32}]), "in ["),
+        (minimal(regions=[{"name": "r", "bytes": 4096, "base": 100}]),
+         "aligned"),
+        (minimal(regions=[{"name": "r", "bytes": 4096},
+                          {"name": "r", "bytes": 4096}]),
+         "duplicate region"),
+        (minimal(atoms=[{"name": "a", "region": "nope"}]),
+         "unknown region"),
+        (minimal(atoms=[{"name": "a", "region": "r",
+                         "pattern": "zigzag"}]), "one of"),
+        (minimal(atoms=[{"name": "a", "region": "r",
+                         "intensity": 256}]), "in ["),
+        (minimal(atoms=[{"name": "a", "region": "r"},
+                        {"name": "a", "region": "r"}]),
+         "duplicate atom"),
+        (minimal(phases=[]), "non-empty list"),
+        (minimal(phases=[{"kind": "sprint", "region": "r",
+                          "accesses": 1}]), "one of"),
+        (minimal(phases=[{"kind": "strided", "region": "nope",
+                          "accesses": 1}]), "unknown region"),
+        (minimal(phases=[{"kind": "strided", "region": "r",
+                          "accesses": 0}]), "in ["),
+        (minimal(phases=[{"kind": "strided", "region": "r",
+                          "accesses": MAX_ACCESSES_PER_PHASE + 1}]),
+         "in ["),
+        (minimal(phases=[{"kind": "strided", "region": "r",
+                          "accesses": 1, "write_frac": 1.5}]),
+         "[0.0, 1.0]"),
+        (minimal(phases=[{"kind": "strided", "region": "r",
+                          "accesses": 1, "hot_lines": 4}]),
+         "unknown keys"),
+        (minimal(phases=[{"kind": "mix", "accesses": 1,
+                          "weights": [0, 0, 0]}]), "sum to > 0"),
+        (minimal(phases=[{"kind": "mix", "accesses": 1,
+                          "weights": [1, 2]}]), "three"),
+        (minimal(phases=[{"kind": "mix", "accesses": 1,
+                          "run_len": [9, 3]}]), "lo <= hi"),
+        (minimal(phases=[{"kind": "mix", "accesses": 1,
+                          "regions": []}]), "non-empty list"),
+    ])
+    def test_malformed_rejected(self, body, fragment):
+        with pytest.raises(ScenarioError) as exc:
+            canonicalize(body)
+        assert fragment in str(exc.value)
+
+    def test_too_many_phases(self):
+        phases = [{"kind": "strided", "region": "r", "accesses": 1}
+                  ] * (MAX_PHASES + 1)
+        with pytest.raises(ScenarioError, match="at most"):
+            canonicalize(minimal(phases=phases))
+
+    def test_total_access_budget(self):
+        per = MAX_ACCESSES_PER_PHASE
+        phases = [{"kind": "strided", "region": "r", "accesses": per}
+                  ] * (MAX_TOTAL_ACCESSES // per + 1)
+        with pytest.raises(ScenarioError, match="total accesses"):
+            canonicalize(minimal(phases=phases))

@@ -704,3 +704,112 @@ class TestSpecAndConfigUnits:
     def test_engine_is_not_a_run_knob(self):
         with pytest.raises(ConfigurationError, match="unknown"):
             normalize_config(self._entry(), {"engine": "vector"})
+
+
+SPEC_SCENARIO = {
+    "kind": "workload", "name": "servespec", "seed": 5,
+    "regions": [{"name": "r", "bytes": 8192}],
+    "atoms": [{"name": "a", "region": "r", "reuse": 200}],
+    "phases": [{"kind": "hot_set", "region": "r", "accesses": 300,
+                "hot_lines": 4, "write_frac": 0.3}],
+}
+
+CSV_IMPORT = {
+    "format": "csv", "name": "servecsv",
+    "text": "0x1000,r,8\n0x1040,w\n0x1080,r,4,2\n",
+}
+
+
+class TestSpecScenarios:
+    """Declarative workload specs through the HTTP surface (the
+    ISSUE 9 serve regression: bodies that fit no known scenario form
+    must be an explicit 400, and spec bodies reject unknown fields)."""
+
+    @pytest.mark.parametrize("body", [
+        {"bogus": 1},
+        {},
+        {"name": "x"},
+    ])
+    def test_uninferable_body_is_400(self, server, body):
+        status, doc = call(server, "POST", "/v1/scenarios", body)
+        assert status == 400
+        assert "cannot infer scenario kind" in doc["error"]
+
+    @pytest.mark.parametrize("body,fragment", [
+        # Inferred spec body with a stray top-level field.
+        ({**SPEC_SCENARIO, "typo_field": 1}, "unknown keys"),
+        # Wrapped form tolerates only {"kind", "spec"}.
+        ({"kind": "spec", "spec": SPEC_SCENARIO, "extra": 1},
+         "unknown spec-scenario keys"),
+        # Nested junk inside a phase.
+        ({**SPEC_SCENARIO,
+          "phases": [{"kind": "hot_set", "region": "r",
+                      "accesses": 10, "warp": 9}]}, "unknown keys"),
+        # Import with a server-side path: never resolved by serve.
+        ({**CSV_IMPORT, "path": "/etc/passwd"}, "unknown keys"),
+    ])
+    def test_unknown_spec_fields_are_400(self, server, body, fragment):
+        status, doc = call(server, "POST", "/v1/scenarios", body)
+        assert status == 400
+        assert fragment in doc["error"]
+
+    def test_hash_is_spec_content_hash(self, server):
+        from repro.scenarios import canonicalize, spec_hash
+
+        _, bare = call(server, "POST", "/v1/scenarios", SPEC_SCENARIO)
+        _, wrapped = call(server, "POST", "/v1/scenarios",
+                          {"kind": "spec", "spec": SPEC_SCENARIO})
+        want = spec_hash(canonicalize(SPEC_SCENARIO))
+        assert bare["scenario"] == want
+        assert wrapped["scenario"] == want
+        assert wrapped["created"] is False  # deduped onto the first
+
+    def test_get_by_hash_shows_canonical_spec(self, server):
+        _, doc = call(server, "POST", "/v1/scenarios", SPEC_SCENARIO)
+        status, got = call(server, "GET",
+                           f"/v1/scenarios/{doc['scenario']}")
+        assert status == 200
+        assert got["spec"]["kind"] == "workload"
+        assert got["spec"]["name"] == "servespec"
+        assert got["spec"]["version"] == 1
+
+    def test_import_text_not_echoed_back(self, server):
+        _, doc = call(server, "POST", "/v1/scenarios", CSV_IMPORT)
+        _, got = call(server, "GET",
+                      f"/v1/scenarios/{doc['scenario']}")
+        n = len(CSV_IMPORT["text"])
+        assert got["spec"]["text"] == f"<{n} chars inlined>"
+        assert got["spec"]["format"] == "csv-v1"
+
+    def test_spec_run_matches_direct_scenario_point(self, server):
+        from repro.scenarios import canonical_json, canonicalize
+        from repro.sim.runner import ScenarioPoint, run_scenario_point
+
+        _, sdoc = call(server, "POST", "/v1/scenarios", SPEC_SCENARIO)
+        status, rdoc = call(server, "POST", "/v1/runs",
+                            {"scenario": sdoc["scenario"],
+                             "configs": [{"scale": 16}]})
+        assert status == 202
+        final = wait_run(server, rdoc["run"])
+        assert final["status"] == "done"
+        name = f"000_scn_servespec_{sdoc['scenario'][:8]}.json"
+        assert final["names"] == [name]
+        got = final["documents"][name]
+        assert got["manifest"]["kind"] == "servepoint"
+        assert got["manifest"]["serve"]["base_kind"] == "scenariopoint"
+        assert got["manifest"]["scenario"]["hash"] == sdoc["scenario"]
+
+        want = point_document(run_scenario_point(
+            ScenarioPoint(
+                spec_json=canonical_json(canonicalize(SPEC_SCENARIO)),
+                scale=16),
+            cache=server.state.store.new_cache(), collect=True))
+        assert got["stats"] == want["stats"]
+
+    def test_spec_config_rejects_suite_knobs(self, server):
+        _, sdoc = call(server, "POST", "/v1/scenarios", SPEC_SCENARIO)
+        status, doc = call(server, "POST", "/v1/runs",
+                           {"scenario": sdoc["scenario"],
+                            "configs": [{"accesses": 100}]})
+        assert status == 400
+        assert "unknown" in doc["error"]

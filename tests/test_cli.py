@@ -253,3 +253,141 @@ class TestFuzzCommand:
     def test_replay_missing_path_exits_two(self, capsys, tmp_path):
         assert main(["fuzz", "--replay",
                      str(tmp_path / "empty-dir")]) == 2
+
+
+class TestCorunCliAudit:
+    """`repro corun` error paths around --stats-json (ISSUE 9's CLI
+    audit): every bad input is a clean exit-2 with a message, and a
+    good run self-diffs to zero deltas."""
+
+    def test_unknown_tenant_exits_two(self, capsys):
+        assert main(["corun", "--tenants", "mcf,warpfield"]) == 2
+        assert "unknown workloads" in capsys.readouterr().err
+
+    def test_malformed_xmem_tenants_exits_two(self, capsys):
+        assert main(["corun", "--tenants", "mcf,lbm",
+                     "--xmem-tenants", "a,b"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_out_of_range_xmem_tenants_exits_two(self, capsys):
+        assert main(["corun", "--tenants", "mcf,lbm",
+                     "--xmem-tenants", "5"]) == 2
+        assert "outside" in capsys.readouterr().err
+
+    def test_unknown_engine_exits_two(self, capsys):
+        assert main(["corun", "--tenants", "mcf,lbm",
+                     "--engine", "warp"]) == 2
+        assert "choices" in capsys.readouterr().err
+
+    def test_bad_scenario_tenant_exits_two(self, capsys):
+        assert main(["corun", "--tenants", "scenario:nope"]) == 2
+        assert "bad scenario tenant" in capsys.readouterr().err
+
+    def test_scenario_tenant_rejects_footprint_div(self, capsys):
+        assert main(["corun", "--tenants", "scenario:hotcold",
+                     "--footprint-div", "4"]) == 2
+        assert "fixed declared footprints" in capsys.readouterr().err
+
+    def test_stats_json_self_diffs_clean(self, capsys, monkeypatch,
+                                         tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE",
+                           str(tmp_path / "cache"))
+        out = tmp_path / "corun_run"
+        rc = main(["corun", "--tenants", "scenario:hotcold",
+                   "--accesses", "600", "--scale", "16",
+                   "--stats-json", str(out)])
+        assert rc == 0
+        capsys.readouterr()
+        docs = sorted(out.glob("*.json"))
+        assert len(docs) == 1
+        assert "scenario-hotcold" in docs[0].name
+        import json
+        manifest = json.loads(docs[0].read_text())["manifest"]
+        assert manifest["kind"] == "corunpoint"
+        tenant = manifest["trace"]["tenants"][0]
+        assert tenant["workload"] == "scenario:hotcold"
+        assert main(["diff", str(out), str(out)]) == 0
+
+
+class TestDiffCrossTier:
+    """`repro diff` across manifests recorded on different engine
+    tiers."""
+
+    @pytest.fixture
+    def run_dir(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+        out = tmp_path / "run_a"
+        rc = main(["sweep", "--kernels", "mvt", "--n", "32",
+                   "--tiles", "8", "--jobs", "1",
+                   "--stats-json", str(out)])
+        assert rc == 0
+        capsys.readouterr()
+        return out
+
+    def _retier(self, run_dir, tmp_path, tier):
+        import json
+        import shutil
+
+        run_b = tmp_path / f"run_{tier}"
+        shutil.copytree(run_dir, run_b)
+        for path in run_b.glob("*.json"):
+            doc = json.loads(path.read_text())
+            doc["manifest"]["trace"]["tier"] = tier
+            path.write_text(json.dumps(doc))
+        return run_b
+
+    def test_estimating_tier_suppresses_deltas(self, run_dir, tmp_path,
+                                               capsys):
+        run_b = self._retier(run_dir, tmp_path, "analytical")
+        assert main(["diff", str(run_dir), str(run_b)]) == 1
+        out = capsys.readouterr().out
+        assert "suppressed" in out
+        assert "cross-tier document pair(s) flagged" in out
+
+    def test_exact_tiers_still_gate_to_zero(self, run_dir, tmp_path,
+                                            capsys):
+        from repro.cpu.tiers import EXACT_TIERS
+
+        import json
+        current = json.loads(sorted(run_dir.glob("*.json"))[0]
+                             .read_text())["manifest"]["trace"]["tier"]
+        other = sorted(set(EXACT_TIERS) - {current})[0]
+        run_b = self._retier(run_dir, tmp_path, other)
+        assert main(["diff", str(run_dir), str(run_b)]) == 0
+        out = capsys.readouterr().out
+        assert "cross-tier comparison of exact tiers" in out
+        assert "zero deltas" in out
+
+
+class TestScenarioCli:
+    """The scenario factory's CLI surface: list, sweep --scenarios."""
+
+    def test_list_shows_scenario_specs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario specs" in out
+        assert "streamgrid" in out
+        assert "lackey-sample" in out
+
+    def test_sweep_bad_scenario_exits_two(self, capsys):
+        assert main(["sweep", "--kernels", "",
+                     "--scenarios", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_sweep_nothing_exits_two(self, capsys):
+        assert main(["sweep", "--kernels", ""]) == 2
+        assert "nothing to sweep" in capsys.readouterr().err
+
+    def test_scenario_only_sweep(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+        out = tmp_path / "scn"
+        rc = main(["sweep", "--kernels", "", "--scenarios", "hotcold",
+                   "--scale", "16", "--jobs", "1",
+                   "--stats-json", str(out)])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "scn:hotcold" in stdout
+        docs = sorted(out.glob("*.json"))
+        assert len(docs) == 1
+        assert docs[0].name.startswith("000_scn_hotcold_")
+        assert main(["diff", str(out), str(out)]) == 0
