@@ -1,0 +1,124 @@
+"""Serve executor throughput: thread vs. process pool.
+
+One CPU-bound batch -- eight gemm kernel points (distinct tile sizes,
+so no dedup) -- submitted as a single run against two in-process
+servers: ``--executor thread`` (the pre-pool in-process execution,
+where the GIL serializes simulation) and ``--executor process``
+(import-warm worker children, truly parallel).  Both servers share
+one disk trace cache, so scenario builds replay recordings and the
+measured window is run submission -> terminal state: pure point
+execution through each data plane.
+
+The served documents are also held to each other: both batches are
+written server-side and gated with ``repro diff`` (stats-identical
+across executors), so the speedup is not bought with drift.
+
+Scale knobs: ``REPRO_BENCH_SERVE_N`` (default 64),
+``REPRO_BENCH_SERVE_WORKERS`` (default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+from _bench_utils import save_result
+
+TILES = (4, 8, 12, 16, 24, 32, 48, 64)
+
+
+def _call(port: int, method: str, path: str, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=600) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _run_batch(executor: str, workers: int, n: int, cache_dir: str,
+               out_dir: str) -> float:
+    """Submit the 8-point batch on a fresh server; seconds to done."""
+    from repro.serve.app import serve
+
+    server = serve(port=0, workers=workers, executor=executor,
+                   cache_dir=cache_dir)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        points = []
+        for tile in TILES:
+            _, doc = _call(port, "POST", "/v1/scenarios",
+                           {"kernel": "gemm", "n": n, "tile": tile})
+            points.append({"scenario": doc["scenario"], "config": {}})
+        t0 = time.perf_counter()
+        status, doc = _call(port, "POST", "/v1/runs",
+                            {"points": points, "out_dir": out_dir})
+        assert status == 202, doc
+        run_id = doc["run"]
+        while True:
+            _, doc = _call(port, "GET", f"/v1/runs/{run_id}")
+            if doc["status"] in ("done", "failed", "cancelled") and (
+                    "written" in doc or doc["status"] != "done"):
+                break
+            time.sleep(0.05)
+        wall = time.perf_counter() - t0
+        assert doc["status"] == "done", doc.get("errors")
+        assert doc["written"] == len(TILES), doc
+        return wall
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=10)
+
+
+def test_serve_throughput(tmp_path, results_dir):
+    n = int(os.environ.get("REPRO_BENCH_SERVE_N", "64"))
+    workers = int(os.environ.get("REPRO_BENCH_SERVE_WORKERS", "4"))
+    cache = str(tmp_path / "traces")
+    dirs = {ex: str(tmp_path / f"served-{ex}")
+            for ex in ("thread", "process")}
+
+    # Warm the shared trace cache so neither timed batch records.
+    _run_batch("thread", workers, n, cache, str(tmp_path / "warm"))
+
+    walls = {ex: _run_batch(ex, workers, n, cache, dirs[ex])
+             for ex in ("thread", "process")}
+
+    diff = subprocess.run(
+        [sys.executable, "-m", "repro", "diff",
+         dirs["thread"], dirs["process"]],
+        capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": "src"})
+    assert diff.returncode == 0, diff.stdout + diff.stderr
+
+    speedup = walls["thread"] / walls["process"]
+    lines = [
+        "Serve executor throughput -- 8-point CPU-bound batch",
+        "====================================================",
+        "",
+        f"Workload: one run of {len(TILES)} gemm kernel points "
+        f"(N={n}, tiles {','.join(map(str, TILES))}),",
+        f"workers={workers}, shared warm trace cache, wall-clock "
+        f"from run submission",
+        "to terminal state.  Documents written server-side; "
+        "`repro diff` across",
+        "the two executors: zero deltas.",
+        "",
+        "executor                      wall-clock",
+        "----------------------------  ----------",
+        f"thread (in-process, GIL)      {walls['thread']:8.1f} s",
+        f"process pool                  {walls['process']:8.1f} s",
+        "",
+        f"process-pool speedup: {speedup:.2f}x "
+        f"(host: {os.cpu_count()} CPU(s))",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_result("serve_throughput_measured", text)

@@ -4,9 +4,14 @@ Covers the whole scenario/run lifecycle against a running server (see
 ``docs/serve.md``): wait for ``/health``, build content-hashed
 scenarios, schedule a run, poll it to completion, and optionally
 verify that resubmitting the identical run is fully deduplicated.
-CI's ``serve-smoke`` job drives this script and then gates the
-server-written documents against a serial ``repro sweep --stats-json``
-with ``repro diff``.
+``watch`` consumes a run incrementally through the ``?since=``
+long-poll protocol (one line per completed point, in completion
+order); ``fetch`` downloads a terminal run -- including a
+workspace-archived one served after a server restart -- and writes its
+documents to a directory in the canonical ``repro sweep --stats-json``
+byte format, ready for ``repro diff``.  CI's ``serve-smoke`` job
+drives this script and then gates the server-written documents against
+a serial ``repro sweep --stats-json`` with ``repro diff``.
 
 Usage::
 
@@ -15,6 +20,10 @@ Usage::
     python examples/serve_client.py --base http://127.0.0.1:8642 \\
         sweep --kernel gemm --n 48 --tiles 12,48 \\
         --out-dir /tmp/served-run --dup-check
+    python examples/serve_client.py --base http://127.0.0.1:8642 \\
+        watch run-000001
+    python examples/serve_client.py --base http://127.0.0.1:8642 \\
+        fetch run-000001 /tmp/fetched-run
     python examples/serve_client.py --base http://127.0.0.1:8642 state
 """
 
@@ -26,6 +35,7 @@ import sys
 import time
 import urllib.error
 import urllib.request
+from pathlib import Path
 
 
 def request(base: str, method: str, path: str, body=None):
@@ -143,6 +153,79 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_watch(args) -> int:
+    """Consume one run incrementally via the ``?since=`` long-poll.
+
+    Each completed point prints the moment the server reports it --
+    no full-document re-polling, no busy loop: the server holds each
+    request open (``wait`` seconds, max 60) until it has news.
+    """
+    base = args.base
+    wait_health(base)
+    since = 0
+    deadline = time.monotonic() + args.timeout
+    while True:
+        status, doc = request(
+            base, "GET",
+            f"/v1/runs/{args.run}?since={since}&wait={args.wait}")
+        if status != 200:
+            raise SystemExit(f"watch {args.run}: HTTP {status}: {doc}")
+        if doc.get("archived"):
+            # Workspace-served run: there is no live event log, the
+            # terminal summary is all there is (and all it needs).
+            print(f"{args.run}: {doc['status']} (archived) "
+                  f"{doc['points']}")
+            return 0
+        for event in doc["events"]:
+            line = f"{args.run}[{event['seq']}]: {event['name']} " \
+                   f"{event['state']}"
+            if event["state"] == "done":
+                line += f" (wall {event['wall_s']}s)"
+            elif event.get("error"):
+                line += f" -- {event['error']}"
+            print(line, flush=True)
+        since = doc["next"]
+        if doc["status"] in ("done", "failed", "cancelled"):
+            print(f"{args.run}: {doc['status']} {doc['points']}")
+            return 0 if doc["status"] == "done" else 1
+        if time.monotonic() > deadline:
+            raise SystemExit(f"{args.run} still {doc['status']} "
+                             f"after {args.timeout}s")
+
+
+def cmd_fetch(args) -> int:
+    """Write a terminal run's documents to a directory, byte-for-byte
+    in the ``repro sweep --stats-json`` format (``repro diff`` ready).
+
+    Works on live-retained and workspace-archived runs alike -- the
+    restart half of CI's serve-smoke fetches a previous server
+    process's run this way and diffs it against a serial sweep.
+    """
+    status, doc = request(args.base, "GET", f"/v1/runs/{args.run}")
+    if status != 200:
+        raise SystemExit(f"fetch {args.run}: HTTP {status}: {doc}")
+    if doc["status"] not in ("done", "failed", "cancelled"):
+        raise SystemExit(f"{args.run} is {doc['status']}; fetch "
+                         f"needs a terminal run")
+    documents = doc.get("documents") or {}
+    if doc["status"] != "done" and not documents:
+        raise SystemExit(f"{args.run} ended {doc['status']} with no "
+                         f"documents: {doc.get('errors')}")
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, document in sorted(documents.items()):
+        payload = json.dumps(document, sort_keys=True, indent=2) + "\n"
+        (out / name).write_text(payload, encoding="utf-8")
+    archived = " (archived)" if doc.get("archived") else ""
+    print(f"{args.run}{archived}: wrote {len(documents)} "
+          f"document(s) to {out}")
+    if doc["status"] != "done":
+        print(f"{args.run}: status {doc['status']}, "
+              f"errors: {doc.get('errors')}")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description=__doc__.splitlines()[0],
@@ -165,9 +248,23 @@ def main(argv=None) -> int:
     sw.add_argument("--dup-check", action="store_true",
                     help="resubmit the identical run and require "
                          "full point dedup")
+    wt = sub.add_parser("watch",
+                        help="stream a run's completions via the "
+                             "since= long-poll")
+    wt.add_argument("run", help="run id, e.g. run-000001")
+    wt.add_argument("--wait", type=float, default=25.0,
+                    help="server-side hold per poll, seconds")
+    wt.add_argument("--timeout", type=float, default=600.0,
+                    help="give up after this many seconds")
+    ft = sub.add_parser("fetch",
+                        help="write a terminal run's documents to a "
+                             "directory (repro diff ready)")
+    ft.add_argument("run", help="run id, e.g. run-000001")
+    ft.add_argument("out_dir", help="directory to write documents to")
     args = parser.parse_args(argv)
     return {"health": cmd_health, "state": cmd_state,
-            "sweep": cmd_sweep}[args.command](args)
+            "sweep": cmd_sweep, "watch": cmd_watch,
+            "fetch": cmd_fetch}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -495,10 +495,19 @@ def cmd_serve(args) -> int:
     """Run the long-lived simulation-as-a-service HTTP server."""
     from repro.serve.app import main as serve_main
 
+    from repro.sim.runner import jobs_from_env
+
+    workers = args.workers
+    if workers is None:
+        workers = jobs_from_env(default=2)
     return serve_main(
-        host=args.host, port=args.port, workers=args.workers,
+        host=args.host, port=args.port, workers=workers,
         queue_limit=args.queue_limit, cache_dir=args.cache_dir,
-        out_root=args.out_root, verbose=args.verbose,
+        out_root=args.out_root, executor=args.executor,
+        recycle_after=args.recycle_after, workspace=args.workspace,
+        workspace_ttl_s=args.workspace_ttl,
+        workspace_limit_bytes=args.workspace_limit_mb << 20,
+        verbose=args.verbose,
     )
 
 
@@ -632,11 +641,35 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--host", default="127.0.0.1")
     sv.add_argument("--port", type=int, default=8642,
                     help="listen port (default 8642; 0 = ephemeral)")
-    sv.add_argument("--workers", type=int, default=2,
-                    help="run-executing worker threads (default 2)")
+    sv.add_argument("--workers", type=int, default=None,
+                    help="pool size: concurrently executing points "
+                         "(default: REPRO_JOBS, else 2)")
     sv.add_argument("--queue-limit", type=int, default=64,
                     help="max pending points before requests are "
                          "rejected with 429 (default 64)")
+    sv.add_argument("--executor", choices=("process", "thread"),
+                    default="process",
+                    help="point execution backend: 'process' runs "
+                         "each point in an import-warm worker process "
+                         "(true parallelism, crash isolation, hard "
+                         "cancel); 'thread' executes in-process "
+                         "(default process)")
+    sv.add_argument("--recycle-after", type=int, default=32,
+                    metavar="N",
+                    help="retire a worker process after N jobs to cap "
+                         "RSS growth (default 32)")
+    sv.add_argument("--workspace", default=None, metavar="DIR",
+                    help="persist completed run documents under DIR "
+                         "and serve them across restarts "
+                         "(default: in-memory only)")
+    sv.add_argument("--workspace-ttl", type=float, default=604800.0,
+                    metavar="SECONDS",
+                    help="evict workspace run records older than this "
+                         "(default 604800 = 7 days)")
+    sv.add_argument("--workspace-limit-mb", type=int, default=512,
+                    metavar="MB",
+                    help="evict oldest workspace runs beyond this "
+                         "total size (default 512)")
     sv.add_argument("--cache-dir", default=None, metavar="DIR",
                     help="trace-cache directory (default: "
                          "REPRO_TRACE_CACHE / XDG cache; "

@@ -9,15 +9,24 @@ Endpoints (all bodies and responses are JSON):
 * ``POST /v1/runs``           -- schedule sweep points against built
   scenarios (``{"scenario": h, "configs": [...]}`` or
   ``{"points": [{"scenario": h, "config": {...}}, ...]}``, plus an
-  optional ``out_dir`` the server writes completed documents into).
+  optional ``out_dir`` the server writes completed documents into;
+  each config may carry a per-run ``engine`` tier).
 * ``GET  /v1/runs``           -- list runs and their progress.
 * ``GET  /v1/runs/<id>``      -- progress; completed runs include the
-  per-point manifest+stats documents.
-* ``DELETE /v1/runs/<id>``    -- cancel a run's still-pending points.
-* ``GET  /health``            -- liveness: queue depth, worker counts.
+  per-point manifest+stats documents.  ``?since=<counter>`` long-polls
+  and returns only the completion events past the counter (plus
+  ``wait=<seconds>``, default 25, cap 60); ``?stream=1`` holds the
+  connection open and chunks events as NDJSON until the run is
+  terminal.  With ``--workspace``, runs retired from memory (or
+  completed by a previous server process) are served from disk.
+* ``DELETE /v1/runs/<id>``    -- cancel a run: still-pending points
+  are skipped, and an in-flight point (process executor) has its
+  worker terminated, freeing the pool slot.
+* ``GET  /health``            -- liveness: queue depth, worker counts,
+  pool state (executor, per-worker pid / jobs since last recycle).
 * ``GET  /debug/state``       -- full introspection: serve counters,
-  queue/worker state, scenario and run tables, trace memo bounds,
-  engine tier, ``REPRO_*`` env.
+  queue/worker/pool state, workspace usage, scenario and run tables,
+  trace memo bounds, engine tier, ``REPRO_*`` env.
 
 Error mapping: malformed JSON and :class:`ConfigurationError` are 400
 (a bad config must never surface as a 500), unknown
@@ -27,8 +36,8 @@ errors -- the fuzz lane drives this surface with junk and concurrent
 duplicates and asserts exactly that.
 
 Built on ``http.server.ThreadingHTTPServer``: stdlib only, one thread
-per connection, shared state guarded inside
-:mod:`repro.serve.scenarios` / :mod:`repro.serve.jobs`.
+per connection for the control plane; the data plane is the process
+pool in :mod:`repro.serve.jobs` / :mod:`repro.serve.pool`.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from __future__ import annotations
 import json
 import sys
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -48,11 +58,21 @@ from repro.serve.scenarios import (
     ScenarioBuildError,
     ScenarioSpec,
     ScenarioStore,
+    entry_from_record,
+    scenario_record,
 )
+from repro.serve.workspace import ArtifactWorkspace
 from repro.sim.stats import collect_repro_env
 
 #: Request bodies past this size are rejected (413) before parsing.
 MAX_BODY_BYTES = 4 << 20
+
+#: Long-poll ``wait=`` default and ceiling, seconds.
+LONGPOLL_DEFAULT_S = 25.0
+LONGPOLL_MAX_S = 60.0
+
+#: A ``?stream=1`` connection is closed after this long regardless.
+STREAM_MAX_S = 600.0
 
 
 def resolve_out_dir(raw: str, out_root: Optional[Path]) -> Path:
@@ -93,6 +113,11 @@ class ServerState:
     def __init__(self, workers: int = 2, queue_limit: int = 64,
                  cache_dir: Optional[str] = None,
                  out_root: Optional[str] = None,
+                 executor: str = "process",
+                 recycle_after: int = 32,
+                 workspace: Optional[str] = None,
+                 workspace_ttl_s: float = 7 * 24 * 3600.0,
+                 workspace_limit_bytes: int = 512 << 20,
                  verbose: bool = False) -> None:
         cache_root: Optional[Path] = None
         cache_disabled = False
@@ -105,23 +130,50 @@ class ServerState:
         # boot the server, not 500 every request.
         self.engine_tier = resolve_engine_tier()
         self.stats = ServeStats()
-        self.store = ScenarioStore(cache_root=cache_root,
-                                   cache_disabled=cache_disabled)
+        self.workspace: Optional[ArtifactWorkspace] = None
+        if workspace is not None:
+            self.workspace = ArtifactWorkspace(
+                Path(workspace), ttl_s=workspace_ttl_s,
+                limit_bytes=workspace_limit_bytes)
+        self.store = ScenarioStore(
+            cache_root=cache_root, cache_disabled=cache_disabled,
+            on_built=(self._persist_scenario
+                      if self.workspace is not None else None))
+        if self.workspace is not None:
+            # Scenarios built by a previous server process register at
+            # boot, so clients can resubmit runs against their hashes
+            # without rebuilding (traces regenerate lazily through the
+            # normal cache layers if needed).
+            for record in self.workspace.load_scenarios():
+                entry = entry_from_record(record)
+                if entry is not None:
+                    self.store.rehydrate(entry)
         self.scheduler = RunScheduler(self.store, self.stats,
                                       workers=workers,
-                                      queue_limit=queue_limit)
+                                      queue_limit=queue_limit,
+                                      executor=executor,
+                                      recycle_after=recycle_after,
+                                      workspace=self.workspace)
         self.out_root = (Path(out_root).expanduser()
                          if out_root is not None else None)
         self.verbose = verbose
         self.started_at = time.time()
         self._t0 = time.monotonic()
 
+    def _persist_scenario(self, entry) -> None:
+        self.workspace.save_scenario(scenario_record(entry))
+
     @property
     def uptime_s(self) -> float:
         return time.monotonic() - self._t0
 
     def health(self) -> Tuple[int, Dict[str, object]]:
-        """``GET /health``: 200 when every worker thread is alive."""
+        """``GET /health``: 200 when every worker thread is alive.
+
+        Pool children are reported, not gated on: they spawn lazily
+        with the first job and are respawned after crash/recycle, so
+        an idle or freshly recycled slot is healthy.
+        """
         sched = self.scheduler
         alive = sched.workers_alive()
         configured = sched.configured_workers
@@ -131,6 +183,7 @@ class ServerState:
             "uptime_s": round(self.uptime_s, 3),
             "queue_depth": sched.queue_depth(),
             "workers": {"alive": alive, "configured": configured},
+            "pool": sched.pool_report(),
             "scenarios": len(self.store),
             "runs": sched.run_count(),
             "engine_tier": self.engine_tier,
@@ -151,6 +204,9 @@ class ServerState:
             "queue": {"depth": sched.queue_depth(),
                       "limit": sched.queue_limit},
             "workers": sched.worker_report(),
+            "pool": sched.pool_report(),
+            "workspace": (self.workspace.usage()
+                          if self.workspace is not None else None),
             "memo": {"entries": len(_MEMO), "limit": _MEMO_LIMIT},
             "trace_cache": {
                 "dir": (str(cache.root) if cache.root is not None
@@ -168,6 +224,29 @@ class ServerState:
 # ---------------------------------------------------------------------------
 # Request handling
 # ---------------------------------------------------------------------------
+
+def _query_int(query: Dict[str, str], name: str) -> Optional[int]:
+    raw = query.get(name)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer, got {raw!r}") from None
+
+
+def _query_float(query: Dict[str, str], name: str,
+                 default: float) -> float:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be a number, got {raw!r}") from None
+
 
 class ServeHandler(BaseHTTPRequestHandler):
     """Route table + JSON plumbing for one request."""
@@ -200,7 +279,11 @@ class ServeHandler(BaseHTTPRequestHandler):
         state = self.state
         state.stats.bump("requests")
         try:
-            status, doc = self._route(method)
+            result = self._route(method)
+            if result is None:
+                # The handler streamed its own response.
+                return
+            status, doc = result
         except ConfigurationError as exc:
             state.stats.bump("bad_requests")
             status, doc = 400, {"error": str(exc)}
@@ -221,9 +304,13 @@ class ServeHandler(BaseHTTPRequestHandler):
                 "error": f"{type(exc).__name__}: {exc}"}
         self._reply(status, doc)
 
-    def _route(self, method: str) -> Tuple[int, Dict[str, object]]:
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+    def _route(self, method: str
+               ) -> Optional[Tuple[int, Dict[str, object]]]:
+        path, _, raw_query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
         parts = [p for p in path.split("/") if p]
+        query = {k: v[-1] for k, v in
+                 urllib.parse.parse_qs(raw_query).items()}
         if method == "GET":
             if path == "/health":
                 return self.state.health()
@@ -238,9 +325,16 @@ class ServeHandler(BaseHTTPRequestHandler):
                         404, f"unknown scenario {parts[2]!r}")
                 return 200, entry.summary()
             if path == "/v1/runs":
-                return 200, {"runs": self.state.scheduler.runs_summary()}
+                doc = {"runs": self.state.scheduler.runs_summary()}
+                ws = self.state.workspace
+                if ws is not None:
+                    sched = self.state.scheduler
+                    doc["archived"] = [
+                        rid for rid in ws.run_ids()
+                        if sched.get_run(rid) is None]
+                return 200, doc
             if len(parts) == 3 and parts[:2] == ["v1", "runs"]:
-                return self._get_run(parts[2])
+                return self._get_run(parts[2], query)
         elif method == "POST":
             if path == "/v1/scenarios":
                 return self._post_scenario()
@@ -339,11 +433,30 @@ class ServeHandler(BaseHTTPRequestHandler):
             "status": progress["status"],
         }
 
-    def _get_run(self, run_id: str) -> Tuple[int, Dict[str, object]]:
+    def _get_run(self, run_id: str, query: Dict[str, str]
+                 ) -> Optional[Tuple[int, Dict[str, object]]]:
         sched = self.state.scheduler
         run = sched.get_run(run_id)
         if run is None:
-            raise ServeHTTPError(404, f"unknown run {run_id!r}")
+            return self._get_archived_run(run_id)
+        if query.get("stream") == "1":
+            since = _query_int(query, "since") or 0
+            self._stream_run(run, since)
+            return None
+        since = _query_int(query, "since")
+        if since is not None:
+            wait_s = _query_float(query, "wait", LONGPOLL_DEFAULT_S)
+            wait_s = min(max(wait_s, 0.0), LONGPOLL_MAX_S)
+            events, next_seq, progress = sched.wait_events(
+                run, since, wait_s)
+            return 200, {
+                "run": run.id,
+                "status": progress["status"],
+                "points": progress["points"],
+                "since": since,
+                "next": next_seq,
+                "events": events,
+            }
         progress = sched.run_progress(run)
         doc: Dict[str, object] = {
             "run": run.id,
@@ -364,6 +477,116 @@ class ServeHandler(BaseHTTPRequestHandler):
                 if run.written is not None and run.written >= 0:
                     doc["written"] = run.written
         return 200, doc
+
+    def _get_archived_run(self, run_id: str
+                          ) -> Tuple[int, Dict[str, object]]:
+        """A run served from the workspace after retirement/restart.
+
+        A record whose run never reached a terminal state (the server
+        died mid-batch) reports ``failed``: its completed points are
+        served from disk, its unfinished ones carry an ``interrupted``
+        error, and resubmitting the same points is the recovery path
+        (completed ones become workspace hits; only the interrupted
+        remainder re-executes).
+        """
+        ws = self.state.workspace
+        record = ws.load_run(run_id) if ws is not None else None
+        if record is None:
+            raise ServeHTTPError(404, f"unknown run {run_id!r}")
+        names = list(record.get("names", []))
+        keys = [tuple(k) for k in record.get("point_keys", [])]
+        states = list(record.get("states", []))
+        errors = dict(record.get("errors", {}))
+        status = record.get("status", "failed")
+        terminal = status in ("done", "failed", "cancelled")
+        documents: Dict[str, dict] = {}
+        counts = {"total": len(names), "pending": 0, "running": 0,
+                  "done": 0, "failed": 0, "cancelled": 0}
+        for index, name in enumerate(names):
+            state = states[index] if index < len(states) else "pending"
+            key = keys[index] if index < len(keys) else None
+            doc = ws.load_point(key) if key is not None else None
+            if doc is not None:
+                # The document on disk is authoritative: a point that
+                # completed after the last record write still serves.
+                documents[name] = doc
+                counts["done"] += 1
+                errors.pop(name, None)
+            elif terminal and state in counts:
+                counts[state] += 1
+                if state == "done":
+                    # Recorded done but evicted since: say so rather
+                    # than serving a hole silently.
+                    counts["done"] -= 1
+                    counts["failed"] += 1
+                    errors[name] = ("document evicted from the "
+                                    "workspace")
+            else:
+                counts["failed"] += 1
+                errors.setdefault(
+                    name, "interrupted by server restart; resubmit "
+                          "to re-execute")
+        if not terminal:
+            status = "failed" if counts["failed"] else "done"
+        doc = {
+            "run": run_id,
+            "status": status,
+            "points": counts,
+            "names": names,
+            "created_at": record.get("created_at"),
+            "archived": True,
+            "documents": documents,
+        }
+        if errors:
+            doc["errors"] = errors
+        return 200, doc
+
+    # -- streaming --------------------------------------------------------
+
+    def _stream_run(self, run, since: int) -> None:
+        """``?stream=1``: chunked NDJSON events until terminal.
+
+        One JSON object per line: the run's completion events as they
+        land, then a final summary line with the terminal status.
+        """
+        sched = self.state.scheduler
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            deadline = time.monotonic() + STREAM_MAX_S
+            while True:
+                timeout = min(10.0, deadline - time.monotonic())
+                events, next_seq, progress = sched.wait_events(
+                    run, since, max(timeout, 0.0))
+                for event in events:
+                    self._write_chunk(
+                        (json.dumps(event, sort_keys=True) + "\n"
+                         ).encode())
+                since = next_seq
+                terminal = progress["status"] in ("done", "failed",
+                                                  "cancelled")
+                if terminal or time.monotonic() >= deadline:
+                    summary = {"run": run.id,
+                               "status": progress["status"],
+                               "points": progress["points"],
+                               "next": next_seq}
+                    self._write_chunk(
+                        (json.dumps(summary, sort_keys=True) + "\n"
+                         ).encode())
+                    break
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            # The consumer went away mid-stream; a resident server
+            # shrugs (but this connection is done).
+            self.close_connection = True
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(b"%x\r\n" % len(data))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+        self.wfile.flush()
 
     # -- JSON plumbing ----------------------------------------------------
 
@@ -432,29 +655,51 @@ def serve(host: str = "127.0.0.1", port: int = 8642,
           workers: int = 2, queue_limit: int = 64,
           cache_dir: Optional[str] = None,
           out_root: Optional[str] = None,
+          executor: str = "process",
+          recycle_after: int = 32,
+          workspace: Optional[str] = None,
+          workspace_ttl_s: float = 7 * 24 * 3600.0,
+          workspace_limit_bytes: int = 512 << 20,
           verbose: bool = False) -> ReproServer:
     """Build a ready-to-run server (callers invoke ``serve_forever``)."""
     state = ServerState(workers=workers, queue_limit=queue_limit,
                         cache_dir=cache_dir, out_root=out_root,
+                        executor=executor, recycle_after=recycle_after,
+                        workspace=workspace,
+                        workspace_ttl_s=workspace_ttl_s,
+                        workspace_limit_bytes=workspace_limit_bytes,
                         verbose=verbose)
     return ReproServer((host, port), state)
 
 
 def main(host: str, port: int, workers: int, queue_limit: int,
          cache_dir: Optional[str], verbose: bool,
-         out_root: Optional[str] = None) -> int:
+         out_root: Optional[str] = None,
+         executor: str = "process",
+         recycle_after: int = 32,
+         workspace: Optional[str] = None,
+         workspace_ttl_s: float = 7 * 24 * 3600.0,
+         workspace_limit_bytes: int = 512 << 20) -> int:
     """The ``repro serve`` entry point: run until interrupted."""
     try:
         server = serve(host=host, port=port, workers=workers,
                        queue_limit=queue_limit, cache_dir=cache_dir,
-                       out_root=out_root, verbose=verbose)
+                       out_root=out_root, executor=executor,
+                       recycle_after=recycle_after,
+                       workspace=workspace,
+                       workspace_ttl_s=workspace_ttl_s,
+                       workspace_limit_bytes=workspace_limit_bytes,
+                       verbose=verbose)
     except OSError as exc:
         print(f"cannot bind {host}:{port}: {exc}", file=sys.stderr)
         return 2
     bound = server.server_address
     print(f"repro serve: listening on http://{bound[0]}:{bound[1]} "
-          f"(workers={workers}, queue_limit={queue_limit}, "
-          f"engine={server.state.engine_tier})", file=sys.stderr)
+          f"(workers={workers}, executor={executor}, "
+          f"queue_limit={queue_limit}, "
+          f"engine={server.state.engine_tier}"
+          + (f", workspace={workspace}" if workspace else "")
+          + ")", file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -283,22 +283,86 @@ class ScenarioEntry:
         }
 
 
+def scenario_record(entry: ScenarioEntry) -> Dict[str, object]:
+    """The workspace persistence form of one built scenario.
+
+    ``canonical`` is the full normalized spec (import specs keep their
+    inlined trace text -- :meth:`ScenarioSpec.display` would truncate
+    it), so :func:`entry_from_record` can round-trip the record back
+    through :meth:`ScenarioSpec.from_request` after a restart.
+    """
+    return {
+        "scenario": entry.hash,
+        "canonical": entry.spec.canonical(),
+        "trace_key": entry.trace_key,
+        "source": entry.source,
+        "events": entry.events,
+        "setup_calls": entry.setup_calls,
+        "build_wall_s": entry.build_wall_s,
+        "created_at": entry.created_at,
+        "cache_counters": dict(entry.cache_counters),
+    }
+
+
+def entry_from_record(record: Dict[str, object]
+                      ) -> Optional[ScenarioEntry]:
+    """Rebuild a :class:`ScenarioEntry` from its workspace record.
+
+    Returns None -- never raises -- on anything that does not round-trip
+    to the recorded hash: a stale or hand-edited record must not keep a
+    server from booting, and must not register under a hash its spec
+    no longer produces.
+    """
+    try:
+        spec = ScenarioSpec.from_request(record["canonical"])
+        if spec.scenario_hash != record["scenario"]:
+            return None
+        return ScenarioEntry(
+            spec=spec,
+            hash=spec.scenario_hash,
+            trace_key=spec.trace_cache_key,
+            source="workspace",
+            events=int(record["events"]),
+            setup_calls=int(record["setup_calls"]),
+            build_wall_s=float(record["build_wall_s"]),
+            created_at=float(record["created_at"]),
+            cache_counters=dict(record.get("cache_counters", {})),
+        )
+    except (ConfigurationError, KeyError, TypeError, ValueError):
+        return None
+
+
 class ScenarioStore:
     """The scenario registry: build-once semantics under concurrency.
 
-    ``get_or_build`` is the only mutation path.  The first requester of
-    a hash builds; concurrent requesters of the same hash wait on the
-    builder's event instead of generating the trace a second time.
+    ``get_or_build`` is the only mutation path for *new* builds; the
+    first requester of a hash builds, concurrent requesters of the same
+    hash wait on the builder's event instead of generating the trace a
+    second time.  ``rehydrate`` seeds entries recovered from a
+    workspace at boot (their traces regenerate lazily through the
+    normal cache layers when a run first needs them).  ``on_built``,
+    when set, observes every fresh build -- the workspace persistence
+    hook.
     """
 
     def __init__(self, cache_root: Optional[Path] = None,
-                 cache_disabled: bool = False) -> None:
+                 cache_disabled: bool = False,
+                 on_built=None) -> None:
         self.cache_root = cache_root
         self.cache_disabled = cache_disabled
+        self.on_built = on_built
         self._lock = threading.Lock()
         self._entries: Dict[str, ScenarioEntry] = {}
         self._building: Dict[str, threading.Event] = {}
         self._errors: Dict[str, str] = {}
+
+    def rehydrate(self, entry: ScenarioEntry) -> bool:
+        """Register a recovered entry; False when the hash is taken."""
+        with self._lock:
+            if entry.hash in self._entries:
+                return False
+            self._entries[entry.hash] = entry
+            return True
 
     def new_cache(self) -> TraceCache:
         """A fresh per-request trace cache on the server's root."""
@@ -372,6 +436,13 @@ class ScenarioStore:
             with self._lock:
                 self._entries[h] = entry
             stats.bump("scenarios_built")
+            if self.on_built is not None:
+                try:
+                    self.on_built(entry)
+                except OSError:
+                    # Persistence is best-effort: a full disk must not
+                    # fail the build that already succeeded in memory.
+                    pass
             return entry, True, False
         except Exception as exc:
             with self._lock:

@@ -1316,6 +1316,38 @@ def _run_any_collecting(point):
     return run_any_point(point, collect=True)
 
 
+def execute_point_job(point, cache_root: Optional[Path] = None,
+                      cache_disabled: bool = False,
+                      engine: Optional[str] = None) -> dict:
+    """One serve pool job: run a point, return its JSON document.
+
+    Module-level and argument-complete so it pickles into spawn-started
+    worker processes (the serve process pool's counterpart of
+    :func:`_run_any_collecting`).  ``engine`` overrides the engine tier
+    for exactly this job by scoping ``REPRO_ENGINE`` around the run --
+    safe because a pool worker executes one job at a time, and exactly
+    what ``REPRO_ENGINE=<tier> repro sweep`` would do, so the manifest's
+    ``trace.tier`` and ``env`` blocks come out the same.
+    """
+    if engine is not None:
+        engine = resolve_engine_tier(engine)
+    cache = TraceCache(cache_root)
+    if cache_disabled:
+        cache.root = None
+    previous = os.environ.get("REPRO_ENGINE")
+    try:
+        if engine is not None:
+            os.environ["REPRO_ENGINE"] = engine
+        result = run_any_point(point, cache=cache, collect=True)
+    finally:
+        if engine is not None:
+            if previous is None:
+                os.environ.pop("REPRO_ENGINE", None)
+            else:
+                os.environ["REPRO_ENGINE"] = previous
+    return point_document(result)
+
+
 def corun_sweep(points: Sequence[CorunPoint],
                 jobs: Optional[int] = None,
                 collect_stats: bool = False) -> List[CorunResult]:

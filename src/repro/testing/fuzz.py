@@ -563,10 +563,16 @@ class ServeLane(Lane):
     deliberately malformed requests.  ``dup`` descriptors issue the
     same POST twice *concurrently* (barrier-synchronized threads), so
     the build-once and point-dedup paths are exercised under real
-    races.  The oracle is the server's own contract: documented status
-    codes, JSON-only bodies, build-once accounting in
-    ``/debug/state``, and a clean final state (no internal errors, no
-    failed points, drained queue, bounded memo).
+    races.  Cases drawn with the process executor also inject worker
+    faults through the ``REPRO_SERVE_TEST_*`` hooks: ``crash`` ops run
+    a scenario whose worker child exits mid-job (the point must fail,
+    the server must stay healthy) and ``cancel`` ops DELETE a run
+    whose point is stalled inside a worker (the child must die and the
+    slot free).  The oracle is the server's own contract: documented
+    status codes, JSON-only bodies, build-once accounting in
+    ``/debug/state``, and a clean final state (no internal errors,
+    failed points exactly matching the injected crashes, drained
+    queue, bounded memo, healthy pool).
     """
 
     name = "serve"
@@ -575,44 +581,69 @@ class ServeLane(Lane):
     SUITE_NAMES = ("mcf", "libquantum", "milc")
     #: Every op runs real simulations; keep sequences short.
     MAX_OPS = 8
+    #: Reserved fault-injection shapes -- ``n=10`` never appears in
+    #: randomly drawn scenarios/runs, so the CRASH/SLOW env markers
+    #: (one scenario hash each) cannot collide with normal ops.
+    CRASH_SCENARIO = ("jacobi2d", 10, 4)
+    SLOW_SCENARIO = ("gemver", 10, 4)
 
     def make(self, rng: random.Random, length: int) -> Tuple[dict, list]:
+        executor = rng.choice(("thread", "process"))
         ops: list = []
         for _ in range(max(1, min(length // 50, self.MAX_OPS))):
             r = rng.random()
             dup = int(rng.random() < 0.5)
-            if r < 0.12:
+            if executor == "process" and r < 0.08:
+                ops.append(("crash",))
+            elif executor == "process" and r < 0.16:
+                ops.append(("cancel",))
+            elif r < 0.24:
                 ops.append(("health",))
-            elif r < 0.22:
+            elif r < 0.32:
                 ops.append(("state",))
-            elif r < 0.42:
+            elif r < 0.48:
                 ops.append(("scenario", "kernel",
                             rng.choice(self.KERNEL_NAMES),
                             rng.choice((8, 12, 16)),
                             rng.choice((4, 8)), dup))
-            elif r < 0.57:
+            elif r < 0.60:
                 ops.append(("scenario", "suite",
                             rng.choice(self.SUITE_NAMES),
                             rng.choice((300, 500, 800)),
                             rng.choice((16, 64)), dup))
-            elif r < 0.85:
+            elif r < 0.86:
                 ops.append(("run", rng.choice(self.KERNEL_NAMES),
                             rng.choice((8, 12)), 4,
                             rng.choice((16, 32)), dup))
             else:
                 ops.append(("bad", rng.randrange(6)))
-        params = {"workers": rng.choice((1, 2)), "queue_limit": 32}
+        params = {"workers": rng.choice((1, 2)), "queue_limit": 32,
+                  "executor": executor}
         return params, ops
 
     def fail(self, params: dict, items: list) -> Optional[str]:
         import http.client
+        import os
         import threading
         import time
 
         from repro.serve.app import serve
+        from repro.serve.pool import CRASH_ENV, SLOW_ENV
+
+        executor = params.get("executor", "thread")
+        crash_hash = _kernel_scenario_hash(*self.CRASH_SCENARIO)
+        slow_hash = _kernel_scenario_hash(*self.SLOW_SCENARIO)
+        # The markers must be in the environment before any worker
+        # child spawns (children inherit it); scope them to this case.
+        env_backup = {CRASH_ENV: os.environ.get(CRASH_ENV),
+                      SLOW_ENV: os.environ.get(SLOW_ENV)}
+        if executor == "process":
+            os.environ[CRASH_ENV] = crash_hash
+            os.environ[SLOW_ENV] = f"{slow_hash}:20"
 
         server = serve(port=0, workers=params["workers"],
-                       queue_limit=params["queue_limit"], cache_dir="off")
+                       queue_limit=params["queue_limit"], cache_dir="off",
+                       executor=executor)
         thread = threading.Thread(target=server.serve_forever,
                                   daemon=True)
         thread.start()
@@ -658,6 +689,24 @@ class ServeLane(Lane):
                 return concurrent_pair("POST", "/v1/scenarios", body)
             return [call("POST", "/v1/scenarios", body)]
 
+        def wait_terminal(run_id: str):
+            """The run's terminal document (with the ``running`` count
+            drained -- a killed in-flight point lands asynchronously),
+            or an error string."""
+            deadline = time.monotonic() + 120
+            doc = None
+            while time.monotonic() < deadline:
+                status, doc = call("GET", f"/v1/runs/{run_id}")
+                if status != 200 or doc is None:
+                    return f"poll {run_id}: HTTP {status}, doc {doc!r}"
+                if doc["status"] in ("done", "failed", "cancelled") \
+                        and doc["points"]["running"] == 0:
+                    return doc
+                time.sleep(0.02)
+            return (f"{run_id} still "
+                    f"{doc['status'] if doc else 'unpolled'} after "
+                    f"120s")
+
         def wait_run(run_id: str) -> Optional[str]:
             deadline = time.monotonic() + 120
             while time.monotonic() < deadline:
@@ -682,6 +731,8 @@ class ServeLane(Lane):
         # Per-hash count of created=True responses: build-once says
         # the whole session sees exactly one per distinct scenario.
         created: Dict[str, int] = {}
+        #: Injected worker crashes; the only tolerated failed points.
+        expected_crashes = 0
 
         def check_scenario(results, want_hash_of=None) -> Optional[str]:
             hashes = set()
@@ -726,8 +777,8 @@ class ServeLane(Lane):
                     status, doc = call("GET", "/debug/state")
                     if status != 200 or doc is None:
                         return f"{where}: HTTP {status}, doc {doc!r}"
-                    missing = {"serve", "queue", "workers", "memo",
-                               "scenarios", "runs"} - set(doc)
+                    missing = {"serve", "queue", "workers", "pool",
+                               "memo", "scenarios", "runs"} - set(doc)
                     if missing:
                         return f"{where}: missing keys {sorted(missing)}"
                 elif op == "scenario":
@@ -780,6 +831,68 @@ class ServeLane(Lane):
                                 f"{status} (doc {doc!r}), want {want}")
                     if "error" not in doc:
                         return f"{where}: {want} body without error key"
+                elif op == "crash":
+                    kernel, n, tile = self.CRASH_SCENARIO
+                    error = check_scenario(post_scenario(
+                        {"kernel": kernel, "n": n, "tile": tile}, 0))
+                    if error:
+                        return f"{where}: {error}"
+                    status, doc = call("POST", "/v1/runs",
+                                       {"scenario": crash_hash,
+                                        "configs": [{}]})
+                    if status != 202 or doc is None:
+                        return f"{where}: HTTP {status}, doc {doc!r}"
+                    expected_crashes += 1
+                    final = wait_terminal(doc["run"])
+                    if not isinstance(final, dict):
+                        return f"{where}: {final}"
+                    if final["status"] != "failed":
+                        return (f"{where}: crash run ended "
+                                f"{final['status']!r}, want 'failed'")
+                    errors = " ".join((final.get("errors")
+                                       or {}).values())
+                    if "worker crashed" not in errors:
+                        return (f"{where}: crash run errors "
+                                f"{final.get('errors')!r} do not "
+                                f"mention the worker crash")
+                    status, doc = call("GET", "/health")
+                    if status != 200:
+                        return (f"{where}: health {status} after a "
+                                f"worker crash -- not isolated")
+                elif op == "cancel":
+                    kernel, n, tile = self.SLOW_SCENARIO
+                    error = check_scenario(post_scenario(
+                        {"kernel": kernel, "n": n, "tile": tile}, 0))
+                    if error:
+                        return f"{where}: {error}"
+                    status, doc = call("POST", "/v1/runs",
+                                       {"scenario": slow_hash,
+                                        "configs": [{}]})
+                    if status != 202 or doc is None:
+                        return f"{where}: HTTP {status}, doc {doc!r}"
+                    run_id = doc["run"]
+                    # Let the point reach a worker (it stalls there
+                    # for 20 s) -- or cancel it while still queued;
+                    # both must leave clean state.
+                    deadline = time.monotonic() + 15
+                    while time.monotonic() < deadline:
+                        status, doc = call("GET", f"/v1/runs/{run_id}")
+                        if status != 200 or doc is None:
+                            return (f"{where}: poll HTTP {status}, "
+                                    f"doc {doc!r}")
+                        if doc["points"]["running"]:
+                            break
+                        time.sleep(0.02)
+                    status, doc = call("DELETE", f"/v1/runs/{run_id}")
+                    if status != 200:
+                        return (f"{where}: DELETE gave {status}, "
+                                f"doc {doc!r}")
+                    final = wait_terminal(run_id)
+                    if not isinstance(final, dict):
+                        return f"{where}: {final}"
+                    if final["status"] != "cancelled":
+                        return (f"{where}: cancelled run ended "
+                                f"{final['status']!r}")
                 else:
                     return f"{where}: unknown op {op!r}"
 
@@ -790,9 +903,14 @@ class ServeLane(Lane):
             if counters["internal_errors"]:
                 return (f"final state: {counters['internal_errors']} "
                         f"internal error(s)")
-            if counters["points_failed"]:
+            if counters["points_failed"] != expected_crashes:
                 return (f"final state: {counters['points_failed']} "
-                        f"failed point(s)")
+                        f"failed point(s), want exactly the "
+                        f"{expected_crashes} injected crash(es)")
+            if counters["workers_crashed"] != expected_crashes:
+                return (f"final state: workers_crashed "
+                        f"{counters['workers_crashed']} != "
+                        f"{expected_crashes} injected crash(es)")
             over = [h for h, c in created.items() if c > 1]
             if over:
                 return f"build-once violated for scenarios {over}"
@@ -805,11 +923,25 @@ class ServeLane(Lane):
             if doc["memo"]["entries"] > doc["memo"]["limit"]:
                 return (f"final state: memo {doc['memo']['entries']} "
                         f"entries over limit {doc['memo']['limit']}")
+            if doc["pool"]["executor"] != executor:
+                return (f"final state: pool executor "
+                        f"{doc['pool']['executor']!r} != {executor!r}")
+            status, health = call("GET", "/health")
+            if status != 200 or health is None \
+                    or health["status"] != "ok":
+                return (f"final health: HTTP {status}, "
+                        f"doc {health!r} -- pool not healthy after "
+                        f"the case")
             return None
         finally:
             server.shutdown()
             server.close()
             thread.join(timeout=10)
+            for var, old in env_backup.items():
+                if old is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = old
 
 
 class ScenarioLane(Lane):

@@ -65,8 +65,16 @@ def wait_run(server, run_id, timeout=60.0):
 
 
 def boot(**kwargs):
-    """A serving server plus its serve_forever thread."""
+    """A serving server plus its serve_forever thread.
+
+    Defaults to the thread executor: these tests exercise the HTTP
+    surface and scheduler semantics, where in-process execution is
+    fast and deterministic.  The process pool has its own suite
+    (test_pool.py / test_workspace.py) booting with
+    ``executor="process"``.
+    """
     kwargs.setdefault("cache_dir", "off")
+    kwargs.setdefault("executor", "thread")
     srv = serve(port=0, **kwargs)
     thread = threading.Thread(target=srv.serve_forever, daemon=True)
     thread.start()
@@ -701,9 +709,23 @@ class TestSpecAndConfigUnits:
         assert normalize_config(entry, {"xmem_tenants": []}) \
             ["xmem_tenants"] == []
 
-    def test_engine_is_not_a_run_knob(self):
-        with pytest.raises(ConfigurationError, match="unknown"):
-            normalize_config(self._entry(), {"engine": "vector"})
+    def test_engine_is_a_per_point_config_knob(self):
+        # A valid tier is accepted and becomes part of the point
+        # identity: the same scenario under two engines is two points.
+        plain = normalize_config(self._entry(), {})
+        vector = normalize_config(self._entry(), {"engine": "vector"})
+        assert plain["engine"] is None
+        assert vector["engine"] == "vector"
+        assert config_hash(plain) != config_hash(vector)
+        # Whitespace normalizes like the CLI/env spelling does.
+        assert normalize_config(
+            self._entry(), {"engine": " vector "})["engine"] == "vector"
+
+    def test_unknown_engine_tier_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            normalize_config(self._entry(), {"engine": "warp"})
+        with pytest.raises(ConfigurationError, match="engine"):
+            normalize_config(self._entry(), {"engine": 3})
 
 
 SPEC_SCENARIO = {

@@ -159,19 +159,33 @@ class TestServeCommand:
         args = build_parser().parse_args(["serve"])
         assert args.host == "127.0.0.1"
         assert args.port == 8642
-        assert args.workers == 2
+        # None means "resolve from REPRO_JOBS at serve time".
+        assert args.workers is None
         assert args.queue_limit == 64
         assert args.cache_dir is None
+        assert args.executor == "process"
+        assert args.recycle_after == 32
+        assert args.workspace is None
+        assert args.workspace_ttl == 604800.0
+        assert args.workspace_limit_mb == 512
         assert args.verbose is False
 
     def test_parser_overrides(self):
         args = build_parser().parse_args(
             ["serve", "--port", "0", "--workers", "4",
-             "--queue-limit", "8", "--cache-dir", "off", "--verbose"])
+             "--queue-limit", "8", "--cache-dir", "off",
+             "--executor", "thread", "--recycle-after", "5",
+             "--workspace", "/tmp/ws", "--workspace-ttl", "60",
+             "--workspace-limit-mb", "1", "--verbose"])
         assert args.port == 0
         assert args.workers == 4
         assert args.queue_limit == 8
         assert args.cache_dir == "off"
+        assert args.executor == "thread"
+        assert args.recycle_after == 5
+        assert args.workspace == "/tmp/ws"
+        assert args.workspace_ttl == 60.0
+        assert args.workspace_limit_mb == 1
         assert args.verbose is True
 
     def test_bind_failure_exits_two(self, capsys):
